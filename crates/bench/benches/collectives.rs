@@ -1,0 +1,104 @@
+//! Criterion micro-benchmarks of the collective implementations on
+//! synthetic payloads: direct all-to-all vs ring reduce-scatter-union vs
+//! the two-phase grouped ring.
+
+use bgl_comm::collectives::{
+    alltoall::alltoallv, reduce_scatter::reduce_scatter_union_ring,
+    two_phase::two_phase_fold, Groups,
+};
+use bgl_comm::{OpClass, ProcessorGrid, SimWorld, Vert};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// Synthetic fold input: each of `g` members wants `len` vertices (with
+/// heavy cross-member overlap) delivered to every member.
+fn fold_blocks(g: usize, len: usize) -> Vec<Vec<Vec<Vert>>> {
+    (0..g)
+        .map(|src| {
+            (0..g)
+                .map(|dst| {
+                    // 50% shared across sources, 50% distinct.
+                    let mut v: Vec<Vert> = (0..len)
+                        .map(|i| {
+                            if i % 2 == 0 {
+                                (dst * len + i) as Vert
+                            } else {
+                                (1_000_000 + src * g * len + dst * len + i) as Vert
+                            }
+                        })
+                        .collect();
+                    v.sort_unstable();
+                    v.dedup();
+                    v
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_fold_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fold_strategies_g16_len256");
+    let g = 16;
+    let len = 256;
+    let grid = ProcessorGrid::new(1, g);
+    let groups = Groups::rows_of(grid);
+
+    group.bench_function("direct_alltoall", |b| {
+        b.iter(|| {
+            let mut w = SimWorld::bluegene(grid);
+            let blocks = fold_blocks(g, len);
+            let sends: Vec<Vec<(usize, Vec<Vert>)>> = blocks
+                .into_iter()
+                .map(|bs| bs.into_iter().enumerate().collect())
+                .collect();
+            black_box(alltoallv(&mut w, OpClass::Fold, &groups, sends))
+        })
+    });
+    group.bench_function("reduce_scatter_union_ring", |b| {
+        b.iter(|| {
+            let mut w = SimWorld::bluegene(grid);
+            black_box(reduce_scatter_union_ring(
+                &mut w,
+                OpClass::Fold,
+                &groups,
+                fold_blocks(g, len),
+            ))
+        })
+    });
+    group.bench_function("two_phase_grouped_ring", |b| {
+        b.iter(|| {
+            let mut w = SimWorld::bluegene(grid);
+            black_box(two_phase_fold(
+                &mut w,
+                OpClass::Fold,
+                &groups,
+                fold_blocks(g, len),
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_two_phase_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("two_phase_fold_by_group_size");
+    group.sample_size(20);
+    for &g in &[4usize, 16, 64] {
+        let grid = ProcessorGrid::new(1, g);
+        let groups = Groups::rows_of(grid);
+        group.bench_with_input(BenchmarkId::from_parameter(g), &g, |b, &g| {
+            b.iter(|| {
+                let mut w = SimWorld::bluegene(grid);
+                black_box(two_phase_fold(
+                    &mut w,
+                    OpClass::Fold,
+                    &groups,
+                    fold_blocks(g, 64),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fold_strategies, bench_two_phase_scaling);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Criterion micro-benchmarks of the graph generator: skip-sampling
+//! throughput and distributed-build cost.
+
+use bgl_comm::ProcessorGrid;
+use bgl_graph::{cell_entries, ChunkGrid, DistGraph, GraphSpec};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+fn bench_cell_sampling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("poisson_cell_sampling");
+    for &k in &[4u64, 16, 64] {
+        let n = 100_000u64;
+        let spec = GraphSpec::poisson(n, k as f64, 42);
+        let grid = ChunkGrid::new(n);
+        let expected = (16384.0f64 * 16384.0 * spec.edge_probability()) as u64;
+        group.throughput(Throughput::Elements(expected.max(1)));
+        group.bench_with_input(BenchmarkId::new("k", k), &k, |b, _| {
+            b.iter(|| black_box(cell_entries(&spec, &grid, 1, 0)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_dist_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dist_graph_build");
+    group.sample_size(10);
+    for &p in &[1usize, 16, 64] {
+        let spec = GraphSpec::poisson(50_000, 10.0, 42);
+        let grid = ProcessorGrid::square_ish(p);
+        group.bench_with_input(BenchmarkId::from_parameter(p), &p, |b, _| {
+            b.iter(|| black_box(DistGraph::build(spec, grid).total_entries()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_rmat_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("rmat_graph_build");
+    group.sample_size(10);
+    let spec = GraphSpec::rmat(1 << 15, 16.0, 42);
+    let grid = ProcessorGrid::new(4, 4);
+    group.bench_function("scale15_k16_p16", |b| {
+        b.iter(|| black_box(DistGraph::build(spec, grid).total_entries()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cell_sampling, bench_dist_build, bench_rmat_build);
+criterion_main!(benches);

@@ -1,0 +1,13 @@
+//! # bgl-bench — experiment harness
+//!
+//! Shared plumbing for the binaries that regenerate every table and
+//! figure of the paper's evaluation section (see `src/bin/`) and for the
+//! Criterion micro-benchmarks (see `benches/`).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod exp;
+pub mod harness;
+
+pub use harness::{Args, Row, Table};

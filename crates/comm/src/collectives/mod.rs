@@ -1,0 +1,152 @@
+//! Collective communication operations.
+//!
+//! The paper's BFS needs two group collectives per level:
+//!
+//! * **expand** — every member of a processor-column makes its frontier
+//!   known to the column;
+//! * **fold** — neighbor sets are delivered to their owners within a
+//!   processor-row, ideally with duplicate elimination en route.
+//!
+//! Each operation comes in several strategies, which the evaluation
+//! compares (Table 1, Figure 7, and the ablation benches):
+//!
+//! | op     | strategy | module |
+//! |--------|----------|--------|
+//! | any    | direct all-to-all (`alltoallv`) | [`alltoall`] |
+//! | expand | ring all-gather (send everything to everyone) | [`allgather`] |
+//! | fold   | ring reduce-scatter with set-union | [`reduce_scatter`] |
+//! | both   | §3.2.2 two-phase grouped ring | [`two_phase`] |
+//!
+//! All collectives operate on a **partition of the world's ranks into
+//! groups** and advance every group simultaneously, one global message
+//! round per algorithm step, so that simulated time reflects the fact
+//! that all processor-rows (or columns) communicate concurrently.
+
+pub mod allgather;
+pub mod alltoall;
+pub mod reduce_scatter;
+pub mod two_phase;
+
+use crate::topology::ProcessorGrid;
+
+/// A partition of ranks `0..p` into disjoint groups, with O(1) member
+/// lookup. Collectives take this instead of a bare `Vec<Vec<usize>>` so
+/// the partition invariant is checked once.
+#[derive(Debug, Clone)]
+pub struct Groups {
+    groups: Vec<Vec<usize>>,
+    /// rank -> (group index, position within group)
+    member: Vec<(usize, usize)>,
+}
+
+impl Groups {
+    /// Build from explicit groups; panics unless the groups are disjoint,
+    /// non-empty, and cover exactly `0..p`.
+    pub fn new(p: usize, groups: Vec<Vec<usize>>) -> Self {
+        let mut member = vec![(usize::MAX, usize::MAX); p];
+        let mut covered = 0;
+        for (gi, g) in groups.iter().enumerate() {
+            assert!(!g.is_empty(), "group {gi} is empty");
+            for (pos, &r) in g.iter().enumerate() {
+                assert!(r < p, "rank {r} out of range 0..{p}");
+                assert_eq!(
+                    member[r],
+                    (usize::MAX, usize::MAX),
+                    "rank {r} appears in more than one group"
+                );
+                member[r] = (gi, pos);
+                covered += 1;
+            }
+        }
+        assert_eq!(covered, p, "groups must cover every rank exactly once");
+        Self { groups, member }
+    }
+
+    /// The processor-rows of a grid (fold groups).
+    pub fn rows_of(grid: ProcessorGrid) -> Self {
+        Self::new(
+            grid.len(),
+            (0..grid.rows()).map(|r| grid.row_group(r)).collect(),
+        )
+    }
+
+    /// The processor-columns of a grid (expand groups).
+    pub fn cols_of(grid: ProcessorGrid) -> Self {
+        Self::new(
+            grid.len(),
+            (0..grid.cols()).map(|c| grid.column_group(c)).collect(),
+        )
+    }
+
+    /// One group containing every rank.
+    pub fn world(p: usize) -> Self {
+        Self::new(p, vec![(0..p).collect()])
+    }
+
+    /// The groups themselves.
+    pub fn groups(&self) -> &[Vec<usize>] {
+        &self.groups
+    }
+
+    /// Total ranks covered.
+    pub fn ranks(&self) -> usize {
+        self.member.len()
+    }
+
+    /// `(group index, position)` of a rank.
+    pub fn locate(&self, rank: usize) -> (usize, usize) {
+        self.member[rank]
+    }
+
+    /// The group a rank belongs to.
+    pub fn group_of(&self, rank: usize) -> &[usize] {
+        &self.groups[self.member[rank].0]
+    }
+
+    /// Size of the largest group.
+    pub fn max_group_len(&self) -> usize {
+        self.groups.iter().map(Vec::len).max().unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rows_and_cols_partition() {
+        let grid = ProcessorGrid::new(3, 4);
+        let rows = Groups::rows_of(grid);
+        assert_eq!(rows.groups().len(), 3);
+        assert_eq!(rows.max_group_len(), 4);
+        let cols = Groups::cols_of(grid);
+        assert_eq!(cols.groups().len(), 4);
+        assert_eq!(cols.max_group_len(), 3);
+        // locate is consistent.
+        for rank in 0..grid.len() {
+            let (gi, pos) = rows.locate(rank);
+            assert_eq!(rows.groups()[gi][pos], rank);
+            let (gi, pos) = cols.locate(rank);
+            assert_eq!(cols.groups()[gi][pos], rank);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "appears in more than one group")]
+    fn overlapping_groups_rejected() {
+        Groups::new(3, vec![vec![0, 1], vec![1, 2]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every rank")]
+    fn incomplete_groups_rejected() {
+        Groups::new(3, vec![vec![0, 1]]);
+    }
+
+    #[test]
+    fn world_group() {
+        let g = Groups::world(5);
+        assert_eq!(g.groups().len(), 1);
+        assert_eq!(g.group_of(3), &[0, 1, 2, 3, 4]);
+    }
+}

@@ -1,0 +1,489 @@
+//! The §3.2.2 two-phase grouped-ring collectives ("union-fold" and the
+//! matching expand), the paper's BlueGene/L-specific optimization.
+//!
+//! A group of `g` processors is arranged as an `m × n` subgrid
+//! (`m·n = g`, position `pos` ↦ `(pos / n, pos % n)`), shortening the
+//! communication from one `g`-ring into rows/columns of the subgrid —
+//! "the idea is to divide the processors in the ring into several groups
+//! and perform the ring communication within each group in parallel".
+//! Both operations finish in `O(m + n)` ring steps.
+//!
+//! **Fold** (paper Figure 2): phase 1 circulates, within each subgrid
+//! row, one *bundle per target subgrid-column*; every holder unions its
+//! own contributions into the bundle ("when a process adds its vertices
+//! to a received message, it only adds those that are not already in the
+//! message"), eliminating duplicates en route. Phase 2 scatters each
+//! bundle's per-destination sets down the target column with direct
+//! point-to-point sends, and destinations union the `m` arriving sets.
+//!
+//! **Expand** (paper Figure 3): phase 1 exchanges frontier contributions
+//! within each subgrid *column* (all-to-all, one round); phase 2
+//! circulates the resulting column-bundles around each subgrid row ring
+//! so every member ends with every contribution.
+//!
+//! Wire accounting: a bundle travels as one message whose payload is the
+//! concatenation of its sets. The per-set boundaries (≤ `m` small header
+//! words in a real implementation) are carried out-of-band by the
+//! simulator and excluded from vertex-volume statistics.
+
+// Parallel index loops over per-rank arrays are intentional here.
+#![allow(clippy::needless_range_loop)]
+
+use super::Groups;
+use crate::setops;
+use crate::sim::SimWorld;
+use crate::stats::OpClass;
+use crate::{Vert, VERT_BYTES};
+
+/// A fold bundle in flight: per-destination normalized sets for the
+/// members of one target subgrid column.
+#[derive(Debug, Clone, Default)]
+struct FoldBundle {
+    /// `sets[r]` is destined to the member at subgrid position
+    /// `(r, target_col)`.
+    sets: Vec<Vec<Vert>>,
+}
+
+impl FoldBundle {
+    fn wire_payload(&self) -> Vec<Vert> {
+        self.sets.concat()
+    }
+}
+
+/// Run the two-phase union-fold in every group simultaneously.
+///
+/// `blocks[rank][j]` is the normalized set of vertices `rank` wants
+/// delivered to the member at position `j` of its group. Returns the
+/// unioned set destined to each rank.
+pub fn two_phase_fold(
+    world: &mut SimWorld,
+    class: OpClass,
+    groups: &Groups,
+    blocks: Vec<Vec<Vec<Vert>>>,
+) -> Vec<Vec<Vert>> {
+    debug_assert_eq!(blocks.len(), world.p());
+    let p = world.p();
+    for rank in 0..p {
+        debug_assert_eq!(blocks[rank].len(), groups.group_of(rank).len());
+        debug_assert!(blocks[rank].iter().all(|b| setops::is_normalized(b)));
+    }
+
+    // Subgrid shape per group.
+    let shapes: Vec<(usize, usize)> = groups
+        .groups()
+        .iter()
+        .map(|g| crate::topology::ProcessorGrid::subgrid_factor(g.len()))
+        .collect();
+
+    // ---- Phase 1: row-wise rings, one bundle per target column. ----
+    // Member at subgrid (sr, c) initially holds the bundle for target
+    // column (c - 1) mod n, seeded with its own contributions; the final
+    // holder's contributions are folded in upon arrival.
+    let mut held: Vec<FoldBundle> = vec![FoldBundle::default(); p];
+    let mut held_target: Vec<usize> = vec![0; p];
+    let mut merge_bytes_init = vec![0u64; p];
+    for rank in 0..p {
+        let (gi, pos) = groups.locate(rank);
+        let (m, n) = shapes[gi];
+        let (_, sc) = (pos / n, pos % n);
+        let tc = (sc + n - 1) % n;
+        held_target[rank] = tc;
+        let mut bundle = FoldBundle {
+            sets: vec![Vec::new(); m],
+        };
+        seed_own(&mut bundle, &blocks[rank], n, tc, m, world, rank, &mut merge_bytes_init[rank]);
+        held[rank] = bundle;
+    }
+    world.memcpy_phase(&merge_bytes_init);
+
+    let max_n = shapes.iter().map(|&(_, n)| n).max().unwrap_or(1);
+    for s in 0..max_n.saturating_sub(1) {
+        let mut sends = Vec::new();
+        for (gi, g) in groups.groups().iter().enumerate() {
+            let (_, n) = shapes[gi];
+            if n < 2 || s >= n - 1 {
+                continue;
+            }
+            for (pos, &rank) in g.iter().enumerate() {
+                let (sr, sc) = (pos / n, pos % n);
+                let succ = g[sr * n + (sc + 1) % n];
+                sends.push((rank, succ, held[rank].wire_payload()));
+            }
+        }
+        let inboxes = world.exchange(class, sends);
+        // Snapshot before applying receives: a predecessor processed
+        // earlier in rank order must still expose the bundle it *sent*.
+        let prev_held = held.clone();
+        let prev_target = held_target.clone();
+        let mut merge_bytes = vec![0u64; p];
+        for (rank, inbox) in inboxes.into_iter().enumerate() {
+            if inbox.is_empty() {
+                continue;
+            }
+            let (gi, pos) = groups.locate(rank);
+            let (m, n) = shapes[gi];
+            let (sr, sc) = (pos / n, pos % n);
+            // Bundle arriving at step s targets column (sc - 2 - s) mod n.
+            let tc = (sc + 2 * n - 2 - s % n) % n;
+            // Move the bundle via the out-of-band channel: our ring
+            // predecessor held it before this round.
+            let g = &groups.groups()[gi];
+            let pred = g[sr * n + (sc + n - 1) % n];
+            let mut bundle = prev_held[pred].clone();
+            debug_assert_eq!(prev_target[pred], tc);
+            seed_own(&mut bundle, &blocks[rank], n, tc, m, world, rank, &mut merge_bytes[rank]);
+            held[rank] = bundle;
+            held_target[rank] = tc;
+        }
+        world.memcpy_phase(&merge_bytes);
+    }
+
+    // Every member (sr, tc) now holds the bundle for its own column tc.
+    // ---- Phase 2: point-to-point scatter down each target column. ----
+    let mut sends = Vec::new();
+    let mut keep: Vec<Vec<Vert>> = vec![Vec::new(); p];
+    for (gi, g) in groups.groups().iter().enumerate() {
+        let (m, n) = shapes[gi];
+        for (pos, &rank) in g.iter().enumerate() {
+            let (_, sc) = (pos / n, pos % n);
+            debug_assert_eq!(held_target[rank] % n, sc % n);
+            let bundle = std::mem::take(&mut held[rank]);
+            for (r_dst, set) in bundle.sets.into_iter().enumerate() {
+                let dst = g[r_dst * n + sc];
+                if dst == rank {
+                    keep[rank] = set;
+                } else if !set.is_empty() {
+                    sends.push((rank, dst, set));
+                }
+            }
+            let _ = m;
+        }
+    }
+    let inboxes = world.exchange(class, sends);
+
+    // Final union at each destination.
+    let mut merge_bytes = vec![0u64; p];
+    let mut out: Vec<Vec<Vert>> = vec![Vec::new(); p];
+    for rank in 0..p {
+        let mut acc = std::mem::take(&mut keep[rank]);
+        for (_, set) in &inboxes[rank] {
+            merge_bytes[rank] += (acc.len() + set.len()) as u64 * VERT_BYTES;
+            let dups = setops::union_into(&mut acc, set);
+            world.note_dups(rank, dups);
+        }
+        out[rank] = acc;
+    }
+    world.memcpy_phase(&merge_bytes);
+    out
+}
+
+/// Union `rank`'s own blocks destined to the members of target column
+/// `tc` into `bundle`, counting eliminated duplicates and merge bytes.
+#[allow(clippy::too_many_arguments)]
+fn seed_own(
+    bundle: &mut FoldBundle,
+    own_blocks: &[Vec<Vert>],
+    n: usize,
+    tc: usize,
+    m: usize,
+    world: &mut SimWorld,
+    rank: usize,
+    merge_bytes: &mut u64,
+) {
+    debug_assert_eq!(bundle.sets.len(), m);
+    for r_dst in 0..m {
+        let dest_pos = r_dst * n + tc;
+        let own = &own_blocks[dest_pos];
+        if own.is_empty() {
+            continue;
+        }
+        *merge_bytes += (bundle.sets[r_dst].len() + own.len()) as u64 * VERT_BYTES;
+        let dups = setops::union_into(&mut bundle.sets[r_dst], own);
+        world.note_dups(rank, dups);
+    }
+}
+
+/// An expand bundle: the contributions of one subgrid column's members.
+#[derive(Debug, Clone, Default)]
+struct ExpandBundle {
+    /// `(source rank, contribution)` for each member of the origin column.
+    parts: Vec<(usize, Vec<Vert>)>,
+}
+
+impl ExpandBundle {
+    fn wire_payload(&self) -> Vec<Vert> {
+        let total: usize = self.parts.iter().map(|(_, c)| c.len()).sum();
+        let mut out = Vec::with_capacity(total);
+        for (_, c) in &self.parts {
+            out.extend_from_slice(c);
+        }
+        out
+    }
+}
+
+/// Run the two-phase expand in every group simultaneously.
+///
+/// `contribution[rank]` is the rank's frontier message (the same payload
+/// goes to every group member). Returns, per rank, `(source, payload)`
+/// for every member of its group, sorted by source rank.
+pub fn two_phase_expand(
+    world: &mut SimWorld,
+    class: OpClass,
+    groups: &Groups,
+    contribution: Vec<Vec<Vert>>,
+) -> Vec<Vec<(usize, Vec<Vert>)>> {
+    debug_assert_eq!(contribution.len(), world.p());
+    let p = world.p();
+    let shapes: Vec<(usize, usize)> = groups
+        .groups()
+        .iter()
+        .map(|g| crate::topology::ProcessorGrid::subgrid_factor(g.len()))
+        .collect();
+
+    // ---- Phase 1: all-to-all within each subgrid column. ----
+    let mut sends = Vec::new();
+    for (gi, g) in groups.groups().iter().enumerate() {
+        let (m, n) = shapes[gi];
+        if m >= 2 {
+            for (pos, &rank) in g.iter().enumerate() {
+                let (sr, sc) = (pos / n, pos % n);
+                for r_dst in 0..m {
+                    if r_dst == sr {
+                        continue;
+                    }
+                    let dst = g[r_dst * n + sc];
+                    sends.push((rank, dst, contribution[rank].clone()));
+                }
+            }
+        }
+    }
+    let inboxes = world.exchange(class, sends);
+
+    // Column bundles, ordered by subgrid row within the column.
+    let mut held: Vec<ExpandBundle> = vec![ExpandBundle::default(); p];
+    for rank in 0..p {
+        let (gi, pos) = groups.locate(rank);
+        let (m, n) = shapes[gi];
+        let (_, sc) = (pos / n, pos % n);
+        let g = &groups.groups()[gi];
+        let mut parts: Vec<(usize, Vec<Vert>)> = Vec::with_capacity(m);
+        for r_src in 0..m {
+            let src = g[r_src * n + sc];
+            if src == rank {
+                parts.push((src, contribution[rank].clone()));
+            } else {
+                let payload = inboxes[rank]
+                    .iter()
+                    .find(|(from, _)| *from == src)
+                    .map(|(_, pl)| pl.clone())
+                    .unwrap_or_default();
+                parts.push((src, payload));
+            }
+        }
+        held[rank] = ExpandBundle { parts };
+    }
+
+    // Everyone keeps its own column bundle as received output.
+    let mut gathered: Vec<Vec<(usize, Vec<Vert>)>> =
+        (0..p).map(|r| held[r].parts.clone()).collect();
+
+    // ---- Phase 2: circulate column bundles around each subgrid row. ----
+    let max_n = shapes.iter().map(|&(_, n)| n).max().unwrap_or(1);
+    for s in 0..max_n.saturating_sub(1) {
+        let mut sends = Vec::new();
+        for (gi, g) in groups.groups().iter().enumerate() {
+            let (_, n) = shapes[gi];
+            if n < 2 || s >= n - 1 {
+                continue;
+            }
+            for (pos, &rank) in g.iter().enumerate() {
+                let (sr, sc) = (pos / n, pos % n);
+                let succ = g[sr * n + (sc + 1) % n];
+                sends.push((rank, succ, held[rank].wire_payload()));
+            }
+        }
+        let inboxes = world.exchange(class, sends);
+        let mut next_held = held.clone();
+        for (rank, inbox) in inboxes.into_iter().enumerate() {
+            if inbox.is_empty() {
+                continue;
+            }
+            let (gi, pos) = groups.locate(rank);
+            let (_, n) = shapes[gi];
+            let g = &groups.groups()[gi];
+            let (sr, sc) = (pos / n, pos % n);
+            let pred = g[sr * n + (sc + n - 1) % n];
+            let bundle = held[pred].clone();
+            gathered[rank].extend(bundle.parts.iter().cloned());
+            next_held[rank] = bundle;
+        }
+        held = next_held;
+    }
+
+    for gparts in gathered.iter_mut() {
+        gparts.sort_by_key(|(src, _)| *src);
+    }
+    gathered
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::ProcessorGrid;
+
+    fn fold_reference(groups: &Groups, blocks: &[Vec<Vec<Vert>>]) -> Vec<Vec<Vert>> {
+        (0..blocks.len())
+            .map(|rank| {
+                let (gi, pos) = groups.locate(rank);
+                let g = &groups.groups()[gi];
+                let sets: Vec<Vec<Vert>> =
+                    g.iter().map(|&mbr| blocks[mbr][pos].clone()).collect();
+                setops::union_many(&sets).0
+            })
+            .collect()
+    }
+
+    fn pseudo_blocks(g: usize, salt: u64) -> Vec<Vec<Vec<Vert>>> {
+        (0..g)
+            .map(|r| {
+                (0..g)
+                    .map(|d| {
+                        let mut v: Vec<Vert> = (0..5)
+                            .map(|i| {
+                                (r as u64 * 31 + d as u64 * 17 + i * 7 + salt) % 40
+                            })
+                            .collect();
+                        setops::normalize(&mut v);
+                        v
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
+    #[test]
+    fn fold_matches_reference_across_group_sizes() {
+        for g in [1usize, 2, 3, 4, 5, 6, 7, 8, 9, 12] {
+            let grid = ProcessorGrid::new(1, g);
+            let groups = Groups::rows_of(grid);
+            let blocks = pseudo_blocks(g, 3);
+            let expect = fold_reference(&groups, &blocks);
+            let mut w = SimWorld::bluegene(grid);
+            let got = two_phase_fold(&mut w, OpClass::Fold, &groups, blocks);
+            assert_eq!(got, expect, "group size {g}");
+        }
+    }
+
+    #[test]
+    fn fold_works_on_multiple_groups_simultaneously() {
+        // 3 rows of 6 processors each fold at once.
+        let grid = ProcessorGrid::new(3, 6);
+        let groups = Groups::rows_of(grid);
+        let p = grid.len();
+        let blocks: Vec<Vec<Vec<Vert>>> = (0..p)
+            .map(|rank| {
+                (0..6)
+                    .map(|d| {
+                        let mut v: Vec<Vert> =
+                            vec![(rank * 3 + d) as Vert % 20, (rank + d * 5) as Vert % 20];
+                        setops::normalize(&mut v);
+                        v
+                    })
+                    .collect()
+            })
+            .collect();
+        let expect = fold_reference(&groups, &blocks);
+        let mut w = SimWorld::bluegene(grid);
+        let got = two_phase_fold(&mut w, OpClass::Fold, &groups, blocks);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn fold_eliminates_duplicates_en_route() {
+        let g = 6;
+        let grid = ProcessorGrid::new(1, g);
+        let groups = Groups::rows_of(grid);
+        // All members want the same 50 vertices delivered to member 0.
+        let common: Vec<Vert> = (0..50).collect();
+        let blocks: Vec<Vec<Vec<Vert>>> = (0..g)
+            .map(|_| {
+                let mut b = vec![Vec::new(); g];
+                b[0] = common.clone();
+                b
+            })
+            .collect();
+        let mut w = SimWorld::bluegene(grid);
+        let got = two_phase_fold(&mut w, OpClass::Fold, &groups, blocks);
+        assert_eq!(got[0], common);
+        // 6 copies collapse to 1: five eliminated, each of 50 vertices.
+        assert_eq!(w.stats.total_dups_eliminated(), 250);
+        // And the wire never carried anywhere near 6x50 to one dest:
+        // phase-1 ring keeps one deduped copy per bundle.
+        let wire = w.stats.class(OpClass::Fold).wire_verts;
+        assert!(wire < 300, "wire={wire}");
+    }
+
+    #[test]
+    fn expand_everyone_hears_everyone() {
+        for g in [1usize, 2, 3, 4, 6, 8, 9, 12] {
+            let grid = ProcessorGrid::new(g, 1);
+            let groups = Groups::cols_of(grid);
+            let contribution: Vec<Vec<Vert>> =
+                (0..g).map(|r| vec![r as Vert, 100 + r as Vert]).collect();
+            let mut w = SimWorld::bluegene(grid);
+            let got =
+                two_phase_expand(&mut w, OpClass::Expand, &groups, contribution.clone());
+            for rank in 0..g {
+                assert_eq!(got[rank].len(), g, "g={g} rank={rank}");
+                for (src, payload) in &got[rank] {
+                    assert_eq!(payload, &contribution[*src], "g={g}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn expand_multiple_groups() {
+        let grid = ProcessorGrid::new(4, 3); // 3 columns of 4
+        let groups = Groups::cols_of(grid);
+        let p = grid.len();
+        let contribution: Vec<Vec<Vert>> = (0..p).map(|r| vec![r as Vert * 2]).collect();
+        let mut w = SimWorld::bluegene(grid);
+        let got = two_phase_expand(&mut w, OpClass::Expand, &groups, contribution.clone());
+        for rank in 0..p {
+            let group = groups.group_of(rank);
+            assert_eq!(got[rank].len(), group.len());
+            for (src, payload) in &got[rank] {
+                assert!(group.contains(src));
+                assert_eq!(payload, &contribution[*src]);
+            }
+        }
+    }
+
+    #[test]
+    fn fold_on_subgrid_uses_fewer_rounds_than_full_ring() {
+        // For g=16 (4x4 subgrid): phase1 = 3 ring steps + 1 scatter round
+        // vs 15 ring steps for a full union ring. Compare simulated time.
+        let g = 16;
+        let grid = ProcessorGrid::new(1, g);
+        let groups = Groups::rows_of(grid);
+        let blocks = pseudo_blocks(g, 11);
+
+        let mut w_two = SimWorld::bluegene(grid);
+        let a = two_phase_fold(&mut w_two, OpClass::Fold, &groups, blocks.clone());
+        let mut w_ring = SimWorld::bluegene(grid);
+        let b = super::super::reduce_scatter::reduce_scatter_union_ring(
+            &mut w_ring,
+            OpClass::Fold,
+            &groups,
+            blocks,
+        );
+        assert_eq!(a, b, "both strategies must produce identical folds");
+        assert!(
+            w_two.time() < w_ring.time(),
+            "two-phase {} vs ring {}",
+            w_two.time(),
+            w_ring.time()
+        );
+    }
+}

@@ -1,0 +1,166 @@
+//! Sorted-set operations on vertex lists.
+//!
+//! The union-fold (§2.2, §3.2.2) reduces messages with a *set-union*
+//! operation while they travel: "all the messages are scanned while being
+//! transmitted to ensure that the messages do not contain duplicate
+//! vertices". We represent vertex sets as **sorted, duplicate-free
+//! `Vec<u64>`** so unions are linear merges — cache-friendly and
+//! allocation-light, as the perf guide recommends over hash sets for
+//! bulk merge workloads.
+
+use crate::Vert;
+
+/// Sort and deduplicate a vertex list in place; returns the number of
+/// duplicates removed.
+pub fn normalize(v: &mut Vec<Vert>) -> usize {
+    let before = v.len();
+    v.sort_unstable();
+    v.dedup();
+    before - v.len()
+}
+
+/// True if `v` is sorted strictly ascending (the canonical set form).
+pub fn is_normalized(v: &[Vert]) -> bool {
+    v.windows(2).all(|w| w[0] < w[1])
+}
+
+/// Union of two normalized sets into a fresh vector; returns
+/// `(union, duplicates)` where `duplicates` is the number of elements
+/// present in both inputs (i.e. eliminated by the union).
+pub fn union(a: &[Vert], b: &[Vert]) -> (Vec<Vert>, usize) {
+    debug_assert!(is_normalized(a) && is_normalized(b));
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j, mut dups) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+                dups += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    (out, dups)
+}
+
+/// Union `b` into the accumulator `a` (both normalized), reusing `a`'s
+/// allocation when possible. Returns the number of duplicates eliminated.
+pub fn union_into(a: &mut Vec<Vert>, b: &[Vert]) -> usize {
+    if b.is_empty() {
+        return 0;
+    }
+    if a.is_empty() {
+        a.extend_from_slice(b);
+        return 0;
+    }
+    // Fast path: disjoint ranges append/prepend without a merge pass.
+    if *a.last().unwrap() < b[0] {
+        a.extend_from_slice(b);
+        return 0;
+    }
+    let (merged, dups) = union(a, b);
+    *a = merged;
+    dups
+}
+
+/// Union many normalized sets; returns `(union, duplicates)` where
+/// duplicates counts every eliminated occurrence across all inputs.
+pub fn union_many(sets: &[Vec<Vert>]) -> (Vec<Vert>, usize) {
+    let mut acc: Vec<Vert> = Vec::new();
+    let mut dups = 0;
+    for s in sets {
+        dups += union_into(&mut acc, s);
+    }
+    (acc, dups)
+}
+
+/// Intersection of two normalized sets (used for bi-directional BFS meet
+/// detection).
+pub fn intersect(a: &[Vert], b: &[Vert]) -> Vec<Vert> {
+    debug_assert!(is_normalized(a) && is_normalized(b));
+    let mut out = Vec::new();
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalize_sorts_and_counts() {
+        let mut v = vec![5, 1, 5, 3, 1];
+        let dups = normalize(&mut v);
+        assert_eq!(v, vec![1, 3, 5]);
+        assert_eq!(dups, 2);
+        assert!(is_normalized(&v));
+    }
+
+    #[test]
+    fn union_counts_duplicates() {
+        let (u, d) = union(&[1, 3, 5], &[2, 3, 5, 7]);
+        assert_eq!(u, vec![1, 2, 3, 5, 7]);
+        assert_eq!(d, 2);
+    }
+
+    #[test]
+    fn union_empty_sides() {
+        assert_eq!(union(&[], &[1, 2]).0, vec![1, 2]);
+        assert_eq!(union(&[1, 2], &[]).0, vec![1, 2]);
+        assert_eq!(union(&[], &[]).0, Vec::<Vert>::new());
+    }
+
+    #[test]
+    fn union_into_fast_append() {
+        let mut a = vec![1, 2, 3];
+        let d = union_into(&mut a, &[4, 5]);
+        assert_eq!(a, vec![1, 2, 3, 4, 5]);
+        assert_eq!(d, 0);
+    }
+
+    #[test]
+    fn union_into_overlapping() {
+        let mut a = vec![1, 4, 9];
+        let d = union_into(&mut a, &[4, 5, 9]);
+        assert_eq!(a, vec![1, 4, 5, 9]);
+        assert_eq!(d, 2);
+    }
+
+    #[test]
+    fn union_many_total_dups() {
+        let sets = vec![vec![1, 2], vec![2, 3], vec![1, 3]];
+        let (u, d) = union_many(&sets);
+        assert_eq!(u, vec![1, 2, 3]);
+        // 2 (from second set), 1 and 3 (from third) => 3 eliminated.
+        assert_eq!(d, 3);
+    }
+
+    #[test]
+    fn intersect_basic() {
+        assert_eq!(intersect(&[1, 2, 4, 8], &[2, 3, 8]), vec![2, 8]);
+        assert_eq!(intersect(&[1, 2], &[3, 4]), Vec::<Vert>::new());
+        assert_eq!(intersect(&[], &[1]), Vec::<Vert>::new());
+    }
+}

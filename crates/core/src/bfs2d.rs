@@ -1,0 +1,396 @@
+//! Distributed level-synchronized BFS with 2D partitioning — the
+//! paper's Algorithm 2, on the superstep simulator.
+//!
+//! Each level runs the five phases of the paper's main loop:
+//!
+//! 1. frontier formation + global termination check (steps 3–6);
+//! 2. **expand** over processor-columns (steps 7–11), by the configured
+//!    [`crate::config::ExpandStrategy`];
+//! 3. local neighbor discovery over partial edge lists (step 12), with
+//!    the sent-neighbors cache;
+//! 4. **fold** over processor-rows (steps 13–18), by the configured
+//!    [`crate::config::FoldStrategy`];
+//! 5. absorb: label unlabeled owned vertices (steps 19–21).
+//!
+//! Compute time is charged per level from the hash-probe counts; all
+//! message accounting happens inside the communication layer.
+
+use crate::config::{BfsConfig, ExpandStrategy, FoldStrategy};
+use crate::state::{gather_levels, RankState};
+use crate::stats::{LevelStats, RunStats};
+use bgl_comm::collectives::{
+    allgather::allgather_ring,
+    alltoall::alltoallv,
+    reduce_scatter::reduce_scatter_union_ring,
+    two_phase::{two_phase_expand, two_phase_fold},
+    Groups,
+};
+use bgl_comm::{OpClass, SimWorld, Vert};
+use bgl_graph::{DistGraph, Vertex};
+
+/// The outcome of one distributed BFS run.
+#[derive(Debug, Clone)]
+pub struct BfsResult {
+    /// Global level labels ([`crate::reference::UNREACHED`] where
+    /// unreached).
+    pub levels: Vec<u32>,
+    /// Run statistics (times, volumes, per-level records).
+    pub stats: RunStats,
+    /// Level of the target, when one was configured and reached.
+    pub target_level: Option<u32>,
+}
+
+/// Run Algorithm 2 from `source` on `graph` under `config`, inside
+/// `world`. The world's grid must match the graph's.
+pub fn run(
+    graph: &DistGraph,
+    world: &mut SimWorld,
+    config: &BfsConfig,
+    source: Vertex,
+) -> BfsResult {
+    let grid = world.grid();
+    assert_eq!(grid, graph.grid(), "world and graph grids must match");
+    assert!(source < graph.spec.n, "source out of range");
+    let p = grid.len();
+
+    let row_groups = Groups::rows_of(grid);
+    let col_groups = Groups::cols_of(grid);
+
+    let mut states: Vec<RankState<'_>> = graph
+        .ranks
+        .iter()
+        .map(|rg| RankState::new(rg, graph.partition, config.sent_neighbors))
+        .collect();
+    states[graph.partition.owner_of(source)].init_source(source);
+
+    let mut level_records = Vec::new();
+    let mut target_level = None;
+
+    let mut level: u32 = 0;
+    loop {
+        if config.max_levels > 0 && level >= config.max_levels {
+            break;
+        }
+        let time_at_start = world.time();
+        let comm_at_start = world.comm_time();
+        let comm_snapshot = world.stats.clone();
+
+        // -- 1. termination check on global frontier size.
+        let frontier_sizes: Vec<u64> = states.iter().map(|s| s.frontier_len()).collect();
+        let global_frontier = world.allreduce_sum(&frontier_sizes);
+        if global_frontier == 0 {
+            break;
+        }
+
+        // -- 2. expand.
+        let fbar: Vec<Vec<Vec<Vert>>> = match config.expand {
+            ExpandStrategy::Targeted => {
+                let sends: Vec<Vec<(usize, Vec<Vert>)>> = states
+                    .iter_mut()
+                    .map(|s| s.expand_sends_targeted())
+                    .collect();
+                alltoallv(world, OpClass::Expand, &col_groups, sends)
+                    .into_iter()
+                    .map(|inbox| inbox.into_iter().map(|(_, pl)| pl).collect())
+                    .collect()
+            }
+            ExpandStrategy::AllGatherRing => {
+                let contributions: Vec<Vec<Vert>> =
+                    states.iter().map(|s| s.frontier.clone()).collect();
+                allgather_ring(world, OpClass::Expand, &col_groups, contributions)
+                    .into_iter()
+                    .map(|parts| parts.into_iter().map(|(_, pl)| pl).collect())
+                    .collect()
+            }
+            ExpandStrategy::TwoPhaseRing => {
+                let contributions: Vec<Vec<Vert>> =
+                    states.iter().map(|s| s.frontier.clone()).collect();
+                two_phase_expand(world, OpClass::Expand, &col_groups, contributions)
+                    .into_iter()
+                    .map(|parts| parts.into_iter().map(|(_, pl)| pl).collect())
+                    .collect()
+            }
+        };
+
+        // -- 3. local discovery.
+        let blocks: Vec<Vec<Vec<Vert>>> = states
+            .iter_mut()
+            .zip(&fbar)
+            .map(|(s, lists)| {
+                let refs: Vec<&[Vert]> = lists.iter().map(Vec::as_slice).collect();
+                s.discover(&refs)
+            })
+            .collect();
+        drop(fbar);
+
+        // -- 4. fold.
+        let nbar: Vec<Vec<Vec<Vert>>> = match config.fold {
+            FoldStrategy::DirectAllToAll => {
+                let sends: Vec<Vec<(usize, Vec<Vert>)>> = blocks
+                    .into_iter()
+                    .enumerate()
+                    .map(|(rank, bs)| {
+                        let i = grid.row_of(rank);
+                        bs.into_iter()
+                            .enumerate()
+                            .filter(|(_, b)| !b.is_empty())
+                            .map(|(m, b)| (grid.rank_of(i, m), b))
+                            .collect()
+                    })
+                    .collect();
+                alltoallv(world, OpClass::Fold, &row_groups, sends)
+                    .into_iter()
+                    .map(|inbox| inbox.into_iter().map(|(_, pl)| pl).collect())
+                    .collect()
+            }
+            FoldStrategy::ReduceScatterUnion => {
+                reduce_scatter_union_ring(world, OpClass::Fold, &row_groups, blocks)
+                    .into_iter()
+                    .map(|set| vec![set])
+                    .collect()
+            }
+            FoldStrategy::TwoPhaseRing => {
+                two_phase_fold(world, OpClass::Fold, &row_groups, blocks)
+                    .into_iter()
+                    .map(|set| vec![set])
+                    .collect()
+            }
+        };
+
+        // -- 5. absorb + compute charge.
+        for (s, lists) in states.iter_mut().zip(&nbar) {
+            let refs: Vec<&[Vert]> = lists.iter().map(Vec::as_slice).collect();
+            s.absorb(&refs, level + 1);
+        }
+        let probes: Vec<u64> = states.iter_mut().map(RankState::take_probes).collect();
+        world.hash_phase(&probes);
+
+        // -- target detection.
+        if let Some(t) = config.target {
+            let flags: Vec<bool> = states
+                .iter()
+                .map(|s| s.level_of(t).is_some())
+                .collect();
+            if world.allreduce_or(&flags) {
+                target_level = Some(level + 1);
+            }
+        }
+
+        let delta = world.stats.minus(&comm_snapshot);
+        level_records.push(LevelStats {
+            level,
+            frontier: global_frontier,
+            expand_received: delta.class(OpClass::Expand).received_verts,
+            fold_received: delta.class(OpClass::Fold).received_verts,
+            dups_eliminated: delta.total_dups_eliminated(),
+            sim_time: world.time() - time_at_start,
+            comm_time: world.comm_time() - comm_at_start,
+        });
+
+        if target_level.is_some() {
+            break;
+        }
+        level += 1;
+    }
+
+    // The source's own level-0 target case.
+    if let Some(t) = config.target {
+        if t == source {
+            target_level = Some(0);
+        }
+    }
+
+    let levels = gather_levels(&states, graph.spec.n);
+    let reached = states.iter().map(|s| s.reached()).sum();
+    BfsResult {
+        stats: RunStats {
+            levels: level_records,
+            sim_time: world.time(),
+            comm_time: world.comm_time(),
+            compute_time: world.compute_time(),
+            reached,
+            comm: world.stats.clone(),
+            p,
+        },
+        target_level,
+        levels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ExpandStrategy, FoldStrategy};
+    use crate::reference;
+    use bgl_comm::ProcessorGrid;
+    use bgl_graph::GraphSpec;
+
+    fn check_against_oracle(spec: GraphSpec, grid: ProcessorGrid, config: BfsConfig) {
+        let adj = bgl_graph::dist::adjacency(&spec);
+        let expect = reference::bfs_levels(&adj, 0);
+        let graph = DistGraph::build(spec, grid);
+        let mut world = SimWorld::bluegene(grid);
+        let got = run(&graph, &mut world, &config, 0);
+        assert_eq!(got.levels, expect, "grid {grid:?} config {config:?}");
+        assert_eq!(
+            got.stats.reached,
+            expect.iter().filter(|&&l| l != reference::UNREACHED).count() as u64
+        );
+    }
+
+    #[test]
+    fn matches_oracle_all_strategies() {
+        let spec = GraphSpec::poisson(300, 6.0, 31);
+        let grid = ProcessorGrid::new(3, 4);
+        for expand in [
+            ExpandStrategy::Targeted,
+            ExpandStrategy::AllGatherRing,
+            ExpandStrategy::TwoPhaseRing,
+        ] {
+            for fold in [
+                FoldStrategy::DirectAllToAll,
+                FoldStrategy::ReduceScatterUnion,
+                FoldStrategy::TwoPhaseRing,
+            ] {
+                let config = BfsConfig {
+                    expand,
+                    fold,
+                    ..BfsConfig::default()
+                };
+                check_against_oracle(spec, grid, config);
+            }
+        }
+    }
+
+    #[test]
+    fn matches_oracle_across_grids() {
+        let spec = GraphSpec::poisson(250, 5.0, 77);
+        for (r, c) in [(1, 1), (1, 6), (6, 1), (2, 3), (4, 4), (5, 2)] {
+            check_against_oracle(spec, ProcessorGrid::new(r, c), BfsConfig::default());
+        }
+    }
+
+    #[test]
+    fn matches_oracle_without_sent_cache() {
+        let spec = GraphSpec::poisson(200, 5.0, 13);
+        let config = BfsConfig {
+            sent_neighbors: false,
+            ..BfsConfig::default()
+        };
+        check_against_oracle(spec, ProcessorGrid::new(2, 2), config);
+    }
+
+    #[test]
+    fn target_stops_early() {
+        let spec = GraphSpec::poisson(400, 8.0, 5);
+        let adj = bgl_graph::dist::adjacency(&spec);
+        let expect = reference::bfs_levels(&adj, 0);
+        // Pick a vertex at distance >= 2.
+        let t = (0..400u64)
+            .find(|&v| expect[v as usize] >= 2 && expect[v as usize] != reference::UNREACHED)
+            .expect("target exists");
+        let grid = ProcessorGrid::new(2, 2);
+        let graph = DistGraph::build(spec, grid);
+        let mut world = SimWorld::bluegene(grid);
+        let config = BfsConfig::default().with_target(t);
+        let got = run(&graph, &mut world, &config, 0);
+        assert_eq!(got.target_level, Some(expect[t as usize]));
+        // Stopped at the target's level, not the full traversal.
+        assert_eq!(
+            got.stats.num_levels() as u32,
+            expect[t as usize],
+            "levels executed"
+        );
+    }
+
+    #[test]
+    fn unreachable_target_traverses_component() {
+        // A graph so sparse it is disconnected; target in another
+        // component => full component traversal (Figure 6 worst case).
+        let spec = GraphSpec::poisson(300, 1.5, 3);
+        let adj = bgl_graph::dist::adjacency(&spec);
+        let expect = reference::bfs_levels(&adj, 0);
+        let t = (0..300u64).find(|&v| expect[v as usize] == reference::UNREACHED);
+        let Some(t) = t else {
+            panic!("expected a disconnected vertex at k=1.5");
+        };
+        let grid = ProcessorGrid::new(2, 2);
+        let graph = DistGraph::build(spec, grid);
+        let mut world = SimWorld::bluegene(grid);
+        let got = run(&graph, &mut world, &BfsConfig::default().with_target(t), 0);
+        assert_eq!(got.target_level, None);
+        assert_eq!(got.levels, expect);
+    }
+
+    #[test]
+    fn source_is_target() {
+        let spec = GraphSpec::poisson(100, 4.0, 2);
+        let grid = ProcessorGrid::new(1, 2);
+        let graph = DistGraph::build(spec, grid);
+        let mut world = SimWorld::bluegene(grid);
+        let got = run(&graph, &mut world, &BfsConfig::default().with_target(7), 7);
+        assert_eq!(got.target_level, Some(0));
+    }
+
+    #[test]
+    fn level_stats_reconcile() {
+        let spec = GraphSpec::poisson(300, 6.0, 41);
+        let grid = ProcessorGrid::new(2, 3);
+        let graph = DistGraph::build(spec, grid);
+        let mut world = SimWorld::bluegene(grid);
+        let got = run(&graph, &mut world, &BfsConfig::default(), 0);
+        // Sum of level sim_time == total sim time (termination check of
+        // the final empty level excluded — allow small slack).
+        let per_level: f64 = got.stats.levels.iter().map(|l| l.sim_time).sum();
+        assert!(per_level <= got.stats.sim_time + 1e-12);
+        assert!(got.stats.sim_time > 0.0);
+        assert!(got.stats.comm_time > 0.0);
+        assert!(got.stats.compute_time > 0.0);
+        // Frontier sizes sum to reached count.
+        let frontier_sum: u64 = got.stats.levels.iter().map(|l| l.frontier).sum();
+        assert_eq!(frontier_sum, got.stats.reached);
+        // Expand/fold volumes are recorded per level.
+        assert!(got.stats.levels.iter().any(|l| l.fold_received > 0));
+    }
+
+    #[test]
+    fn union_fold_eliminates_duplicates_on_dense_graph() {
+        let spec = GraphSpec::poisson(200, 20.0, 17);
+        let grid = ProcessorGrid::new(2, 4);
+        let graph = DistGraph::build(spec, grid);
+        let mut world = SimWorld::bluegene(grid);
+        let got = run(
+            &graph,
+            &mut world,
+            &BfsConfig {
+                fold: FoldStrategy::TwoPhaseRing,
+                ..BfsConfig::default()
+            },
+            0,
+        );
+        assert!(
+            got.stats.comm.total_dups_eliminated() > 0,
+            "dense graph must produce fold duplicates"
+        );
+        assert!(got.stats.redundancy_ratio_percent() > 0.0);
+    }
+
+    #[test]
+    fn max_levels_caps_search() {
+        let spec = GraphSpec::poisson(500, 3.0, 19);
+        let grid = ProcessorGrid::new(2, 2);
+        let graph = DistGraph::build(spec, grid);
+        let mut world = SimWorld::bluegene(grid);
+        let config = BfsConfig {
+            max_levels: 2,
+            ..BfsConfig::default()
+        };
+        let got = run(&graph, &mut world, &config, 0);
+        assert!(got.stats.num_levels() <= 2);
+        // Levels beyond 2 must be unlabeled.
+        assert!(got
+            .levels
+            .iter()
+            .all(|&l| l == reference::UNREACHED || l <= 2));
+    }
+}

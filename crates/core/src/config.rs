@@ -1,0 +1,111 @@
+//! BFS run configuration: which of the paper's strategies to use.
+
+use bgl_graph::Vertex;
+use serde::{Deserialize, Serialize};
+
+/// How the expand operation (frontier → processor-column) communicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExpandStrategy {
+    /// Targeted all-to-all: a frontier vertex is sent only to the column
+    /// peers that hold a non-empty partial edge list for it (§2.2/§3.1 —
+    /// the strategy whose message length is bounded by
+    /// `n/P · γ(n/R) · (R−1)`). Requires the expand-targeting tables.
+    Targeted,
+    /// Ring all-gather of whole frontiers: every column peer receives
+    /// every frontier vertex (`n/P · (R−1)` worst case — the
+    /// non-scalable baseline the paper calls out).
+    AllGatherRing,
+    /// The §3.2.2 two-phase grouped-ring broadcast.
+    TwoPhaseRing,
+}
+
+/// How the fold operation (neighbors → owners in the processor-row)
+/// communicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FoldStrategy {
+    /// Direct targeted all-to-all; duplicate elimination happens only at
+    /// the receiver (Algorithm 2 line 18).
+    DirectAllToAll,
+    /// Ring reduce-scatter with set-union reduction (§2.2's
+    /// reduce-scatter alternative).
+    ReduceScatterUnion,
+    /// The §3.2.2 two-phase grouped-ring union-fold (the paper's
+    /// BlueGene/L-optimized collective, Figure 2).
+    TwoPhaseRing,
+}
+
+/// Full configuration of one BFS run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct BfsConfig {
+    /// Expand strategy.
+    pub expand: ExpandStrategy,
+    /// Fold strategy.
+    pub fold: FoldStrategy,
+    /// Enable the §2.4.3 sent-neighbors cache (a vertex already sent to
+    /// its owner is never sent again by the same rank).
+    pub sent_neighbors: bool,
+    /// Optional search target: the run stops at the level where the
+    /// target is labeled. `None` (or an unreachable target) traverses
+    /// the whole component — the paper's Figure 6 worst case.
+    pub target: Option<Vertex>,
+    /// Safety cap on levels (0 disables the cap).
+    pub max_levels: u32,
+}
+
+impl BfsConfig {
+    /// The paper's optimized BlueGene/L configuration: targeted expand,
+    /// two-phase union-fold, sent-neighbors cache on.
+    pub fn paper_optimized() -> Self {
+        Self {
+            expand: ExpandStrategy::Targeted,
+            fold: FoldStrategy::TwoPhaseRing,
+            sent_neighbors: true,
+            target: None,
+            max_levels: 0,
+        }
+    }
+
+    /// The unoptimized baseline: direct all-to-all everywhere, no
+    /// en-route union.
+    pub fn baseline_alltoall() -> Self {
+        Self {
+            expand: ExpandStrategy::Targeted,
+            fold: FoldStrategy::DirectAllToAll,
+            sent_neighbors: true,
+            target: None,
+            max_levels: 0,
+        }
+    }
+
+    /// Set a search target.
+    pub fn with_target(mut self, target: Vertex) -> Self {
+        self.target = Some(target);
+        self
+    }
+}
+
+impl Default for BfsConfig {
+    fn default() -> Self {
+        Self::paper_optimized()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_paper_optimized() {
+        let c = BfsConfig::default();
+        assert_eq!(c.expand, ExpandStrategy::Targeted);
+        assert_eq!(c.fold, FoldStrategy::TwoPhaseRing);
+        assert!(c.sent_neighbors);
+        assert!(c.target.is_none());
+    }
+
+    #[test]
+    fn with_target_sets_target() {
+        let c = BfsConfig::default().with_target(42);
+        assert_eq!(c.target, Some(42));
+    }
+}

@@ -1,0 +1,244 @@
+//! Distributed shortest-path extraction from BFS level labels.
+//!
+//! The paper's motivating application needs the *path*, not just the
+//! distance ("the nature of the relationship between two vertices in a
+//! semantic graph ... can be determined by the shortest path between
+//! them"). The BFS messages carry bare vertex indices, so parents are
+//! not recorded; instead the path is recovered afterwards by walking
+//! levels downhill, one distributed query per hop:
+//!
+//! 1. the current vertex `v` (level `l`) is announced to `v`'s
+//!    processor-column — the only ranks that can hold partial edge
+//!    lists for it (expand-shaped query);
+//! 2. each column peer forwards `v`'s partial neighbor list to the
+//!    neighbors' owners, which sit in its processor-row (fold-shaped
+//!    query);
+//! 3. owners reply with their candidates at level `l − 1`, and the
+//!    smallest candidate becomes the next vertex on the path
+//!    (deterministic tie-break).
+//!
+//! Every hop costs three message rounds of small control messages —
+//! `O(distance)` rounds total, charged to the cost model like any other
+//! communication.
+
+use crate::reference::UNREACHED;
+use bgl_comm::{OpClass, SimWorld, Vert};
+use bgl_graph::{DistGraph, Vertex};
+
+/// Extract one shortest path `source → target` given the global level
+/// array produced by a BFS from `source`. Returns `None` when the
+/// target was not reached. The returned path starts at `source`, ends
+/// at `target`, and has `levels[target] + 1` vertices.
+pub fn extract_path(
+    graph: &DistGraph,
+    world: &mut SimWorld,
+    levels: &[u32],
+    source: Vertex,
+    target: Vertex,
+) -> Option<Vec<Vertex>> {
+    let grid = world.grid();
+    assert_eq!(grid, graph.grid(), "world and graph grids must match");
+    assert_eq!(levels.len() as u64, graph.spec.n, "level array size mismatch");
+    if levels[target as usize] == UNREACHED {
+        return None;
+    }
+    debug_assert_eq!(levels[source as usize], 0, "levels must be rooted at source");
+
+    let mut path = vec![target];
+    let mut cur = target;
+    while cur != source {
+        let l = levels[cur as usize];
+        debug_assert!(l > 0);
+
+        // Round 1 (expand-shaped): announce cur to its processor-column.
+        // In a real deployment the owner broadcasts; ranks outside the
+        // column stay silent.
+        let owner = graph.partition.owner_of(cur);
+        let col = grid.col_of(owner);
+        let announce: Vec<(usize, usize, Vec<Vert>)> = (0..grid.rows())
+            .map(|i| (owner, grid.rank_of(i, col), vec![cur]))
+            .collect();
+        let inboxes = world.exchange(OpClass::Control, announce);
+
+        // Round 2 (fold-shaped): column peers forward cur's partial
+        // neighbor lists to the neighbors' owners.
+        let mut forwards: Vec<(usize, usize, Vec<Vert>)> = Vec::new();
+        for (rank, inbox) in inboxes.iter().enumerate() {
+            if inbox.is_empty() {
+                continue;
+            }
+            let rg = &graph.ranks[rank];
+            let neighbors = rg.edges.neighbors_of(cur);
+            if neighbors.is_empty() {
+                continue;
+            }
+            let row = grid.row_of(rank);
+            let mut per_dest: Vec<Vec<Vert>> = vec![Vec::new(); grid.cols()];
+            for &u in neighbors {
+                per_dest[graph.partition.block_col_of(u)].push(u);
+            }
+            for (m, list) in per_dest.into_iter().enumerate() {
+                if !list.is_empty() {
+                    forwards.push((rank, grid.rank_of(row, m), list));
+                }
+            }
+        }
+        let inboxes = world.exchange(OpClass::Control, forwards);
+
+        // Round 3: owners filter candidates at level l-1 and reply to
+        // cur's owner; take the smallest for determinism.
+        let mut replies: Vec<(usize, usize, Vec<Vert>)> = Vec::new();
+        for (rank, inbox) in inboxes.iter().enumerate() {
+            let mut best: Option<Vert> = None;
+            for (_, list) in inbox {
+                for &u in list {
+                    debug_assert_eq!(graph.partition.owner_of(u), rank);
+                    if levels[u as usize] == l - 1 {
+                        best = Some(best.map_or(u, |b: Vert| b.min(u)));
+                    }
+                }
+            }
+            if let Some(u) = best {
+                replies.push((rank, owner, vec![u]));
+            }
+        }
+        let inboxes = world.exchange(OpClass::Control, replies);
+        let parent = inboxes[owner]
+            .iter()
+            .flat_map(|(_, list)| list.iter().copied())
+            .min()
+            .expect("a reached vertex at level l must have a parent at level l-1");
+
+        path.push(parent);
+        cur = parent;
+    }
+    path.reverse();
+    Some(path)
+}
+
+/// Validate that `path` is a genuine path in the graph described by
+/// `adj` and that it is exactly as short as the level labels promise.
+/// Test helper, exposed for the examples.
+pub fn validate_path(adj: &[Vec<Vertex>], levels: &[u32], path: &[Vertex]) -> bool {
+    if path.is_empty() {
+        return false;
+    }
+    if levels[path[0] as usize] != 0 {
+        return false;
+    }
+    for (i, w) in path.windows(2).enumerate() {
+        let (a, b) = (w[0], w[1]);
+        if !adj[a as usize].contains(&b) {
+            return false;
+        }
+        if levels[b as usize] != i as u32 + 1 {
+            return false;
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bfs2d;
+    use crate::config::BfsConfig;
+    use crate::reference;
+    use bgl_comm::ProcessorGrid;
+    use bgl_graph::GraphSpec;
+
+    fn setup(
+        n: u64,
+        k: f64,
+        seed: u64,
+        r: usize,
+        c: usize,
+    ) -> (DistGraph, SimWorld, Vec<u32>, Vec<Vec<Vertex>>) {
+        let spec = GraphSpec::poisson(n, k, seed);
+        let grid = ProcessorGrid::new(r, c);
+        let graph = DistGraph::build(spec, grid);
+        let mut world = SimWorld::bluegene(grid);
+        let result = bfs2d::run(&graph, &mut world, &BfsConfig::default(), 0);
+        let adj = bgl_graph::dist::adjacency(&spec);
+        (graph, world, result.levels, adj)
+    }
+
+    #[test]
+    fn extracted_paths_are_valid_shortest_paths() {
+        let (graph, mut world, levels, adj) = setup(400, 6.0, 19, 2, 3);
+        for target in [5u64, 100, 250, 399] {
+            if levels[target as usize] == UNREACHED {
+                continue;
+            }
+            let path = extract_path(&graph, &mut world, &levels, 0, target)
+                .expect("reached target has a path");
+            assert_eq!(path.first(), Some(&0));
+            assert_eq!(path.last(), Some(&target));
+            assert_eq!(path.len() as u32, levels[target as usize] + 1);
+            assert!(validate_path(&adj, &levels, &path), "target {target}");
+        }
+    }
+
+    #[test]
+    fn unreached_target_has_no_path() {
+        let (graph, mut world, levels, _) = setup(300, 1.2, 3, 2, 2);
+        let t = (0..300u64).find(|&v| levels[v as usize] == UNREACHED).unwrap();
+        assert!(extract_path(&graph, &mut world, &levels, 0, t).is_none());
+    }
+
+    #[test]
+    fn source_to_source_is_trivial() {
+        let (graph, mut world, levels, _) = setup(100, 5.0, 7, 1, 2);
+        let path = extract_path(&graph, &mut world, &levels, 0, 0).unwrap();
+        assert_eq!(path, vec![0]);
+    }
+
+    #[test]
+    fn works_on_one_d_grids() {
+        let (graph, mut world, levels, adj) = setup(300, 5.0, 11, 1, 4);
+        let target = (0..300u64)
+            .rev()
+            .find(|&v| levels[v as usize] != UNREACHED && levels[v as usize] >= 2)
+            .unwrap();
+        let path = extract_path(&graph, &mut world, &levels, 0, target).unwrap();
+        assert!(validate_path(&adj, &levels, &path));
+    }
+
+    #[test]
+    fn path_matches_reference_distance() {
+        let (graph, mut world, levels, adj) = setup(500, 4.0, 23, 3, 2);
+        for target in [33u64, 222, 444] {
+            let expect = reference::distance(&adj, 0, target);
+            let got = extract_path(&graph, &mut world, &levels, 0, target)
+                .map(|p| p.len() as u32 - 1);
+            assert_eq!(got, expect, "target {target}");
+        }
+    }
+
+    #[test]
+    fn extraction_charges_communication() {
+        let (graph, mut world, levels, _) = setup(400, 6.0, 19, 2, 3);
+        let target = (0..400u64)
+            .rev()
+            .find(|&v| levels[v as usize] != UNREACHED && levels[v as usize] >= 2)
+            .unwrap();
+        let before = world.comm_time();
+        let _ = extract_path(&graph, &mut world, &levels, 0, target).unwrap();
+        assert!(world.comm_time() > before);
+        assert!(world.stats.class(OpClass::Control).messages > 0);
+    }
+
+    #[test]
+    fn validate_path_rejects_fakes() {
+        let (_, _, levels, adj) = setup(200, 6.0, 29, 1, 1);
+        // Not starting at the source level.
+        assert!(!validate_path(&adj, &levels, &[1]));
+        // Teleporting "path".
+        let far = (0..200u64)
+            .find(|&v| levels[v as usize] != UNREACHED && levels[v as usize] >= 2)
+            .unwrap();
+        assert!(!validate_path(&adj, &levels, &[0, far]) || adj[0].contains(&far));
+        // Empty path.
+        assert!(!validate_path(&adj, &levels, &[]));
+    }
+}

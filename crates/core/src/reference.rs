@@ -1,0 +1,110 @@
+//! Sequential reference BFS — the correctness oracle.
+//!
+//! Every distributed variant must label vertices with exactly the graph
+//! distances this implementation produces on the same generated graph.
+
+use bgl_graph::Vertex;
+
+/// Level label meaning "unreached" (the paper's `∞`).
+pub const UNREACHED: u32 = u32::MAX;
+
+/// Plain queue-based BFS over an adjacency list. Returns per-vertex
+/// levels (graph distance from `source`), with [`UNREACHED`] for
+/// vertices in other components.
+pub fn bfs_levels(adj: &[Vec<Vertex>], source: Vertex) -> Vec<u32> {
+    let n = adj.len();
+    assert!((source as usize) < n, "source {source} out of range");
+    let mut levels = vec![UNREACHED; n];
+    let mut queue = std::collections::VecDeque::new();
+    levels[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        let next = levels[v as usize] + 1;
+        for &u in &adj[v as usize] {
+            if levels[u as usize] == UNREACHED {
+                levels[u as usize] = next;
+                queue.push_back(u);
+            }
+        }
+    }
+    levels
+}
+
+/// Shortest-path distance between two vertices, if connected.
+pub fn distance(adj: &[Vec<Vertex>], source: Vertex, target: Vertex) -> Option<u32> {
+    let levels = bfs_levels(adj, source);
+    match levels[target as usize] {
+        UNREACHED => None,
+        d => Some(d),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph(n: usize) -> Vec<Vec<Vertex>> {
+        (0..n)
+            .map(|i| {
+                let mut v = Vec::new();
+                if i > 0 {
+                    v.push(i as Vertex - 1);
+                }
+                if i + 1 < n {
+                    v.push(i as Vertex + 1);
+                }
+                v
+            })
+            .collect()
+    }
+
+    #[test]
+    fn path_levels() {
+        let adj = path_graph(5);
+        assert_eq!(bfs_levels(&adj, 0), vec![0, 1, 2, 3, 4]);
+        assert_eq!(bfs_levels(&adj, 2), vec![2, 1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn disconnected_marked_unreached() {
+        let adj = vec![vec![1], vec![0], vec![]];
+        let l = bfs_levels(&adj, 0);
+        assert_eq!(l, vec![0, 1, UNREACHED]);
+        assert_eq!(distance(&adj, 0, 2), None);
+        assert_eq!(distance(&adj, 0, 1), Some(1));
+    }
+
+    #[test]
+    fn matches_generated_graph_symmetry() {
+        // d(a, b) == d(b, a) on an undirected generated graph.
+        let spec = bgl_graph::GraphSpec::poisson(300, 5.0, 17);
+        let adj = bgl_graph::dist::adjacency(&spec);
+        for (a, b) in [(0u64, 120u64), (5, 250), (33, 34)] {
+            assert_eq!(distance(&adj, a, b), distance(&adj, b, a));
+        }
+    }
+
+    #[test]
+    fn levels_are_valid_bfs_labelling() {
+        // Every edge differs by at most one level; every reached
+        // non-source vertex has a neighbor one level below.
+        let spec = bgl_graph::GraphSpec::poisson(400, 4.0, 23);
+        let adj = bgl_graph::dist::adjacency(&spec);
+        let levels = bfs_levels(&adj, 7);
+        for (v, list) in adj.iter().enumerate() {
+            for &u in list {
+                let (lv, lu) = (levels[v], levels[u as usize]);
+                if lv != UNREACHED {
+                    assert_ne!(lu, UNREACHED, "neighbor of reached must be reached");
+                    assert!(lv.abs_diff(lu) <= 1);
+                }
+            }
+            if levels[v] != UNREACHED && levels[v] != 0 {
+                assert!(
+                    list.iter().any(|&u| levels[u as usize] == levels[v] - 1),
+                    "vertex {v} has no parent"
+                );
+            }
+        }
+    }
+}

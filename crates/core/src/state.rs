@@ -1,0 +1,328 @@
+//! Per-rank BFS state and the pure per-rank transition functions.
+//!
+//! Both execution engines (the superstep simulator and the threaded SPMD
+//! runtime) drive the *same* code here; engines differ only in how the
+//! produced messages move. The state holds the paper's per-processor
+//! data structures:
+//!
+//! * the level array `L` over owned vertices (contiguous ownership makes
+//!   the first §2.4.2 local-index mapping a subtraction);
+//! * the current frontier `F`;
+//! * the §2.4.3 **sent-neighbors** cache — one bit per unique vertex
+//!   appearing in this rank's edge lists (`O(n/P)` expected, §2.4.1) —
+//!   "once a neighbor vertex is sent, it may be encountered again, but
+//!   it never needs to be sent again";
+//! * a hash-probe counter feeding the cost model (the paper profiles the
+//!   algorithm as spending "most of its time in a hashing function").
+
+use crate::reference::UNREACHED;
+use bgl_comm::ProcessorGrid;
+use bgl_graph::{RankGraph, TwoDPartition, Vertex};
+
+/// Mutable BFS state for one rank.
+#[derive(Debug, Clone)]
+pub struct RankState<'g> {
+    rg: &'g RankGraph,
+    grid: ProcessorGrid,
+    partition: TwoDPartition,
+    /// Level labels for owned vertices, indexed by owned offset.
+    pub levels: Vec<u32>,
+    /// Current frontier (owned vertices at the current level), sorted.
+    pub frontier: Vec<Vertex>,
+    /// Sent-neighbors cache over row-local ids (empty when disabled).
+    sent: Vec<bool>,
+    /// Hash probes performed since the last [`RankState::take_probes`].
+    pub probes: u64,
+}
+
+impl<'g> RankState<'g> {
+    /// Fresh state for a rank of `graph`.
+    pub fn new(rg: &'g RankGraph, partition: TwoDPartition, use_sent: bool) -> Self {
+        Self {
+            rg,
+            grid: partition.grid(),
+            partition,
+            levels: vec![UNREACHED; rg.owned_len()],
+            frontier: Vec::new(),
+            sent: if use_sent {
+                vec![false; rg.edges.num_row_ids()]
+            } else {
+                Vec::new()
+            },
+            probes: 0,
+        }
+    }
+
+    /// The rank's static graph share.
+    pub fn rank_graph(&self) -> &'g RankGraph {
+        self.rg
+    }
+
+    /// Label the source if this rank owns it and seed the frontier.
+    pub fn init_source(&mut self, source: Vertex) {
+        if let Some(off) = self.rg.owned_local(source) {
+            self.levels[off] = 0;
+            self.frontier = vec![source];
+        }
+    }
+
+    /// Current local frontier size.
+    pub fn frontier_len(&self) -> u64 {
+        self.frontier.len() as u64
+    }
+
+    /// Whether an owned vertex is labeled (one probe counted — this is
+    /// the level lookup on the owned mapping).
+    pub fn level_of(&self, v: Vertex) -> Option<u32> {
+        self.rg.owned_local(v).and_then(|off| {
+            let l = self.levels[off];
+            (l != UNREACHED).then_some(l)
+        })
+    }
+
+    /// Build the **targeted** expand sends: for each frontier vertex,
+    /// one copy to each processor-column peer whose partial edge list
+    /// for it is non-empty (§2.2). Returns `(peer rank, vertices)` with
+    /// sorted vertex lists; includes a self entry when this rank stores
+    /// a list for its own vertex.
+    pub fn expand_sends_targeted(&mut self) -> Vec<(usize, Vec<Vertex>)> {
+        let (_, j) = self.grid.position_of(self.rg.rank);
+        let mut per_row: Vec<Vec<Vertex>> = vec![Vec::new(); self.grid.rows()];
+        for &v in &self.frontier {
+            let off = (v - self.rg.owned.start) as usize;
+            for &i2 in &self.rg.expand_targets[off] {
+                per_row[i2 as usize].push(v);
+            }
+        }
+        per_row
+            .into_iter()
+            .enumerate()
+            .filter(|(_, list)| !list.is_empty())
+            .map(|(i2, list)| (self.grid.rank_of(i2, j), list))
+            .collect()
+    }
+
+    /// Process the received frontier F̄ and produce the fold blocks: for
+    /// each processor-row peer position `m` (grid column), the sorted,
+    /// deduplicated set of neighbor vertices owned by that peer.
+    ///
+    /// Hash probes counted: one per F̄ vertex (partial-edge-list lookup)
+    /// plus one per edge entry traversed (sent-neighbors lookup).
+    pub fn discover(&mut self, fbar_lists: &[&[Vertex]]) -> Vec<Vec<Vertex>> {
+        let cols = self.grid.cols();
+        let mut blocks: Vec<Vec<Vertex>> = vec![Vec::new(); cols];
+        for list in fbar_lists {
+            for &v in *list {
+                self.probes += 1;
+                let Some(ci) = self.rg.edges.col_local(v) else {
+                    continue;
+                };
+                for &u in self.rg.edges.neighbors_by_local(ci) {
+                    self.probes += 1;
+                    if !self.sent.is_empty() {
+                        let rl = self
+                            .rg
+                            .edges
+                            .row_local(u)
+                            .expect("edge-list vertex must be row-indexed")
+                            as usize;
+                        if self.sent[rl] {
+                            continue;
+                        }
+                        self.sent[rl] = true;
+                    }
+                    blocks[self.partition.block_col_of(u)].push(u);
+                }
+            }
+        }
+        for b in blocks.iter_mut() {
+            b.sort_unstable();
+            b.dedup();
+        }
+        blocks
+    }
+
+    /// Absorb received neighbor sets: label unlabeled owned vertices with
+    /// `next_level` and make them the new frontier. Returns the number of
+    /// newly labeled vertices. One probe per received vertex (the owned
+    /// local-index lookup).
+    pub fn absorb(&mut self, nbar_lists: &[&[Vertex]], next_level: u32) -> u64 {
+        let mut fresh: Vec<Vertex> = Vec::new();
+        for list in nbar_lists {
+            for &v in *list {
+                self.probes += 1;
+                let off = self
+                    .rg
+                    .owned_local(v)
+                    .expect("fold delivered a vertex to a non-owner");
+                if self.levels[off] == UNREACHED {
+                    self.levels[off] = next_level;
+                    fresh.push(v);
+                }
+            }
+        }
+        fresh.sort_unstable();
+        self.frontier = fresh;
+        self.frontier.len() as u64
+    }
+
+    /// Take and reset the probe counter (charged to the cost model once
+    /// per level).
+    pub fn take_probes(&mut self) -> u64 {
+        std::mem::take(&mut self.probes)
+    }
+
+    /// Count of labeled owned vertices.
+    pub fn reached(&self) -> u64 {
+        self.levels.iter().filter(|&&l| l != UNREACHED).count() as u64
+    }
+}
+
+/// Gather per-rank level arrays into one global array indexed by vertex.
+pub fn gather_levels(states: &[RankState<'_>], n: u64) -> Vec<u32> {
+    let mut levels = vec![UNREACHED; n as usize];
+    for st in states {
+        let start = st.rank_graph().owned.start as usize;
+        levels[start..start + st.levels.len()].copy_from_slice(&st.levels);
+    }
+    levels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bgl_graph::{DistGraph, GraphSpec};
+
+    fn setup(r: usize, c: usize) -> DistGraph {
+        DistGraph::build(GraphSpec::poisson(120, 5.0, 9), ProcessorGrid::new(r, c))
+    }
+
+    fn states(g: &DistGraph, use_sent: bool) -> Vec<RankState<'_>> {
+        g.ranks
+            .iter()
+            .map(|rg| RankState::new(rg, g.partition, use_sent))
+            .collect()
+    }
+
+    #[test]
+    fn init_source_only_at_owner() {
+        let g = setup(2, 3);
+        let mut sts = states(&g, true);
+        let source = 63u64;
+        let owner = g.partition.owner_of(source);
+        for st in sts.iter_mut() {
+            st.init_source(source);
+        }
+        for (rank, st) in sts.iter().enumerate() {
+            if rank == owner {
+                assert_eq!(st.frontier, vec![source]);
+                assert_eq!(st.level_of(source), Some(0));
+                assert_eq!(st.reached(), 1);
+            } else {
+                assert!(st.frontier.is_empty());
+                assert_eq!(st.reached(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn expand_sends_follow_targets() {
+        let g = setup(3, 2);
+        let grid = g.grid();
+        let mut sts = states(&g, true);
+        let source = 10u64;
+        let owner = g.partition.owner_of(source);
+        sts[owner].init_source(source);
+        let sends = sts[owner].expand_sends_targeted();
+        // Each send goes to a column peer that really stores a list for v.
+        for (peer, list) in &sends {
+            assert_eq!(grid.col_of(*peer), grid.col_of(owner));
+            for &v in list {
+                assert!(g.ranks[*peer].edges.col_local(v).is_some());
+            }
+        }
+    }
+
+    #[test]
+    fn discover_routes_to_owner_columns() {
+        let g = setup(2, 2);
+        let grid = g.grid();
+        let mut sts = states(&g, true);
+        // Feed rank 0 a frontier list of every column it stores.
+        let cols: Vec<Vertex> = g.ranks[0].edges.cols().to_vec();
+        let blocks = sts[0].discover(&[&cols]);
+        assert_eq!(blocks.len(), grid.cols());
+        for (m, block) in blocks.iter().enumerate() {
+            for &u in block {
+                assert_eq!(g.partition.block_col_of(u), m);
+                // Fold destination shares the grid row with rank 0.
+                let dest = grid.rank_of(grid.row_of(0), m);
+                assert!(g.partition.owned_range(dest).contains(&u));
+            }
+        }
+        // Probes counted: at least one per input vertex.
+        assert!(sts[0].probes >= cols.len() as u64);
+    }
+
+    #[test]
+    fn sent_neighbors_suppresses_resends() {
+        let g = setup(1, 2);
+        let mut sts = states(&g, true);
+        let cols: Vec<Vertex> = g.ranks[0].edges.cols().to_vec();
+        let first = sts[0].discover(&[&cols]);
+        let second = sts[0].discover(&[&cols]);
+        let count = |bs: &[Vec<Vertex>]| bs.iter().map(Vec::len).sum::<usize>();
+        assert!(count(&first) > 0);
+        assert_eq!(count(&second), 0, "resends must be suppressed");
+
+        // Without the cache the same neighbors are produced again.
+        let mut no_cache = states(&g, false);
+        let a = no_cache[0].discover(&[&cols]);
+        let b = no_cache[0].discover(&[&cols]);
+        assert_eq!(a, b);
+        assert_eq!(a, first, "first pass matches cached first pass");
+    }
+
+    #[test]
+    fn absorb_labels_once() {
+        let g = setup(2, 2);
+        let mut sts = states(&g, true);
+        let range = g.ranks[0].owned.clone();
+        let vs: Vec<Vertex> = range.clone().take(4).collect();
+        let newly = sts[0].absorb(&[&vs], 3);
+        assert_eq!(newly, 4);
+        assert_eq!(sts[0].frontier, vs);
+        // Absorbing again labels nothing new.
+        let again = sts[0].absorb(&[&vs], 4);
+        assert_eq!(again, 0);
+        assert!(sts[0].frontier.is_empty());
+        for &v in &vs {
+            assert_eq!(sts[0].level_of(v), Some(3));
+        }
+    }
+
+    #[test]
+    fn gather_levels_reassembles() {
+        let g = setup(2, 3);
+        let mut sts = states(&g, true);
+        for st in sts.iter_mut() {
+            let vs: Vec<Vertex> = st.rank_graph().owned.clone().collect();
+            st.absorb(&[&vs], 7);
+        }
+        let levels = gather_levels(&sts, g.spec.n);
+        assert_eq!(levels.len(), 120);
+        assert!(levels.iter().all(|&l| l == 7));
+    }
+
+    #[test]
+    fn probes_taken_and_reset() {
+        let g = setup(1, 1);
+        let mut sts = states(&g, true);
+        let cols: Vec<Vertex> = g.ranks[0].edges.cols().to_vec();
+        let _ = sts[0].discover(&[&cols]);
+        assert!(sts[0].probes > 0);
+        let p = sts[0].take_probes();
+        assert!(p > 0);
+        assert_eq!(sts[0].probes, 0);
+    }
+}

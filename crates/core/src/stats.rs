@@ -1,0 +1,143 @@
+//! Per-run and per-level BFS statistics — the quantities the paper's
+//! evaluation section plots and tabulates.
+
+use bgl_comm::{CommStats, OpClass};
+use serde::{Deserialize, Serialize};
+
+/// Statistics for one BFS level (one iteration of the main loop).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LevelStats {
+    /// The level index `l` (frontier at distance `l` was expanded).
+    pub level: u32,
+    /// Global frontier size at this level.
+    pub frontier: u64,
+    /// Vertices received in expand messages, summed over ranks
+    /// (Figure 6 / Table 1 expand volume).
+    pub expand_received: u64,
+    /// Vertices received in fold messages, summed over ranks
+    /// (Figure 4.b / Figure 6 fold volume).
+    pub fold_received: u64,
+    /// Duplicates eliminated by union operations this level (Figure 7
+    /// numerator).
+    pub dups_eliminated: u64,
+    /// Simulated seconds this level took.
+    pub sim_time: f64,
+    /// Communication component of `sim_time`.
+    pub comm_time: f64,
+}
+
+/// Statistics for one whole BFS run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Per-level records, in level order.
+    pub levels: Vec<LevelStats>,
+    /// Total simulated seconds.
+    pub sim_time: f64,
+    /// Communication component of `sim_time`.
+    pub comm_time: f64,
+    /// Computation component of `sim_time`.
+    pub compute_time: f64,
+    /// Number of vertices reached (labeled), including the source.
+    pub reached: u64,
+    /// Final cumulative communication statistics.
+    pub comm: CommStats,
+    /// Number of ranks.
+    pub p: usize,
+}
+
+impl RunStats {
+    /// Number of levels executed.
+    pub fn num_levels(&self) -> usize {
+        self.levels.len()
+    }
+
+    /// Table 1 metric: average expand message volume received per
+    /// processor per level (vertices).
+    pub fn avg_expand_len_per_level(&self) -> f64 {
+        self.avg_len_per_level(OpClass::Expand)
+    }
+
+    /// Table 1 metric: average fold message volume received per
+    /// processor per level (vertices).
+    pub fn avg_fold_len_per_level(&self) -> f64 {
+        self.avg_len_per_level(OpClass::Fold)
+    }
+
+    fn avg_len_per_level(&self, class: OpClass) -> f64 {
+        if self.levels.is_empty() || self.p == 0 {
+            return 0.0;
+        }
+        self.comm.class(class).received_verts as f64
+            / self.p as f64
+            / self.levels.len() as f64
+    }
+
+    /// Figure 7 metric: the redundancy ratio in percent.
+    pub fn redundancy_ratio_percent(&self) -> f64 {
+        self.comm.redundancy_ratio_percent()
+    }
+
+    /// Total message volume received (all classes), in vertices.
+    pub fn total_received(&self) -> u64 {
+        self.comm.total_received()
+    }
+
+    /// Traversed edges per simulated second (the Graph500 metric), given
+    /// the number of edges the search touched. Returns 0 for a zero-time
+    /// run (e.g. single rank with modelled-free local work).
+    pub fn teps(&self, edges_traversed: u64) -> f64 {
+        if self.sim_time <= 0.0 {
+            0.0
+        } else {
+            edges_traversed as f64 / self.sim_time
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mk(levels: usize, p: usize, expand: u64, fold: u64) -> RunStats {
+        let mut comm = CommStats::new(p);
+        for _ in 0..expand {
+            comm.note_message(OpClass::Expand, 0, 1, 1);
+        }
+        for _ in 0..fold {
+            comm.note_message(OpClass::Fold, 0, 1, 1);
+        }
+        RunStats {
+            levels: (0..levels)
+                .map(|l| LevelStats {
+                    level: l as u32,
+                    frontier: 1,
+                    expand_received: 0,
+                    fold_received: 0,
+                    dups_eliminated: 0,
+                    sim_time: 0.0,
+                    comm_time: 0.0,
+                })
+                .collect(),
+            sim_time: 0.0,
+            comm_time: 0.0,
+            compute_time: 0.0,
+            reached: 1,
+            comm,
+            p,
+        }
+    }
+
+    #[test]
+    fn per_level_averages() {
+        let s = mk(4, 2, 80, 160);
+        assert!((s.avg_expand_len_per_level() - 10.0).abs() < 1e-12);
+        assert!((s.avg_fold_len_per_level() - 20.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_run_is_zero() {
+        let s = mk(0, 2, 0, 0);
+        assert_eq!(s.avg_expand_len_per_level(), 0.0);
+        assert_eq!(s.num_levels(), 0);
+    }
+}

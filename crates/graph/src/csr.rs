@@ -1,0 +1,246 @@
+//! Per-rank storage of partial edge lists (paper §2.4.1–§2.4.2).
+//!
+//! A rank in the 2D partition holds, for each vertex `v` of its block
+//! column, the *partial edge list* of `v` — the rows of its stored
+//! adjacency-matrix blocks where column `v` is nonzero. Two observations
+//! from the paper shape the data structure:
+//!
+//! * §2.4.1 — although a rank's block column spans `O(n/C)` vertices,
+//!   only `O(n/P)` of the partial edge lists are non-empty, so "it is
+//!   necessary not to index all edge lists, but only the non-empty ones":
+//!   the storage is a CSR over the non-empty columns only;
+//! * §2.4.2 — global vertex indices are mapped to dense local indices by
+//!   hashing. Two of the paper's three hash mappings live here: columns
+//!   with non-empty lists, and the unique vertices appearing *in* lists
+//!   (both `O(n/P)` in expectation, §2.4.1). The third mapping (owned
+//!   vertices) lives with the BFS state, where owned ranges are
+//!   contiguous.
+//!
+//! The maps use FxHash — the paper profiles BFS as hash-dominated, and
+//! the fast integer hasher is the guide-recommended choice.
+
+use crate::Vertex;
+use rustc_hash::FxHashMap;
+
+/// CSR-like storage of the non-empty partial edge lists on one rank.
+#[derive(Debug, Clone, Default)]
+pub struct PartialEdgeLists {
+    /// Non-empty columns (global vertex ids), sorted ascending.
+    cols: Vec<Vertex>,
+    /// `offsets[i]..offsets[i+1]` indexes `rows` for `cols[i]`.
+    offsets: Vec<usize>,
+    /// Neighbor rows (global vertex ids), sorted within each column.
+    rows: Vec<Vertex>,
+    /// §2.4.2 mapping: global column id → dense local column index.
+    col_index: FxHashMap<Vertex, u32>,
+    /// Unique vertices appearing in any edge list, sorted ascending.
+    row_ids: Vec<Vertex>,
+    /// §2.4.2 mapping: global row id → dense local row index.
+    row_index: FxHashMap<Vertex, u32>,
+}
+
+impl PartialEdgeLists {
+    /// Build from raw adjacency entries `(row, col)`. Entries are sorted
+    /// and duplicates (e.g. R-MAT multi-edges) collapsed.
+    pub fn from_entries(mut entries: Vec<(Vertex, Vertex)>) -> Self {
+        // Sort by (col, row); CSR is column-major because edge lists are
+        // matrix columns (§2.2).
+        entries.sort_unstable_by_key(|a| (a.1, a.0));
+        entries.dedup();
+
+        let mut cols: Vec<Vertex> = Vec::new();
+        let mut offsets: Vec<usize> = vec![0];
+        let mut rows: Vec<Vertex> = Vec::with_capacity(entries.len());
+        for (row, col) in entries {
+            if cols.last() != Some(&col) {
+                if !cols.is_empty() {
+                    offsets.push(rows.len());
+                }
+                cols.push(col);
+            }
+            rows.push(row);
+        }
+        if cols.is_empty() {
+            offsets = vec![0];
+        } else {
+            offsets.push(rows.len());
+        }
+        debug_assert_eq!(
+            offsets.len(),
+            if cols.is_empty() { 1 } else { cols.len() + 1 }
+        );
+
+        let col_index: FxHashMap<Vertex, u32> = cols
+            .iter()
+            .enumerate()
+            .map(|(i, &c)| (c, i as u32))
+            .collect();
+
+        let mut row_ids: Vec<Vertex> = rows.clone();
+        row_ids.sort_unstable();
+        row_ids.dedup();
+        let row_index: FxHashMap<Vertex, u32> = row_ids
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| (r, i as u32))
+            .collect();
+
+        Self {
+            cols,
+            offsets,
+            rows,
+            col_index,
+            row_ids,
+            row_index,
+        }
+    }
+
+    /// Number of non-empty columns (partial edge lists) stored.
+    pub fn num_cols(&self) -> usize {
+        self.cols.len()
+    }
+
+    /// Number of stored adjacency entries.
+    pub fn num_entries(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Number of unique vertices appearing in edge lists.
+    pub fn num_row_ids(&self) -> usize {
+        self.row_ids.len()
+    }
+
+    /// The non-empty columns, sorted ascending.
+    pub fn cols(&self) -> &[Vertex] {
+        &self.cols
+    }
+
+    /// The unique row vertices, sorted ascending.
+    pub fn row_ids(&self) -> &[Vertex] {
+        &self.row_ids
+    }
+
+    /// Dense local index of column `v`, if its list is non-empty
+    /// (one hash probe — the operation the paper's profile is made of).
+    pub fn col_local(&self, v: Vertex) -> Option<u32> {
+        self.col_index.get(&v).copied()
+    }
+
+    /// Dense local index of a row vertex `u`, if it appears in any list.
+    pub fn row_local(&self, u: Vertex) -> Option<u32> {
+        self.row_index.get(&u).copied()
+    }
+
+    /// Neighbor rows of column local index `ci`.
+    pub fn neighbors_by_local(&self, ci: u32) -> &[Vertex] {
+        let ci = ci as usize;
+        &self.rows[self.offsets[ci]..self.offsets[ci + 1]]
+    }
+
+    /// The partial edge list of global vertex `v` (empty slice if none).
+    pub fn neighbors_of(&self, v: Vertex) -> &[Vertex] {
+        match self.col_local(v) {
+            Some(ci) => self.neighbors_by_local(ci),
+            None => &[],
+        }
+    }
+
+    /// Iterate `(column, partial edge list)` pairs in column order.
+    pub fn iter_cols(&self) -> impl Iterator<Item = (Vertex, &[Vertex])> + '_ {
+        self.cols
+            .iter()
+            .enumerate()
+            .map(move |(i, &c)| (c, &self.rows[self.offsets[i]..self.offsets[i + 1]]))
+    }
+
+    /// Approximate resident bytes (entries + indexes), for the memory
+    /// scalability checks.
+    pub fn approx_bytes(&self) -> usize {
+        use std::mem::size_of;
+        self.rows.len() * size_of::<Vertex>()
+            + self.cols.len() * (size_of::<Vertex>() + size_of::<usize>())
+            + self.row_ids.len() * size_of::<Vertex>()
+            // FxHashMap overhead approx: ~1.5 slots of (K, V) per entry.
+            + (self.col_index.len() + self.row_index.len())
+                * (size_of::<Vertex>() + size_of::<u32>())
+                * 3
+                / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> PartialEdgeLists {
+        // cols: 2 -> {5, 7}, 9 -> {1}, 4 -> {0, 1, 8}
+        PartialEdgeLists::from_entries(vec![
+            (7, 2),
+            (5, 2),
+            (1, 9),
+            (0, 4),
+            (8, 4),
+            (1, 4),
+        ])
+    }
+
+    #[test]
+    fn builds_sorted_csr() {
+        let e = sample();
+        assert_eq!(e.cols(), &[2, 4, 9]);
+        assert_eq!(e.neighbors_of(2), &[5, 7]);
+        assert_eq!(e.neighbors_of(4), &[0, 1, 8]);
+        assert_eq!(e.neighbors_of(9), &[1]);
+        assert_eq!(e.num_entries(), 6);
+        assert_eq!(e.num_cols(), 3);
+    }
+
+    #[test]
+    fn empty_columns_not_indexed() {
+        let e = sample();
+        assert_eq!(e.col_local(3), None);
+        assert!(e.neighbors_of(3).is_empty());
+        assert_eq!(e.col_local(2), Some(0));
+        assert_eq!(e.col_local(4), Some(1));
+    }
+
+    #[test]
+    fn row_ids_unique_sorted() {
+        let e = sample();
+        assert_eq!(e.row_ids(), &[0, 1, 5, 7, 8]);
+        assert_eq!(e.num_row_ids(), 5);
+        assert_eq!(e.row_local(1), Some(1));
+        assert_eq!(e.row_local(6), None);
+    }
+
+    #[test]
+    fn duplicates_collapsed() {
+        let e = PartialEdgeLists::from_entries(vec![(1, 2), (1, 2), (1, 2), (3, 2)]);
+        assert_eq!(e.neighbors_of(2), &[1, 3]);
+        assert_eq!(e.num_entries(), 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let e = PartialEdgeLists::from_entries(Vec::new());
+        assert_eq!(e.num_cols(), 0);
+        assert_eq!(e.num_entries(), 0);
+        assert!(e.neighbors_of(0).is_empty());
+    }
+
+    #[test]
+    fn iter_cols_matches_lookup() {
+        let e = sample();
+        for (c, list) in e.iter_cols() {
+            assert_eq!(e.neighbors_of(c), list);
+        }
+        assert_eq!(e.iter_cols().count(), 3);
+    }
+
+    #[test]
+    fn approx_bytes_positive_and_monotone() {
+        let small = PartialEdgeLists::from_entries(vec![(1, 2)]);
+        let big = sample();
+        assert!(big.approx_bytes() > small.approx_bytes());
+    }
+}

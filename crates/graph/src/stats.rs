@@ -1,0 +1,210 @@
+//! Graph statistics: degree distributions and connectivity.
+//!
+//! Used by the experiment harness for sanity panels (the Poisson
+//! generator must actually produce Poisson degrees — mean ≈ variance ≈
+//! k) and by tests that need to reason about the giant component the
+//! paper's searches traverse.
+
+use crate::dist::DistGraph;
+use crate::Vertex;
+use serde::{Deserialize, Serialize};
+
+/// Summary of a degree distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DegreeStats {
+    /// Number of vertices.
+    pub n: u64,
+    /// Mean degree.
+    pub mean: f64,
+    /// Degree variance (population).
+    pub variance: f64,
+    /// Maximum degree.
+    pub max: u32,
+    /// Number of isolated (degree-0) vertices.
+    pub isolated: u64,
+    /// Histogram: `histogram[d]` = number of vertices with degree `d`
+    /// (truncated at `max`).
+    pub histogram: Vec<u64>,
+}
+
+impl DegreeStats {
+    /// Compute from an explicit degree array.
+    pub fn from_degrees(degrees: &[u32]) -> Self {
+        let n = degrees.len() as u64;
+        let max = degrees.iter().copied().max().unwrap_or(0);
+        let mean = degrees.iter().map(|&d| d as f64).sum::<f64>() / n.max(1) as f64;
+        let variance = degrees
+            .iter()
+            .map(|&d| {
+                let e = d as f64 - mean;
+                e * e
+            })
+            .sum::<f64>()
+            / n.max(1) as f64;
+        let mut histogram = vec![0u64; max as usize + 1];
+        for &d in degrees {
+            histogram[d as usize] += 1;
+        }
+        Self {
+            n,
+            mean,
+            variance,
+            max,
+            isolated: histogram.first().copied().unwrap_or(0),
+            histogram,
+        }
+    }
+
+    /// Dispersion index variance/mean — 1.0 for a Poisson distribution,
+    /// ≫ 1 for heavy-tailed (R-MAT) degrees.
+    pub fn dispersion(&self) -> f64 {
+        if self.mean == 0.0 {
+            0.0
+        } else {
+            self.variance / self.mean
+        }
+    }
+}
+
+/// Compute every vertex's degree from a distributed graph: each rank
+/// contributes the lengths of its partial edge lists, aggregated at the
+/// vertex (this is how a real distributed degree census would run; the
+/// builder's single address space just skips the message step).
+pub fn degrees(graph: &DistGraph) -> Vec<u32> {
+    let n = graph.spec.n as usize;
+    let mut deg = vec![0u32; n];
+    for rg in &graph.ranks {
+        for (col, list) in rg.edges.iter_cols() {
+            deg[col as usize] += list.len() as u32;
+        }
+    }
+    deg
+}
+
+/// Connected components of an adjacency-list graph (sequential oracle
+/// utility). Returns per-vertex component ids and the component sizes,
+/// largest first.
+pub fn connected_components(adj: &[Vec<Vertex>]) -> (Vec<u32>, Vec<u64>) {
+    let n = adj.len();
+    let mut comp = vec![u32::MAX; n];
+    let mut sizes = Vec::new();
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..n {
+        if comp[start] != u32::MAX {
+            continue;
+        }
+        let id = sizes.len() as u32;
+        let mut size = 0u64;
+        comp[start] = id;
+        queue.push_back(start as Vertex);
+        while let Some(v) = queue.pop_front() {
+            size += 1;
+            for &u in &adj[v as usize] {
+                if comp[u as usize] == u32::MAX {
+                    comp[u as usize] = id;
+                    queue.push_back(u);
+                }
+            }
+        }
+        sizes.push(size);
+    }
+    // Sort sizes descending but keep ids stable in `comp`; report sorted
+    // sizes separately.
+    let mut sorted = sizes.clone();
+    sorted.sort_unstable_by(|a, b| b.cmp(a));
+    (comp, sorted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist;
+    use crate::spec::GraphSpec;
+    use bgl_comm::ProcessorGrid;
+
+    #[test]
+    fn poisson_degrees_have_unit_dispersion() {
+        let spec = GraphSpec::poisson(20_000, 10.0, 77);
+        let graph = DistGraph::build(spec, ProcessorGrid::new(2, 2));
+        let stats = DegreeStats::from_degrees(&degrees(&graph));
+        assert!((stats.mean - 10.0).abs() < 0.3, "mean {}", stats.mean);
+        assert!(
+            (stats.dispersion() - 1.0).abs() < 0.15,
+            "dispersion {}",
+            stats.dispersion()
+        );
+        assert_eq!(stats.n, 20_000);
+        assert_eq!(
+            stats.histogram.iter().sum::<u64>(),
+            20_000,
+            "histogram covers all vertices"
+        );
+    }
+
+    #[test]
+    fn rmat_degrees_are_overdispersed() {
+        let spec = GraphSpec::rmat(1 << 13, 16.0, 5);
+        let graph = DistGraph::build(spec, ProcessorGrid::new(2, 2));
+        let stats = DegreeStats::from_degrees(&degrees(&graph));
+        assert!(
+            stats.dispersion() > 3.0,
+            "R-MAT should be heavy-tailed, dispersion {}",
+            stats.dispersion()
+        );
+    }
+
+    #[test]
+    fn degrees_match_oracle_adjacency() {
+        let spec = GraphSpec::poisson(500, 7.0, 9);
+        let graph = DistGraph::build(spec, ProcessorGrid::new(3, 2));
+        let adj = dist::adjacency(&spec);
+        let deg = degrees(&graph);
+        for (v, list) in adj.iter().enumerate() {
+            assert_eq!(deg[v] as usize, list.len(), "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn degree_stats_of_empty_and_uniform() {
+        let s = DegreeStats::from_degrees(&[0, 0, 0]);
+        assert_eq!(s.mean, 0.0);
+        assert_eq!(s.isolated, 3);
+        assert_eq!(s.dispersion(), 0.0);
+        let s = DegreeStats::from_degrees(&[4, 4, 4, 4]);
+        assert_eq!(s.mean, 4.0);
+        assert_eq!(s.variance, 0.0);
+        assert_eq!(s.max, 4);
+    }
+
+    #[test]
+    fn components_giant_at_k10() {
+        // Random graph theory: at k = 10 almost everything is one giant
+        // component.
+        let spec = GraphSpec::poisson(5_000, 10.0, 31);
+        let adj = dist::adjacency(&spec);
+        let (comp, sizes) = connected_components(&adj);
+        assert_eq!(comp.iter().filter(|&&c| c == u32::MAX).count(), 0);
+        assert!(sizes[0] as f64 > 0.99 * 5_000.0, "giant {}", sizes[0]);
+    }
+
+    #[test]
+    fn components_fragmented_below_threshold() {
+        // Below the k = 1 percolation threshold the graph shatters.
+        let spec = GraphSpec::poisson(5_000, 0.5, 31);
+        let adj = dist::adjacency(&spec);
+        let (_, sizes) = connected_components(&adj);
+        assert!(sizes.len() > 1_000, "components {}", sizes.len());
+        assert!((sizes[0] as f64) < 0.05 * 5_000.0, "largest {}", sizes[0]);
+    }
+
+    #[test]
+    fn component_sizes_sum_to_n() {
+        let spec = GraphSpec::poisson(1_000, 1.0, 3);
+        let adj = dist::adjacency(&spec);
+        let (comp, sizes) = connected_components(&adj);
+        assert_eq!(sizes.iter().sum::<u64>(), 1_000);
+        // Ids are dense 0..len.
+        let max_id = comp.iter().max().unwrap();
+        assert_eq!(*max_id as usize + 1, sizes.len());
+    }
+}

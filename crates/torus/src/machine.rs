@@ -1,0 +1,175 @@
+//! Machine presets.
+//!
+//! The paper evaluates on two platforms:
+//!
+//! * **BlueGene/L** (§4.1): 65,536 compute nodes as a 64×32×32 3D torus,
+//!   two PowerPC 440 cores per node at 700 MHz, 512 MB memory per node,
+//!   six bi-directional torus links per node at 1.4 Gbit/s per direction.
+//!   The experiments use a 32,768-node partition.
+//! * **MCR** (§4): an LLNL Linux cluster with a Quadrics interconnect,
+//!   used as the "conventional platform" comparison. We model it as a
+//!   flat (single-hop) network with QsNet-class latency and bandwidth.
+//!
+//! The compute-side parameter that matters for BFS is not FLOPs — the
+//! paper observes the algorithm "spends most of its time in a hashing
+//! function" — so the model carries a `hash_rate` (vertex hash-probes per
+//! second per process) and a `memcpy_bandwidth` for buffer copying.
+
+use crate::coord::TorusDims;
+use serde::{Deserialize, Serialize};
+
+/// Which interconnect style a machine uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MachineKind {
+    /// 3D torus with nearest-neighbour links (BlueGene/L).
+    Torus3D,
+    /// Flat network: every pair of nodes is one hop apart (fat-tree /
+    /// crossbar approximation, used for the MCR cluster).
+    Flat,
+}
+
+/// A machine configuration: topology plus the rates the cost model needs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineConfig {
+    /// Interconnect style.
+    pub kind: MachineKind,
+    /// Torus dimensions. For [`MachineKind::Flat`] the dims are only used
+    /// to size the machine (node count); hop distances are 1.
+    pub dims: TorusDims,
+    /// Main memory per node, in bytes.
+    pub memory_per_node: u64,
+    /// Per-link uni-directional bandwidth in bytes/second.
+    pub link_bandwidth: f64,
+    /// Per-hop latency in seconds (wire + router).
+    pub hop_latency: f64,
+    /// Fixed per-message software overhead in seconds (MPI-style α).
+    pub software_overhead: f64,
+    /// Vertex hash-probe throughput per process, probes/second. This is
+    /// the dominant compute cost in the paper's profile.
+    pub hash_rate: f64,
+    /// Local memory copy bandwidth in bytes/second (message buffer
+    /// copying during union-fold, §4.2).
+    pub memcpy_bandwidth: f64,
+}
+
+impl MachineConfig {
+    /// Full 65,536-node BlueGene/L system (64×32×32 torus).
+    pub fn bluegene_l_full() -> Self {
+        Self {
+            kind: MachineKind::Torus3D,
+            dims: TorusDims::new(64, 32, 32),
+            memory_per_node: 512 * 1024 * 1024,
+            // 1.4 Gbit/s per direction = 175 MB/s.
+            link_bandwidth: 175.0e6,
+            // ~100ns router + wire per hop.
+            hop_latency: 100.0e-9,
+            // A few microseconds of software stack per message.
+            software_overhead: 3.0e-6,
+            // 700 MHz PPC440, ~35 cycles per hash probe (cache-miss bound).
+            hash_rate: 20.0e6,
+            memcpy_bandwidth: 1.0e9,
+        }
+    }
+
+    /// The 32,768-node partition used for the paper's experiments
+    /// (32×32×32 torus).
+    pub fn bluegene_l_half() -> Self {
+        Self {
+            dims: TorusDims::new(32, 32, 32),
+            ..Self::bluegene_l_full()
+        }
+    }
+
+    /// A small BlueGene/L-like partition with the given torus dims —
+    /// used by experiments that sweep P, keeping per-node rates fixed.
+    pub fn bluegene_l_partition(dims: TorusDims) -> Self {
+        Self {
+            dims,
+            ..Self::bluegene_l_full()
+        }
+    }
+
+    /// The MCR Linux cluster (1,152 dual-Xeon nodes, Quadrics QsNet).
+    /// Modelled as a flat network: higher per-message latency than the
+    /// torus but no hop-distance dependence.
+    pub fn mcr_cluster() -> Self {
+        Self {
+            kind: MachineKind::Flat,
+            dims: TorusDims::new(1152, 1, 1),
+            memory_per_node: 4 * 1024 * 1024 * 1024,
+            // QsNet ~ 300 MB/s.
+            link_bandwidth: 300.0e6,
+            hop_latency: 0.0,
+            // ~5 µs MPI latency.
+            software_overhead: 5.0e-6,
+            // 2.4 GHz Xeon, faster hashing than PPC440.
+            hash_rate: 60.0e6,
+            memcpy_bandwidth: 2.0e9,
+        }
+    }
+
+    /// Number of nodes in the machine.
+    pub fn node_count(&self) -> usize {
+        self.dims.node_count()
+    }
+
+    /// Choose a reasonable torus partition for `p` processes: the smallest
+    /// preset-shaped torus with at least `p` nodes, preferring balanced
+    /// dims. Panics if `p` is 0.
+    pub fn fit_partition(p: usize) -> TorusDims {
+        assert!(p > 0, "cannot fit a partition for 0 processes");
+        // Grow dims in x, then y, then z, doubling round-robin, which
+        // mirrors how BG/L partitions come in power-of-two bricks.
+        let mut d = [1usize; 3];
+        let mut i = 0;
+        while d[0] * d[1] * d[2] < p {
+            d[i % 3] *= 2;
+            i += 1;
+        }
+        TorusDims::new(d[0], d[1], d[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preset_sizes() {
+        assert_eq!(MachineConfig::bluegene_l_full().node_count(), 65536);
+        assert_eq!(MachineConfig::bluegene_l_half().node_count(), 32768);
+        assert_eq!(MachineConfig::mcr_cluster().node_count(), 1152);
+    }
+
+    #[test]
+    fn fit_partition_covers_p() {
+        for p in [1, 2, 3, 7, 8, 100, 1024, 32768] {
+            let dims = MachineConfig::fit_partition(p);
+            assert!(dims.node_count() >= p, "p={p} dims={dims:?}");
+            // Never more than 2x over-provisioned (power-of-two bricks).
+            assert!(dims.node_count() < 2 * p.next_power_of_two().max(2));
+        }
+    }
+
+    #[test]
+    fn fit_partition_balanced() {
+        let dims = MachineConfig::fit_partition(32768);
+        assert_eq!(dims.node_count(), 32768);
+        // 32768 = 2^15 -> 32x32x32.
+        assert_eq!((dims.x, dims.y, dims.z), (32, 32, 32));
+    }
+
+    #[test]
+    #[should_panic]
+    fn fit_partition_zero_panics() {
+        MachineConfig::fit_partition(0);
+    }
+
+    #[test]
+    fn bgl_memory_is_512mb() {
+        assert_eq!(
+            MachineConfig::bluegene_l_half().memory_per_node,
+            512 * 1024 * 1024
+        );
+    }
+}

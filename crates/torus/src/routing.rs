@@ -1,0 +1,144 @@
+//! Dimension-ordered (e-cube) routing on the 3D torus.
+//!
+//! BlueGene/L's torus network uses adaptive routing in hardware, but for
+//! cost modelling the standard deterministic approximation is
+//! dimension-ordered routing: resolve the X offset first, then Y, then Z,
+//! always taking the shorter way around each ring. Hop counts (which is
+//! what the α–β–hop model consumes) are identical for any minimal route.
+
+use crate::coord::{Coord3, TorusDims};
+
+/// One hop of a route: the link from `from` to `to` (nearest neighbours).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RouteStep {
+    /// Source node of this hop.
+    pub from: Coord3,
+    /// Destination node of this hop.
+    pub to: Coord3,
+    /// Dimension travelled (0 = x, 1 = y, 2 = z).
+    pub dim: usize,
+    /// Direction travelled (+1 or -1).
+    pub dir: isize,
+}
+
+/// Minimal hop distance between two nodes in the torus (Manhattan
+/// distance with per-dimension wrap-around).
+pub fn hop_distance(dims: TorusDims, a: Coord3, b: Coord3) -> usize {
+    TorusDims::axis_distance(dims.x, a.x, b.x)
+        + TorusDims::axis_distance(dims.y, a.y, b.y)
+        + TorusDims::axis_distance(dims.z, a.z, b.z)
+}
+
+/// Compute the dimension-ordered minimal route from `a` to `b`.
+///
+/// Returns the sequence of hops; its length equals
+/// [`hop_distance`]`(dims, a, b)`. An empty route means `a == b`.
+pub fn route_dimension_ordered(dims: TorusDims, a: Coord3, b: Coord3) -> Vec<RouteStep> {
+    let mut steps = Vec::with_capacity(hop_distance(dims, a, b));
+    let mut cur = a;
+    for d in 0..3 {
+        let target = b.component(d);
+        loop {
+            let dir = TorusDims::axis_step(dims.extent(d), cur.component(d), target);
+            if dir == 0 {
+                break;
+            }
+            let next = cur.step(dims, d, dir);
+            steps.push(RouteStep {
+                from: cur,
+                to: next,
+                dim: d,
+                dir,
+            });
+            cur = next;
+        }
+    }
+    debug_assert_eq!(cur, b);
+    steps
+}
+
+/// Average hop distance from a node to all other nodes in the torus.
+///
+/// For a torus ring of even extent `w` the mean one-dimensional distance
+/// is `w/4 · w/(w-1)`-ish; we compute it exactly by summation, which is
+/// cheap and avoids parity case analysis.
+pub fn mean_hop_distance(dims: TorusDims) -> f64 {
+    let mean_axis = |w: usize| -> f64 {
+        if w <= 1 {
+            return 0.0;
+        }
+        let total: usize = (0..w).map(|d| TorusDims::axis_distance(w, 0, d)).sum();
+        total as f64 / w as f64
+    };
+    mean_axis(dims.x) + mean_axis(dims.y) + mean_axis(dims.z)
+}
+
+/// The diameter of the torus: maximal minimal-hop distance between any
+/// two nodes (`⌊x/2⌋ + ⌊y/2⌋ + ⌊z/2⌋`).
+pub fn diameter(dims: TorusDims) -> usize {
+    dims.x / 2 + dims.y / 2 + dims.z / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn route_length_equals_hop_distance() {
+        let dims = TorusDims::new(8, 4, 4);
+        let a = Coord3::new(0, 0, 0);
+        let b = Coord3::new(7, 2, 3);
+        let route = route_dimension_ordered(dims, a, b);
+        assert_eq!(route.len(), hop_distance(dims, a, b));
+        // Wrapping: 0->7 in x is 1 hop the short way.
+        assert_eq!(hop_distance(dims, a, b), 1 + 2 + 1);
+    }
+
+    #[test]
+    fn route_is_contiguous_and_arrives() {
+        let dims = TorusDims::new(6, 6, 6);
+        let a = Coord3::new(1, 5, 0);
+        let b = Coord3::new(4, 0, 3);
+        let route = route_dimension_ordered(dims, a, b);
+        let mut cur = a;
+        for step in &route {
+            assert_eq!(step.from, cur);
+            assert_eq!(hop_distance(dims, step.from, step.to), 1);
+            cur = step.to;
+        }
+        assert_eq!(cur, b);
+    }
+
+    #[test]
+    fn route_to_self_is_empty() {
+        let dims = TorusDims::new(4, 4, 4);
+        let a = Coord3::new(2, 2, 2);
+        assert!(route_dimension_ordered(dims, a, a).is_empty());
+        assert_eq!(hop_distance(dims, a, a), 0);
+    }
+
+    #[test]
+    fn route_is_dimension_ordered() {
+        let dims = TorusDims::new(8, 8, 8);
+        let route =
+            route_dimension_ordered(dims, Coord3::new(0, 0, 0), Coord3::new(3, 3, 3));
+        let dims_seq: Vec<usize> = route.iter().map(|s| s.dim).collect();
+        let mut sorted = dims_seq.clone();
+        sorted.sort_unstable();
+        assert_eq!(dims_seq, sorted, "hops must resolve x, then y, then z");
+    }
+
+    #[test]
+    fn diameter_of_bgl() {
+        // Full BlueGene/L: 64x32x32 => 32+16+16 = 64 hops.
+        assert_eq!(diameter(TorusDims::new(64, 32, 32)), 64);
+        assert_eq!(diameter(TorusDims::new(32, 32, 32)), 48);
+    }
+
+    #[test]
+    fn mean_hop_distance_ring() {
+        // Ring of 4: distances 0,1,2,1 -> mean 1.0 per axis.
+        let d = mean_hop_distance(TorusDims::new(4, 1, 1));
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+}

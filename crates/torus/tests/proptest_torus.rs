@@ -1,0 +1,104 @@
+//! Property-based invariants of the torus model: metric axioms of the
+//! hop distance, route validity, and task-mapping injectivity.
+
+use bgl_torus::{
+    hop_distance, route_dimension_ordered, LogicalArray, TaskMapping, TaskMappingKind,
+    TorusDims,
+};
+use proptest::prelude::*;
+
+fn dims_strategy() -> impl Strategy<Value = TorusDims> {
+    (1usize..9, 1usize..9, 1usize..9).prop_map(|(x, y, z)| TorusDims::new(x, y, z))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn distance_is_a_metric(dims in dims_strategy(), seed in any::<u64>()) {
+        let pick = |s: u64| {
+            let i = (s % dims.node_count() as u64) as usize;
+            dims.delinearize(i)
+        };
+        let (a, b, c) = (pick(seed), pick(seed >> 16), pick(seed >> 32));
+        // Identity, symmetry, triangle inequality.
+        prop_assert_eq!(hop_distance(dims, a, a), 0);
+        prop_assert_eq!(hop_distance(dims, a, b), hop_distance(dims, b, a));
+        prop_assert!(
+            hop_distance(dims, a, c)
+                <= hop_distance(dims, a, b) + hop_distance(dims, b, c)
+        );
+    }
+
+    #[test]
+    fn routes_are_minimal_and_contiguous(dims in dims_strategy(), seed in any::<u64>()) {
+        let a = dims.delinearize((seed % dims.node_count() as u64) as usize);
+        let b = dims.delinearize(((seed >> 20) % dims.node_count() as u64) as usize);
+        let route = route_dimension_ordered(dims, a, b);
+        prop_assert_eq!(route.len(), hop_distance(dims, a, b));
+        let mut cur = a;
+        for step in &route {
+            prop_assert_eq!(step.from, cur);
+            prop_assert_eq!(hop_distance(dims, step.from, step.to), 1);
+            cur = step.to;
+        }
+        prop_assert_eq!(cur, b);
+    }
+
+    #[test]
+    fn linearize_bijective(dims in dims_strategy()) {
+        let mut seen = vec![false; dims.node_count()];
+        for c in dims.iter() {
+            let i = dims.linearize(c);
+            prop_assert!(!seen[i]);
+            seen[i] = true;
+            prop_assert_eq!(dims.delinearize(i), c);
+        }
+        prop_assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn all_mappings_injective(
+        rows in 1usize..10,
+        cols in 1usize..10,
+    ) {
+        let logical = LogicalArray::new(rows, cols);
+        let dims = TaskMapping::paper_torus_for(logical);
+        for kind in [
+            TaskMappingKind::RowMajor,
+            TaskMappingKind::FoldedPlanes,
+            TaskMappingKind::Scrambled,
+        ] {
+            let m = TaskMapping::new(kind, logical, dims);
+            let mut coords: Vec<_> = (0..logical.len()).map(|r| m.coord_of(r)).collect();
+            coords.sort();
+            let before = coords.len();
+            coords.dedup();
+            prop_assert_eq!(coords.len(), before, "{:?} not injective", kind);
+            // Every coordinate is inside the torus.
+            for c in coords {
+                prop_assert!(dims.contains(c));
+            }
+        }
+    }
+
+    #[test]
+    fn ring_cost_nonnegative_and_zero_for_singletons(
+        rows in 1usize..8,
+        cols in 1usize..8,
+    ) {
+        let logical = LogicalArray::new(rows, cols);
+        let dims = TaskMapping::paper_torus_for(logical);
+        let m = TaskMapping::new(TaskMappingKind::FoldedPlanes, logical, dims);
+        for col in 0..cols {
+            let group = logical.column_group(col);
+            let cost = m.ring_hop_cost(&group);
+            if group.len() < 2 {
+                prop_assert_eq!(cost, 0);
+            } else {
+                // A ring over g >= 2 distinct nodes moves at least g hops.
+                prop_assert!(cost >= group.len());
+            }
+        }
+    }
+}

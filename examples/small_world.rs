@@ -1,0 +1,74 @@
+//! Small-world semantic graphs and the BFS frontier.
+//!
+//! The paper motivates distributed BFS with semantic graphs, which in
+//! practice are small-world networks: highly clustered, with short
+//! global paths created by a few long-range links. This example sweeps
+//! the Watts–Strogatz rewiring probability and shows how graph
+//! structure reshapes the search the paper's machinery performs:
+//!
+//! * a pure lattice has diameter O(n/k) — hundreds of shallow levels,
+//!   tiny frontiers, communication dominated by per-level latency;
+//! * a few percent rewiring collapses the diameter ("six degrees"),
+//!   concentrating the volume into a handful of explosive levels — the
+//!   regime the paper's Figures 4.b/6 characterize;
+//! * locality also changes *where* messages go: lattice edges stay near
+//!   the diagonal of the adjacency matrix, so fold traffic is mostly
+//!   rank-local, while rewired edges spray across the processor row.
+//!
+//! ```sh
+//! cargo run --release --example small_world
+//! ```
+
+use bgl_bfs::core::bfs2d;
+use bgl_bfs::{BfsConfig, DistGraph, GraphSpec, ProcessorGrid, SimWorld};
+
+fn main() {
+    let n = 50_000u64;
+    let k = 8.0;
+    let grid = ProcessorGrid::new(4, 4);
+    println!(
+        "Watts–Strogatz sweep: n = {n}, k = {k}, {}x{} grid\n",
+        grid.rows(),
+        grid.cols()
+    );
+    println!(
+        "{:>8} {:>8} {:>12} {:>14} {:>14} {:>12}",
+        "rewire", "levels", "peak front", "fold verts", "local folds%", "sim time"
+    );
+
+    for rewire in [0.0, 0.001, 0.01, 0.1, 1.0] {
+        let spec = GraphSpec::small_world(n, k, rewire, 7);
+        let graph = DistGraph::build(spec, grid);
+        let mut world = SimWorld::bluegene(grid);
+        let r = bfs2d::run(&graph, &mut world, &BfsConfig::paper_optimized(), 0);
+
+        let peak_frontier = r.stats.levels.iter().map(|l| l.frontier).max().unwrap_or(0);
+        let fold_wire = r.stats.comm.class(bgl_bfs::comm::OpClass::Fold).received_verts;
+        // Locality: how many discovered neighbors were owned by the
+        // discovering rank itself (never hit the wire)? Estimate from
+        // reached edges vs wire volume.
+        let reached_entries: u64 = graph
+            .ranks
+            .iter()
+            .map(|rg| rg.edges.num_entries() as u64)
+            .sum();
+        let local_pct = 100.0 * (1.0 - fold_wire as f64 / reached_entries.max(1) as f64);
+
+        println!(
+            "{:>8} {:>8} {:>12} {:>14} {:>13.1}% {:>10.3}ms",
+            rewire,
+            r.stats.num_levels(),
+            peak_frontier,
+            fold_wire,
+            local_pct.max(0.0),
+            r.stats.sim_time * 1e3
+        );
+    }
+
+    println!(
+        "\nat rewire = 0 the search crawls the ring (levels ≈ n/k, all traffic \
+         rank-local); a trickle of long-range links collapses the level count by \
+         orders of magnitude while pushing fold traffic onto the wire — the \
+         communication regime the paper's collectives are built for."
+    );
+}

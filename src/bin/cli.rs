@@ -1,0 +1,307 @@
+//! `bgl-bfs` — command-line front end for the SC'05 distributed BFS
+//! reproduction.
+//!
+//! ```text
+//! bgl-bfs search --n 100000 --k 10 --rows 8 --cols 8 --source 0 [--target 99]
+//! bgl-bfs path   --n 100000 --k 10 --rows 8 --cols 8 --source 0 --target 99
+//! bgl-bfs theory --n 40000000 --p 400
+//! bgl-bfs memory --per-rank 100000 --k 10 --rows 128 --cols 256
+//! bgl-bfs info
+//! ```
+
+use bgl_bfs::comm::ChunkPolicy;
+use bgl_bfs::core::{bfs2d, bidir, memory, path, theory};
+use bgl_bfs::torus::MachineConfig;
+use bgl_bfs::{BfsConfig, DistGraph, GraphSpec, ProcessorGrid, SimWorld};
+use std::collections::HashMap;
+
+const HELP: &str = "\
+bgl-bfs — scalable distributed-parallel BFS (Yoo et al., SC'05) on a simulated BlueGene/L
+
+USAGE: bgl-bfs <command> [--flag value]...
+
+COMMANDS
+  search   run a BFS (flags: --n --k --seed --rows --cols --source [--target] [--bidir])
+  path     extract a shortest path (flags as search, --target required)
+  theory   print the §3.1 message-length analysis (--n --p [--kmax])
+  memory   per-node memory feasibility (--per-rank --k --rows --cols [--chunk])
+  info     machine presets
+  help     this text
+";
+
+struct Flags(HashMap<String, String>);
+
+impl Flags {
+    fn parse(args: &[String]) -> Self {
+        let mut map = HashMap::new();
+        let mut i = 0;
+        while i < args.len() {
+            if let Some(key) = args[i].strip_prefix("--") {
+                if i + 1 < args.len() && !args[i + 1].starts_with("--") {
+                    map.insert(key.to_string(), args[i + 1].clone());
+                    i += 2;
+                } else {
+                    map.insert(key.to_string(), "true".to_string());
+                    i += 1;
+                }
+            } else {
+                eprintln!("warning: ignoring {:?}", args[i]);
+                i += 1;
+            }
+        }
+        Flags(map)
+    }
+
+    fn u64(&self, key: &str, default: u64) -> u64 {
+        self.0
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key}: bad integer {v:?}")))
+            .unwrap_or(default)
+    }
+
+    fn f64(&self, key: &str, default: f64) -> f64 {
+        self.0
+            .get(key)
+            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key}: bad number {v:?}")))
+            .unwrap_or(default)
+    }
+
+    fn has(&self, key: &str) -> bool {
+        self.0.contains_key(key)
+    }
+}
+
+fn grid_from(flags: &Flags) -> ProcessorGrid {
+    ProcessorGrid::new(
+        flags.u64("rows", 4) as usize,
+        flags.u64("cols", 4) as usize,
+    )
+}
+
+fn spec_from(flags: &Flags) -> GraphSpec {
+    GraphSpec::poisson(
+        flags.u64("n", 100_000),
+        flags.f64("k", 10.0),
+        flags.u64("seed", 42),
+    )
+}
+
+fn cmd_search(flags: &Flags) {
+    let spec = spec_from(flags);
+    let grid = grid_from(flags);
+    let source = flags.u64("source", 0).min(spec.n - 1);
+    println!(
+        "G(n={}, k={}) on {}x{} — building…",
+        spec.n,
+        spec.avg_degree,
+        grid.rows(),
+        grid.cols()
+    );
+    let graph = DistGraph::build(spec, grid);
+    let mut world = SimWorld::bluegene(grid);
+
+    if flags.has("bidir") {
+        let target = flags.u64("target", spec.n - 1).min(spec.n - 1);
+        let r = bidir::run(&graph, &mut world, &BfsConfig::paper_optimized(), source, target);
+        match r.distance {
+            Some(d) => println!("bi-directional distance {source} → {target}: {d}"),
+            None => println!("{source} and {target} are not connected"),
+        }
+        println!(
+            "simulated {:.3} ms ({:.3} ms comm), {} vertices moved",
+            r.stats.sim_time * 1e3,
+            r.stats.comm_time * 1e3,
+            r.stats.total_received()
+        );
+        return;
+    }
+
+    let mut config = BfsConfig::paper_optimized();
+    if flags.has("target") {
+        config = config.with_target(flags.u64("target", 0).min(spec.n - 1));
+    }
+    let r = bfs2d::run(&graph, &mut world, &config, source);
+    println!(
+        "reached {}/{} vertices in {} levels",
+        r.stats.reached,
+        spec.n,
+        r.stats.num_levels()
+    );
+    if let Some(t) = config.target {
+        match r.target_level {
+            Some(l) => println!("target {t} found at level {l}"),
+            None => println!("target {t} not reachable from {source}"),
+        }
+    }
+    println!(
+        "simulated {:.3} ms ({:.3} ms comm, {:.3} ms compute); expand/fold per level: {:.1} / {:.1} verts; redundancy {:.1}%",
+        r.stats.sim_time * 1e3,
+        r.stats.comm_time * 1e3,
+        r.stats.compute_time * 1e3,
+        r.stats.avg_expand_len_per_level(),
+        r.stats.avg_fold_len_per_level(),
+        r.stats.redundancy_ratio_percent()
+    );
+}
+
+fn cmd_path(flags: &Flags) {
+    let spec = spec_from(flags);
+    let grid = grid_from(flags);
+    let source = flags.u64("source", 0).min(spec.n - 1);
+    let target = flags.u64("target", spec.n - 1).min(spec.n - 1);
+    let graph = DistGraph::build(spec, grid);
+    let mut world = SimWorld::bluegene(grid);
+    let r = bfs2d::run(&graph, &mut world, &BfsConfig::paper_optimized(), source);
+    match path::extract_path(&graph, &mut world, &r.levels, source, target) {
+        Some(p) => {
+            println!("shortest path ({} hops):", p.len() - 1);
+            println!(
+                "  {}",
+                p.iter().map(u64::to_string).collect::<Vec<_>>().join(" -> ")
+            );
+        }
+        None => println!("{target} is not reachable from {source}"),
+    }
+}
+
+fn cmd_theory(flags: &Flags) {
+    let n = flags.u64("n", 40_000_000) as f64;
+    let p = flags.u64("p", 400) as f64;
+    let kmax = flags.f64("kmax", 1e4);
+    println!("§3.1 analysis for n = {n}, P = {p} (square mesh √P = {:.0}):\n", p.sqrt());
+    println!(
+        "{:>6} {:>14} {:>14} {:>14} {:>14}",
+        "k", "1D fold", "2D expand", "2D fold", "worst n/P·k"
+    );
+    for k in [1.0, 5.0, 10.0, 20.0, 34.0, 50.0, 100.0, 200.0] {
+        let rt = p.sqrt();
+        println!(
+            "{:>6} {:>14.0} {:>14.0} {:>14.0} {:>14.0}",
+            k,
+            theory::expected_len_1d(n, k, p),
+            theory::expected_len_2d_expand(n, k, p, rt),
+            theory::expected_len_2d_fold(n, k, p, rt),
+            theory::worst_case_len(n, k, p)
+        );
+    }
+    match theory::crossover_degree(n, p, kmax) {
+        Some(k) => println!(
+            "\n1D/2D crossover degree: k = {k:.2} (the paper reports 34 at P = 400; \
+             the exact root of its equation is ≈ 31.3)"
+        ),
+        None => println!("\nno 1D/2D crossover below k = {kmax}"),
+    }
+}
+
+fn cmd_memory(flags: &Flags) {
+    let grid = grid_from(flags);
+    let per_rank = flags.u64("per-rank", 100_000);
+    let k = flags.f64("k", 10.0);
+    let n = per_rank * grid.len() as u64;
+    let spec = GraphSpec::poisson(n, k, 0);
+    let machine = MachineConfig::bluegene_l_half();
+    let chunk = match flags.u64("chunk", 65536) {
+        0 => ChunkPolicy::Unbounded,
+        c => ChunkPolicy::fixed(c as usize),
+    };
+    let est = memory::estimate(&spec, grid, &machine, chunk);
+    println!(
+        "n = {n} (|V|/rank = {per_rank}, k = {k}) on {}x{} — per-node budget:",
+        grid.rows(),
+        grid.cols()
+    );
+    println!("  edge entries : {:>10.1} MB", est.edge_bytes / 1e6);
+    println!("  column index : {:>10.1} MB", est.col_index_bytes / 1e6);
+    println!("  row index    : {:>10.1} MB", est.row_index_bytes / 1e6);
+    println!("  owned state  : {:>10.1} MB", est.owned_bytes / 1e6);
+    println!("  buffers      : {:>10.1} MB", est.buffer_bytes / 1e6);
+    println!(
+        "  total        : {:>10.1} MB of {:.0} MB/node ({:.1}%) => {}",
+        est.total() / 1e6,
+        est.capacity_bytes / 1e6,
+        est.utilization() * 100.0,
+        if est.fits() { "FITS" } else { "DOES NOT FIT" }
+    );
+    let cap = memory::max_per_rank_vertices(k, grid, &machine, chunk);
+    println!("  max |V|/rank at k = {k}: {cap}");
+}
+
+fn cmd_info() {
+    for (name, m) in [
+        ("BlueGene/L full (64x32x32)", MachineConfig::bluegene_l_full()),
+        ("BlueGene/L half (32x32x32)", MachineConfig::bluegene_l_half()),
+        ("MCR Linux cluster", MachineConfig::mcr_cluster()),
+    ] {
+        println!(
+            "{name}: {} nodes, {} MB/node, link {:.0} MB/s, α = {:.1} µs, hash {:.0} Mprobe/s",
+            m.node_count(),
+            m.memory_per_node / (1024 * 1024),
+            m.link_bandwidth / 1e6,
+            m.software_overhead * 1e6,
+            m.hash_rate / 1e6
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn flags(s: &str) -> Flags {
+        Flags::parse(&s.split_whitespace().map(String::from).collect::<Vec<_>>())
+    }
+
+    #[test]
+    fn parses_key_value_pairs() {
+        let f = flags("--n 500 --k 12.5 --bidir");
+        assert_eq!(f.u64("n", 0), 500);
+        assert!((f.f64("k", 0.0) - 12.5).abs() < 1e-12);
+        assert!(f.has("bidir"));
+        assert!(!f.has("target"));
+    }
+
+    #[test]
+    fn defaults_when_missing() {
+        let f = flags("");
+        assert_eq!(f.u64("rows", 4), 4);
+        assert_eq!(f.f64("k", 10.0), 10.0);
+    }
+
+    #[test]
+    fn grid_and_spec_construction() {
+        let f = flags("--rows 2 --cols 8 --n 1000 --k 4 --seed 9");
+        let g = grid_from(&f);
+        assert_eq!((g.rows(), g.cols()), (2, 8));
+        let spec = spec_from(&f);
+        assert_eq!(spec.n, 1000);
+        assert_eq!(spec.seed, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad integer")]
+    fn bad_integer_rejected() {
+        flags("--n abc").u64("n", 0);
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        print!("{HELP}");
+        return;
+    };
+    let flags = Flags::parse(&args[1..]);
+    match cmd.as_str() {
+        "search" => cmd_search(&flags),
+        "path" => cmd_path(&flags),
+        "theory" => cmd_theory(&flags),
+        "memory" => cmd_memory(&flags),
+        "info" => cmd_info(),
+        "help" | "--help" | "-h" => print!("{HELP}"),
+        other => {
+            eprintln!("unknown command {other:?}\n");
+            print!("{HELP}");
+            std::process::exit(2);
+        }
+    }
+}

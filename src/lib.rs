@@ -1,0 +1,23 @@
+//! # bgl-bfs — facade crate
+//!
+//! One-stop re-export of the SC'05 BlueGene/L distributed BFS
+//! reproduction:
+//!
+//! * [`torus`] (`bgl-torus`) — the 3D torus machine model;
+//! * [`comm`] (`bgl-comm`) — rank runtimes and collectives;
+//! * [`graph`] (`bgl-graph`) — distributed Poisson/R-MAT graphs;
+//! * [`core`] (`bfs-core`) — the BFS algorithms and theory.
+//!
+//! See the workspace README for a tour and `examples/` for runnable
+//! entry points (`cargo run --release --example quickstart`).
+
+#![forbid(unsafe_code)]
+
+pub use bfs_core as core;
+pub use bgl_comm as comm;
+pub use bgl_graph as graph;
+pub use bgl_torus as torus;
+
+pub use bfs_core::{bfs1d, bfs2d, bidir, theory, BfsConfig, ExpandStrategy, FoldStrategy};
+pub use bgl_comm::{ProcessorGrid, SimWorld};
+pub use bgl_graph::{DistGraph, GraphSpec};

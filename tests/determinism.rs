@@ -1,0 +1,64 @@
+//! Determinism and reproducibility: every run is a pure function of
+//! (spec, grid, config, source) — the property the whole experiment
+//! harness rests on.
+
+use bgl_bfs::core::bfs2d;
+use bgl_bfs::{BfsConfig, DistGraph, GraphSpec, ProcessorGrid, SimWorld};
+
+#[test]
+fn identical_runs_produce_identical_stats() {
+    let spec = GraphSpec::poisson(1_000, 8.0, 1234);
+    let grid = ProcessorGrid::new(3, 3);
+    let run = || {
+        let graph = DistGraph::build(spec, grid);
+        let mut world = SimWorld::bluegene(grid);
+        bfs2d::run(&graph, &mut world, &BfsConfig::paper_optimized(), 5)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.levels, b.levels);
+    assert_eq!(a.stats.levels, b.stats.levels);
+    assert_eq!(a.stats.comm, b.stats.comm);
+    assert_eq!(a.stats.sim_time.to_bits(), b.stats.sim_time.to_bits());
+}
+
+#[test]
+fn graph_identical_across_grid_shapes() {
+    // The generated graph depends only on the spec: total entries match
+    // across every partitioning (cell sampling is grid-independent).
+    let spec = GraphSpec::poisson(5_000, 6.0, 99);
+    let counts: Vec<u64> = [(1, 1), (2, 2), (4, 8), (32, 1), (1, 32)]
+        .iter()
+        .map(|&(r, c)| DistGraph::build(spec, ProcessorGrid::new(r, c)).total_entries())
+        .collect();
+    for w in counts.windows(2) {
+        assert_eq!(w[0], w[1], "entry counts differ across grids: {counts:?}");
+    }
+}
+
+#[test]
+fn different_seeds_change_results_same_seed_does_not() {
+    let grid = ProcessorGrid::new(2, 2);
+    let levels_for = |seed: u64| {
+        let spec = GraphSpec::poisson(800, 5.0, seed);
+        let graph = DistGraph::build(spec, grid);
+        let mut world = SimWorld::bluegene(grid);
+        bfs2d::run(&graph, &mut world, &BfsConfig::default(), 0).levels
+    };
+    assert_eq!(levels_for(7), levels_for(7));
+    assert_ne!(levels_for(7), levels_for(8));
+}
+
+#[test]
+fn world_reset_restores_clean_slate() {
+    let spec = GraphSpec::poisson(600, 6.0, 11);
+    let grid = ProcessorGrid::new(2, 3);
+    let graph = DistGraph::build(spec, grid);
+    let mut world = SimWorld::bluegene(grid);
+    let a = bfs2d::run(&graph, &mut world, &BfsConfig::default(), 0);
+    world.reset();
+    let b = bfs2d::run(&graph, &mut world, &BfsConfig::default(), 0);
+    assert_eq!(a.levels, b.levels);
+    assert_eq!(a.stats.sim_time.to_bits(), b.stats.sim_time.to_bits());
+    assert_eq!(a.stats.comm, b.stats.comm);
+}

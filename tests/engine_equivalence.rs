@@ -1,0 +1,58 @@
+//! Engine cross-validation: the superstep simulator and the real
+//! one-thread-per-rank message-passing runtime must produce identical
+//! BFS labels — the evidence that simulated message routing is faithful.
+
+use bgl_bfs::core::{bfs2d, threaded_run};
+use bgl_bfs::{BfsConfig, DistGraph, GraphSpec, ProcessorGrid, SimWorld};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn simulator_and_threads_agree(
+        n in 60u64..300,
+        k in 1u32..10,
+        seed in 0u64..500,
+        r in 1usize..4,
+        c in 1usize..4,
+        sent in any::<bool>(),
+    ) {
+        let spec = GraphSpec::poisson(n, k as f64, seed);
+        let grid = ProcessorGrid::new(r, c);
+        let graph = DistGraph::build(spec, grid);
+
+        let threaded = threaded_run::run_threaded(&graph, 0, sent);
+        let mut world = SimWorld::bluegene(grid);
+        let config = BfsConfig {
+            sent_neighbors: sent,
+            ..BfsConfig::baseline_alltoall()
+        };
+        let sim = bfs2d::run(&graph, &mut world, &config, 0);
+        prop_assert_eq!(threaded, sim.levels);
+    }
+}
+
+#[test]
+fn engines_agree_on_wide_grid() {
+    // More ranks than a proptest case would spawn: 24 threads.
+    let spec = GraphSpec::poisson(2_000, 8.0, 77);
+    let grid = ProcessorGrid::new(4, 6);
+    let graph = DistGraph::build(spec, grid);
+    let threaded = threaded_run::run_threaded(&graph, 19, true);
+    let mut world = SimWorld::bluegene(grid);
+    let sim = bfs2d::run(&graph, &mut world, &BfsConfig::baseline_alltoall(), 19);
+    assert_eq!(threaded, sim.levels);
+}
+
+#[test]
+fn repeated_threaded_runs_are_deterministic() {
+    // Thread scheduling must not leak into results.
+    let spec = GraphSpec::poisson(800, 6.0, 13);
+    let grid = ProcessorGrid::new(3, 3);
+    let graph = DistGraph::build(spec, grid);
+    let first = threaded_run::run_threaded(&graph, 0, true);
+    for _ in 0..5 {
+        assert_eq!(threaded_run::run_threaded(&graph, 0, true), first);
+    }
+}
