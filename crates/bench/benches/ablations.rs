@@ -62,7 +62,13 @@ fn bench_fold_ablation(c: &mut Criterion) {
         })
     });
     group.bench_function("direct_alltoall", |b| {
-        b.iter(|| black_box(run_once(&graph, &mut world, &BfsConfig::baseline_alltoall())))
+        b.iter(|| {
+            black_box(run_once(
+                &graph,
+                &mut world,
+                &BfsConfig::baseline_alltoall(),
+            ))
+        })
     });
     group.finish();
 }
@@ -169,7 +175,13 @@ fn bench_chunk_policy_ablation(c: &mut Criterion) {
             policy,
         );
         group.bench_function(name, |b| {
-            b.iter(|| black_box(run_once(&graph, &mut world, &BfsConfig::baseline_alltoall())))
+            b.iter(|| {
+                black_box(run_once(
+                    &graph,
+                    &mut world,
+                    &BfsConfig::baseline_alltoall(),
+                ))
+            })
         });
     }
     group.finish();
@@ -197,7 +209,13 @@ fn bench_congestion_model_ablation(c: &mut Criterion) {
         b.iter(|| black_box(run_once(&graph, &mut plain, &BfsConfig::paper_optimized())))
     });
     group.bench_function("congestion_aware", |b| {
-        b.iter(|| black_box(run_once(&graph, &mut congested, &BfsConfig::paper_optimized())))
+        b.iter(|| {
+            black_box(run_once(
+                &graph,
+                &mut congested,
+                &BfsConfig::paper_optimized(),
+            ))
+        })
     });
     group.finish();
 }

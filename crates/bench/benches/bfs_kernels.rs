@@ -78,5 +78,10 @@ fn bench_degree_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_bfs_2d, bench_bfs_1d_vs_2d, bench_degree_sweep);
+criterion_group!(
+    benches,
+    bench_bfs_2d,
+    bench_bfs_1d_vs_2d,
+    bench_degree_sweep
+);
 criterion_main!(benches);

@@ -3,8 +3,8 @@
 //! the two-phase grouped ring.
 
 use bgl_comm::collectives::{
-    alltoall::alltoallv, reduce_scatter::reduce_scatter_union_ring,
-    two_phase::two_phase_fold, Groups,
+    alltoall::alltoallv, reduce_scatter::reduce_scatter_union_ring, two_phase::two_phase_fold,
+    Groups,
 };
 use bgl_comm::{OpClass, ProcessorGrid, SimWorld, Vert};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};

@@ -45,5 +45,10 @@ fn bench_rmat_build(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_cell_sampling, bench_dist_build, bench_rmat_build);
+criterion_group!(
+    benches,
+    bench_cell_sampling,
+    bench_dist_build,
+    bench_rmat_build
+);
 criterion_main!(benches);

@@ -13,9 +13,9 @@
 //! Flags: `--ps 1,4,16,64,256,1024` `--scale 100` (divisor applied to
 //! paper's per-rank |V|) `--sources 3` `--csv out.csv`
 
+use bfs_core::BfsConfig;
 use bgl_bench::exp;
 use bgl_bench::harness::{fmt_secs, Args, Table};
-use bfs_core::BfsConfig;
 use bgl_comm::ProcessorGrid;
 use bgl_graph::GraphSpec;
 
@@ -29,7 +29,12 @@ fig4a_weak_scaling — reproduce paper Figure 4.a (weak scaling)
 ";
 
 /// The paper's four weak-scaling series: (per-rank |V| at scale 1, k).
-const SERIES: [(u64, f64); 4] = [(100_000, 10.0), (20_000, 50.0), (10_000, 100.0), (5_000, 200.0)];
+const SERIES: [(u64, f64); 4] = [
+    (100_000, 10.0),
+    (20_000, 50.0),
+    (10_000, 100.0),
+    (5_000, 200.0),
+];
 
 fn main() {
     let args = Args::parse();
@@ -64,10 +69,8 @@ fn main() {
     let mut k10_times: Vec<(f64, f64)> = Vec::new();
     for &p in &ps {
         let grid = ProcessorGrid::square_ish(p as usize);
-        let mut cells: Vec<String> = vec![
-            p.to_string(),
-            format!("{}x{}", grid.rows(), grid.cols()),
-        ];
+        let mut cells: Vec<String> =
+            vec![p.to_string(), format!("{}x{}", grid.rows(), grid.cols())];
         let mut comm_cell = String::new();
         for (idx, &(v_full, k)) in SERIES.iter().enumerate() {
             let per_rank = (v_full / scale).max(1);
@@ -99,9 +102,7 @@ fn main() {
         let xs: Vec<f64> = k10_times.iter().map(|&(p, _)| p).collect();
         let ys: Vec<f64> = k10_times.iter().map(|&(_, t)| t).collect();
         let (a, b, r2) = exp::fit_log(&xs, &ys);
-        println!(
-            "\nlog-P regression (k=10 series): time ≈ {a:.4} + {b:.4}·log2(P), R² = {r2:.3}"
-        );
+        println!("\nlog-P regression (k=10 series): time ≈ {a:.4} + {b:.4}·log2(P), R² = {r2:.3}");
         println!("paper claim: execution time grows ∝ log P (diameter of the random graph).");
         println!(
             "comm/total at largest P: {:.0}% — the paper observes a small fraction at \

@@ -54,7 +54,14 @@ fn main() {
             grid.rows(),
             grid.cols()
         ),
-        &["level", "frontier", "predicted_frontier", "expand_recv", "fold_recv", "total_recv"],
+        &[
+            "level",
+            "frontier",
+            "predicted_frontier",
+            "expand_recv",
+            "fold_recv",
+            "total_recv",
+        ],
     );
     let mut peak_level = 0u32;
     let mut peak = 0u64;

@@ -43,7 +43,15 @@ fn main() {
 
     let mut table = Table::new(
         "Figure 4.c — bi-directional vs uni-directional BFS (simulated seconds)",
-        &["P", "uni_time", "bidi_time", "bidi/uni", "uni_recv", "bidi_recv", "vol_ratio"],
+        &[
+            "P",
+            "uni_time",
+            "bidi_time",
+            "bidi/uni",
+            "uni_recv",
+            "bidi_recv",
+            "vol_ratio",
+        ],
     );
 
     let mut worst_ratio = 0.0f64;
@@ -55,10 +63,7 @@ fn main() {
 
         // Endpoint pairs spread across the vertex space.
         let srcs = exp::sources(n, n_pairs);
-        let pairs: Vec<(u64, u64)> = srcs
-            .iter()
-            .map(|&s| (s, (s + n / 2 + 1) % n))
-            .collect();
+        let pairs: Vec<(u64, u64)> = srcs.iter().map(|&s| (s, (s + n / 2 + 1) % n)).collect();
 
         let mut uni_time = 0.0;
         let mut uni_recv = 0u64;

@@ -51,10 +51,7 @@ fn main() {
         .map(|&(v, k)| format!("ratio%(|V|={},k={})", (v / scale).max(1), k))
         .collect();
     let columns = vec!["P", "grid", headers[0].as_str(), headers[1].as_str()];
-    let mut table = Table::new(
-        "Figure 7 — union-fold redundancy ratio (percent)",
-        &columns,
-    );
+    let mut table = Table::new("Figure 7 — union-fold redundancy ratio (percent)", &columns);
 
     let config = BfsConfig {
         fold: FoldStrategy::TwoPhaseRing,

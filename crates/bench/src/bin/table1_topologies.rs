@@ -111,7 +111,11 @@ fn main() {
                 format!("{:.1}", expand_len / c),
                 format!("{:.1}", fold_len / c),
             ]);
-            eprintln!("  … ({per_rank},{k}) on {}x{} done", grid.rows(), grid.cols());
+            eprintln!(
+                "  … ({per_rank},{k}) on {}x{} done",
+                grid.rows(),
+                grid.cols()
+            );
         }
     }
     table.emit(args.str("csv"));

@@ -106,7 +106,11 @@ pub fn fit_log(xs: &[f64], ys: &[f64]) -> (f64, f64, f64) {
             e * e
         })
         .sum();
-    let r2 = if ss_tot == 0.0 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    let r2 = if ss_tot == 0.0 {
+        1.0
+    } else {
+        1.0 - ss_res / ss_tot
+    };
     (a, b, r2)
 }
 

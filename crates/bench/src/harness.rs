@@ -54,7 +54,10 @@ impl Args {
     pub fn u64(&self, key: &str, default: u64) -> u64 {
         self.flags
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects an integer, got {v:?}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects an integer, got {v:?}"))
+            })
             .unwrap_or(default)
     }
 
@@ -67,7 +70,10 @@ impl Args {
     pub fn f64(&self, key: &str, default: f64) -> f64 {
         self.flags
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key} expects a number, got {v:?}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key} expects a number, got {v:?}"))
+            })
             .unwrap_or(default)
     }
 
@@ -182,8 +188,7 @@ impl Table {
     pub fn emit(&self, csv_path: Option<&str>) {
         print!("{}", self.render());
         if let Some(path) = csv_path {
-            std::fs::write(path, self.to_csv())
-                .unwrap_or_else(|e| panic!("writing {path}: {e}"));
+            std::fs::write(path, self.to_csv()).unwrap_or_else(|e| panic!("writing {path}: {e}"));
             println!("(csv written to {path})");
         }
     }

@@ -17,8 +17,7 @@ use crate::{Vert, VERT_BYTES};
 use serde::{Deserialize, Serialize};
 
 /// How payloads are broken into wire messages.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
 pub enum ChunkPolicy {
     /// One message per payload, however large (the naive all-to-all
     /// buffer the paper replaces).
@@ -72,15 +71,11 @@ impl ChunkPolicy {
                 if payload.len() <= *capacity {
                     return vec![payload];
                 }
-                payload
-                    .chunks(*capacity)
-                    .map(|c| c.to_vec())
-                    .collect()
+                payload.chunks(*capacity).map(|c| c.to_vec()).collect()
             }
         }
     }
 }
-
 
 #[cfg(test)]
 mod tests {

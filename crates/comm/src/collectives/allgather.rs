@@ -19,7 +19,8 @@
 #![allow(clippy::needless_range_loop)]
 
 use super::Groups;
-use crate::sim::SimWorld;
+use crate::error::CommError;
+use crate::sim::{Inbox, SimWorld};
 use crate::stats::OpClass;
 use crate::Vert;
 
@@ -33,14 +34,13 @@ pub fn allgather_ring(
     class: OpClass,
     groups: &Groups,
     contribution: Vec<Vec<Vert>>,
-) -> Vec<Vec<(usize, Vec<Vert>)>> {
+) -> Result<Vec<Inbox>, CommError> {
     debug_assert_eq!(contribution.len(), world.p());
     let p = world.p();
 
     // gathered[rank] accumulates (source, payload).
-    let mut gathered: Vec<Vec<(usize, Vec<Vert>)>> = (0..p)
-        .map(|r| vec![(r, contribution[r].clone())])
-        .collect();
+    let mut gathered: Vec<Vec<(usize, Vec<Vert>)>> =
+        (0..p).map(|r| vec![(r, contribution[r].clone())]).collect();
     // in_flight[rank] is the piece this rank forwards at the next step.
     let mut in_flight: Vec<Vec<Vert>> = contribution;
 
@@ -59,7 +59,7 @@ pub fn allgather_ring(
                 sends.push((rank, succ, in_flight[rank].clone()));
             }
         }
-        let inboxes = world.exchange(class, sends);
+        let inboxes = world.exchange(class, sends)?;
         for (rank, mut inbox) in inboxes.into_iter().enumerate() {
             debug_assert!(inbox.len() <= 1, "ring delivers at most one piece per step");
             if let Some((_, piece)) = inbox.pop() {
@@ -75,7 +75,7 @@ pub fn allgather_ring(
     for g in gathered.iter_mut() {
         g.sort_by_key(|(src, _)| *src);
     }
-    gathered
+    Ok(gathered)
 }
 
 #[cfg(test)]
@@ -88,9 +88,8 @@ mod tests {
         let grid = ProcessorGrid::new(4, 2); // columns of 4
         let mut w = SimWorld::bluegene(grid);
         let groups = Groups::cols_of(grid);
-        let contribution: Vec<Vec<Vert>> =
-            (0..8).map(|r| vec![r as Vert * 100]).collect();
-        let out = allgather_ring(&mut w, OpClass::Expand, &groups, contribution);
+        let contribution: Vec<Vec<Vert>> = (0..8).map(|r| vec![r as Vert * 100]).collect();
+        let out = allgather_ring(&mut w, OpClass::Expand, &groups, contribution).unwrap();
         for rank in 0..8 {
             let group = groups.group_of(rank);
             assert_eq!(out[rank].len(), group.len());
@@ -111,7 +110,7 @@ mod tests {
         let mut w = SimWorld::bluegene(grid);
         let groups = Groups::new(5, vec![vec![0, 1, 2], vec![3, 4]]);
         let contribution: Vec<Vec<Vert>> = (0..5).map(|r| vec![r as Vert]).collect();
-        let out = allgather_ring(&mut w, OpClass::Expand, &groups, contribution);
+        let out = allgather_ring(&mut w, OpClass::Expand, &groups, contribution).unwrap();
         assert_eq!(out[0], vec![(0, vec![0]), (1, vec![1]), (2, vec![2])]);
         assert_eq!(out[4], vec![(3, vec![3]), (4, vec![4])]);
     }
@@ -126,7 +125,8 @@ mod tests {
             OpClass::Expand,
             &groups,
             vec![vec![1], vec![2], vec![3]],
-        );
+        )
+        .unwrap();
         assert_eq!(out[0], vec![(0, vec![1])]);
         assert_eq!(w.time(), 0.0);
         assert_eq!(w.stats.total_received(), 0);
@@ -140,7 +140,7 @@ mod tests {
         let mut w = SimWorld::bluegene(grid);
         let groups = Groups::cols_of(grid);
         let contribution = vec![vec![0; 10]; 4];
-        allgather_ring(&mut w, OpClass::Expand, &groups, contribution);
+        allgather_ring(&mut w, OpClass::Expand, &groups, contribution).unwrap();
         for &r in &w.stats.received_per_rank {
             assert_eq!(r, 30);
         }
@@ -151,7 +151,7 @@ mod tests {
         let grid = ProcessorGrid::new(5, 1);
         let mut w = SimWorld::bluegene(grid);
         let groups = Groups::cols_of(grid);
-        allgather_ring(&mut w, OpClass::Expand, &groups, vec![vec![7]; 5]);
+        allgather_ring(&mut w, OpClass::Expand, &groups, vec![vec![7]; 5]).unwrap();
         // 4 rounds x 5 members = 20 wire messages.
         assert_eq!(w.stats.class(OpClass::Expand).messages, 20);
     }

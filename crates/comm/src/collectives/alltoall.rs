@@ -8,6 +8,7 @@
 //! happens.
 
 use super::Groups;
+use crate::error::CommError;
 use crate::sim::{Inbox, SimWorld};
 use crate::stats::OpClass;
 use crate::Vert;
@@ -25,7 +26,7 @@ pub fn alltoallv(
     class: OpClass,
     groups: &Groups,
     sends: Vec<SendList>,
-) -> Vec<Inbox> {
+) -> Result<Vec<Inbox>, CommError> {
     debug_assert_eq!(sends.len(), world.p());
     let mut flat = Vec::new();
     for (from, list) in sends.into_iter().enumerate() {
@@ -58,7 +59,7 @@ mod tests {
         let mut sends: Vec<SendList> = vec![Vec::new(); 6];
         sends[0] = vec![(1, vec![10]), (2, vec![20, 21])];
         sends[4] = vec![(5, vec![50])];
-        let inboxes = alltoallv(&mut w, OpClass::Fold, &groups, sends);
+        let inboxes = alltoallv(&mut w, OpClass::Fold, &groups, sends).unwrap();
         assert_eq!(inboxes[1], vec![(0, vec![10])]);
         assert_eq!(inboxes[2], vec![(0, vec![20, 21])]);
         assert_eq!(inboxes[5], vec![(4, vec![50])]);
@@ -71,7 +72,7 @@ mod tests {
         let mut w = SimWorld::bluegene(grid);
         let groups = Groups::rows_of(grid);
         let sends: Vec<SendList> = vec![vec![(1, vec![])], Vec::new()];
-        let inboxes = alltoallv(&mut w, OpClass::Fold, &groups, sends);
+        let inboxes = alltoallv(&mut w, OpClass::Fold, &groups, sends).unwrap();
         assert!(inboxes[1].is_empty());
         assert_eq!(w.stats.class(OpClass::Fold).messages, 0);
         assert_eq!(w.time(), 0.0);
@@ -87,6 +88,6 @@ mod tests {
         // Rank 0 is in row 0; rank 2 is in row 1.
         let mut sends: Vec<SendList> = vec![Vec::new(); 4];
         sends[0] = vec![(2, vec![1])];
-        alltoallv(&mut w, OpClass::Fold, &groups, sends);
+        let _ = alltoallv(&mut w, OpClass::Fold, &groups, sends);
     }
 }

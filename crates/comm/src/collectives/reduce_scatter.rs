@@ -22,6 +22,7 @@
 #![allow(clippy::needless_range_loop)]
 
 use super::Groups;
+use crate::error::CommError;
 use crate::setops;
 use crate::sim::SimWorld;
 use crate::stats::OpClass;
@@ -38,7 +39,7 @@ pub fn reduce_scatter_union_ring(
     class: OpClass,
     groups: &Groups,
     blocks: Vec<Vec<Vec<Vert>>>,
-) -> Vec<Vec<Vert>> {
+) -> Result<Vec<Vec<Vert>>, CommError> {
     debug_assert_eq!(blocks.len(), world.p());
     let p = world.p();
     for rank in 0..p {
@@ -69,7 +70,7 @@ pub fn reduce_scatter_union_ring(
                 sends.push((rank, succ, payload));
             }
         }
-        let inboxes = world.exchange(class, sends);
+        let inboxes = world.exchange(class, sends)?;
         let mut merge_bytes = vec![0u64; p];
         for (rank, mut inbox) in inboxes.into_iter().enumerate() {
             debug_assert!(inbox.len() <= 1);
@@ -90,12 +91,12 @@ pub fn reduce_scatter_union_ring(
     }
 
     // Member at position i now holds fully reduced block i.
-    (0..p)
+    Ok((0..p)
         .map(|rank| {
             let (_, pos) = groups.locate(rank);
             std::mem::take(&mut blocks[rank][pos])
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]
@@ -109,8 +110,7 @@ mod tests {
             .map(|rank| {
                 let (gi, pos) = groups.locate(rank);
                 let g = &groups.groups()[gi];
-                let sets: Vec<Vec<Vert>> =
-                    g.iter().map(|&m| blocks[m][pos].clone()).collect();
+                let sets: Vec<Vec<Vert>> = g.iter().map(|&m| blocks[m][pos].clone()).collect();
                 setops::union_many(&sets).0
             })
             .collect()
@@ -119,7 +119,7 @@ mod tests {
     fn run(grid: ProcessorGrid, groups: &Groups, blocks: Vec<Vec<Vec<Vert>>>) {
         let mut w = SimWorld::bluegene(grid);
         let expect = reference(groups, &blocks);
-        let got = reduce_scatter_union_ring(&mut w, OpClass::Fold, groups, blocks);
+        let got = reduce_scatter_union_ring(&mut w, OpClass::Fold, groups, blocks).unwrap();
         assert_eq!(got, expect);
     }
 
@@ -146,8 +146,7 @@ mod tests {
                 .map(|r| {
                     (0..c)
                         .map(|d| {
-                            let mut v =
-                                vec![r as Vert, (r + d) as Vert, 100 + d as Vert];
+                            let mut v = vec![r as Vert, (r + d) as Vert, 100 + d as Vert];
                             crate::setops::normalize(&mut v);
                             v
                         })
@@ -170,7 +169,7 @@ mod tests {
             vec![vec![42], vec![], vec![]],
             vec![vec![42], vec![], vec![]],
         ];
-        let got = reduce_scatter_union_ring(&mut w, OpClass::Fold, &groups, blocks);
+        let got = reduce_scatter_union_ring(&mut w, OpClass::Fold, &groups, blocks).unwrap();
         assert_eq!(got[0], vec![42]);
         assert_eq!(w.stats.total_dups_eliminated(), 2);
     }
@@ -188,7 +187,7 @@ mod tests {
         let blocks: Vec<Vec<Vec<Vert>>> = (0..4)
             .map(|_| vec![common.clone(), vec![], vec![], vec![]])
             .collect();
-        reduce_scatter_union_ring(&mut w, OpClass::Fold, &groups, blocks);
+        reduce_scatter_union_ring(&mut w, OpClass::Fold, &groups, blocks).unwrap();
         // Each of the 3 ring steps moves at most 100 verts into the next
         // holder for block 0 (plus zero-size blocks skipped as empty...
         // empty payloads still sent: ring always forwards). Upper bound:
@@ -203,7 +202,7 @@ mod tests {
         let groups = Groups::rows_of(grid);
         let mut w = SimWorld::bluegene(grid);
         let blocks = vec![vec![vec![1, 2, 3]], vec![vec![4]]];
-        let got = reduce_scatter_union_ring(&mut w, OpClass::Fold, &groups, blocks);
+        let got = reduce_scatter_union_ring(&mut w, OpClass::Fold, &groups, blocks).unwrap();
         assert_eq!(got, vec![vec![1, 2, 3], vec![4]]);
         assert_eq!(w.time(), 0.0);
     }

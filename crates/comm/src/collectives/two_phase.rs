@@ -30,8 +30,9 @@
 #![allow(clippy::needless_range_loop)]
 
 use super::Groups;
+use crate::error::CommError;
 use crate::setops;
-use crate::sim::SimWorld;
+use crate::sim::{Inbox, SimWorld};
 use crate::stats::OpClass;
 use crate::{Vert, VERT_BYTES};
 
@@ -60,7 +61,7 @@ pub fn two_phase_fold(
     class: OpClass,
     groups: &Groups,
     blocks: Vec<Vec<Vec<Vert>>>,
-) -> Vec<Vec<Vert>> {
+) -> Result<Vec<Vec<Vert>>, CommError> {
     debug_assert_eq!(blocks.len(), world.p());
     let p = world.p();
     for rank in 0..p {
@@ -91,7 +92,16 @@ pub fn two_phase_fold(
         let mut bundle = FoldBundle {
             sets: vec![Vec::new(); m],
         };
-        seed_own(&mut bundle, &blocks[rank], n, tc, m, world, rank, &mut merge_bytes_init[rank]);
+        seed_own(
+            &mut bundle,
+            &blocks[rank],
+            n,
+            tc,
+            m,
+            world,
+            rank,
+            &mut merge_bytes_init[rank],
+        );
         held[rank] = bundle;
     }
     world.memcpy_phase(&merge_bytes_init);
@@ -110,7 +120,7 @@ pub fn two_phase_fold(
                 sends.push((rank, succ, held[rank].wire_payload()));
             }
         }
-        let inboxes = world.exchange(class, sends);
+        let inboxes = world.exchange(class, sends)?;
         // Snapshot before applying receives: a predecessor processed
         // earlier in rank order must still expose the bundle it *sent*.
         let prev_held = held.clone();
@@ -131,7 +141,16 @@ pub fn two_phase_fold(
             let pred = g[sr * n + (sc + n - 1) % n];
             let mut bundle = prev_held[pred].clone();
             debug_assert_eq!(prev_target[pred], tc);
-            seed_own(&mut bundle, &blocks[rank], n, tc, m, world, rank, &mut merge_bytes[rank]);
+            seed_own(
+                &mut bundle,
+                &blocks[rank],
+                n,
+                tc,
+                m,
+                world,
+                rank,
+                &mut merge_bytes[rank],
+            );
             held[rank] = bundle;
             held_target[rank] = tc;
         }
@@ -159,7 +178,7 @@ pub fn two_phase_fold(
             let _ = m;
         }
     }
-    let inboxes = world.exchange(class, sends);
+    let inboxes = world.exchange(class, sends)?;
 
     // Final union at each destination.
     let mut merge_bytes = vec![0u64; p];
@@ -174,7 +193,7 @@ pub fn two_phase_fold(
         out[rank] = acc;
     }
     world.memcpy_phase(&merge_bytes);
-    out
+    Ok(out)
 }
 
 /// Union `rank`'s own blocks destined to the members of target column
@@ -231,7 +250,7 @@ pub fn two_phase_expand(
     class: OpClass,
     groups: &Groups,
     contribution: Vec<Vec<Vert>>,
-) -> Vec<Vec<(usize, Vec<Vert>)>> {
+) -> Result<Vec<Inbox>, CommError> {
     debug_assert_eq!(contribution.len(), world.p());
     let p = world.p();
     let shapes: Vec<(usize, usize)> = groups
@@ -257,7 +276,7 @@ pub fn two_phase_expand(
             }
         }
     }
-    let inboxes = world.exchange(class, sends);
+    let inboxes = world.exchange(class, sends)?;
 
     // Column bundles, ordered by subgrid row within the column.
     let mut held: Vec<ExpandBundle> = vec![ExpandBundle::default(); p];
@@ -302,7 +321,7 @@ pub fn two_phase_expand(
                 sends.push((rank, succ, held[rank].wire_payload()));
             }
         }
-        let inboxes = world.exchange(class, sends);
+        let inboxes = world.exchange(class, sends)?;
         let mut next_held = held.clone();
         for (rank, inbox) in inboxes.into_iter().enumerate() {
             if inbox.is_empty() {
@@ -323,7 +342,7 @@ pub fn two_phase_expand(
     for gparts in gathered.iter_mut() {
         gparts.sort_by_key(|(src, _)| *src);
     }
-    gathered
+    Ok(gathered)
 }
 
 #[cfg(test)]
@@ -336,8 +355,7 @@ mod tests {
             .map(|rank| {
                 let (gi, pos) = groups.locate(rank);
                 let g = &groups.groups()[gi];
-                let sets: Vec<Vec<Vert>> =
-                    g.iter().map(|&mbr| blocks[mbr][pos].clone()).collect();
+                let sets: Vec<Vec<Vert>> = g.iter().map(|&mbr| blocks[mbr][pos].clone()).collect();
                 setops::union_many(&sets).0
             })
             .collect()
@@ -349,9 +367,7 @@ mod tests {
                 (0..g)
                     .map(|d| {
                         let mut v: Vec<Vert> = (0..5)
-                            .map(|i| {
-                                (r as u64 * 31 + d as u64 * 17 + i * 7 + salt) % 40
-                            })
+                            .map(|i| (r as u64 * 31 + d as u64 * 17 + i * 7 + salt) % 40)
                             .collect();
                         setops::normalize(&mut v);
                         v
@@ -369,7 +385,7 @@ mod tests {
             let blocks = pseudo_blocks(g, 3);
             let expect = fold_reference(&groups, &blocks);
             let mut w = SimWorld::bluegene(grid);
-            let got = two_phase_fold(&mut w, OpClass::Fold, &groups, blocks);
+            let got = two_phase_fold(&mut w, OpClass::Fold, &groups, blocks).unwrap();
             assert_eq!(got, expect, "group size {g}");
         }
     }
@@ -394,7 +410,7 @@ mod tests {
             .collect();
         let expect = fold_reference(&groups, &blocks);
         let mut w = SimWorld::bluegene(grid);
-        let got = two_phase_fold(&mut w, OpClass::Fold, &groups, blocks);
+        let got = two_phase_fold(&mut w, OpClass::Fold, &groups, blocks).unwrap();
         assert_eq!(got, expect);
     }
 
@@ -413,7 +429,7 @@ mod tests {
             })
             .collect();
         let mut w = SimWorld::bluegene(grid);
-        let got = two_phase_fold(&mut w, OpClass::Fold, &groups, blocks);
+        let got = two_phase_fold(&mut w, OpClass::Fold, &groups, blocks).unwrap();
         assert_eq!(got[0], common);
         // 6 copies collapse to 1: five eliminated, each of 50 vertices.
         assert_eq!(w.stats.total_dups_eliminated(), 250);
@@ -432,7 +448,7 @@ mod tests {
                 (0..g).map(|r| vec![r as Vert, 100 + r as Vert]).collect();
             let mut w = SimWorld::bluegene(grid);
             let got =
-                two_phase_expand(&mut w, OpClass::Expand, &groups, contribution.clone());
+                two_phase_expand(&mut w, OpClass::Expand, &groups, contribution.clone()).unwrap();
             for rank in 0..g {
                 assert_eq!(got[rank].len(), g, "g={g} rank={rank}");
                 for (src, payload) in &got[rank] {
@@ -449,7 +465,7 @@ mod tests {
         let p = grid.len();
         let contribution: Vec<Vec<Vert>> = (0..p).map(|r| vec![r as Vert * 2]).collect();
         let mut w = SimWorld::bluegene(grid);
-        let got = two_phase_expand(&mut w, OpClass::Expand, &groups, contribution.clone());
+        let got = two_phase_expand(&mut w, OpClass::Expand, &groups, contribution.clone()).unwrap();
         for rank in 0..p {
             let group = groups.group_of(rank);
             assert_eq!(got[rank].len(), group.len());
@@ -470,14 +486,15 @@ mod tests {
         let blocks = pseudo_blocks(g, 11);
 
         let mut w_two = SimWorld::bluegene(grid);
-        let a = two_phase_fold(&mut w_two, OpClass::Fold, &groups, blocks.clone());
+        let a = two_phase_fold(&mut w_two, OpClass::Fold, &groups, blocks.clone()).unwrap();
         let mut w_ring = SimWorld::bluegene(grid);
         let b = super::super::reduce_scatter::reduce_scatter_union_ring(
             &mut w_ring,
             OpClass::Fold,
             &groups,
             blocks,
-        );
+        )
+        .unwrap();
         assert_eq!(a, b, "both strategies must produce identical folds");
         assert!(
             w_two.time() < w_ring.time(),

@@ -13,9 +13,15 @@
 //!   time. This engine scales to tens of thousands of *simulated* ranks
 //!   and is what the benchmark harness uses.
 //! * [`threaded::ThreadedWorld`] — a real multi-threaded SPMD runtime
-//!   (one OS thread per rank, crossbeam channels) for modest rank counts;
-//!   used by the examples and to validate that the simulator and a real
-//!   message-passing execution agree.
+//!   (one OS thread per rank, `std::sync::mpsc` channels) for modest rank
+//!   counts; used by the examples and to validate that the simulator and
+//!   a real message-passing execution agree.
+//!
+//! Both engines accept a deterministic [`bgl_torus::FaultPlan`]: lossy
+//! exchanges retransmit (charged through the cost model and counted in
+//! [`stats::FaultStats`]), routes detour around dead links, and scheduled
+//! rank deaths surface as typed [`error::CommError`]s instead of panics,
+//! so the BFS layer can checkpoint and recover.
 //!
 //! On top of the engines, [`collectives`] implements the communication
 //! patterns the paper studies:
@@ -34,6 +40,7 @@
 
 pub mod buffer;
 pub mod collectives;
+pub mod error;
 pub mod setops;
 pub mod sim;
 pub mod stats;
@@ -41,10 +48,15 @@ pub mod threaded;
 pub mod topology;
 
 pub use buffer::ChunkPolicy;
+pub use error::CommError;
 pub use sim::SimWorld;
-pub use stats::{CommStats, OpClass};
+pub use stats::{CommStats, FaultStats, OpClass};
 pub use threaded::ThreadedWorld;
 pub use topology::ProcessorGrid;
+
+// Fault plans are authored against the torus model; re-export so BFS
+// layers need not depend on `bgl_torus` directly to configure faults.
+pub use bgl_torus::{FaultPlan, RankDeath};
 
 /// Vertex index payload type used in all messages (matches the paper's
 /// global vertex indices; 64-bit so multi-billion-vertex configurations

@@ -19,10 +19,15 @@
 //! [`LinkTraffic`] accumulator for congestion analysis.
 
 use crate::buffer::ChunkPolicy;
+use crate::error::CommError;
 use crate::stats::{CommStats, OpClass};
 use crate::topology::ProcessorGrid;
 use crate::{Vert, VERT_BYTES};
-use bgl_torus::{CostModel, LinkTraffic, MachineConfig, TaskMapping, TaskMappingKind};
+use bgl_torus::{
+    detour_hops, route_with_faults, CostModel, FaultPlan, LinkTraffic, MachineConfig, MachineKind,
+    RouteStep, TaskMapping, TaskMappingKind,
+};
+use std::collections::HashMap;
 
 /// One point-to-point message in a round: `(from, to, payload)`.
 pub type Send = (usize, usize, Vec<Vert>);
@@ -31,6 +36,15 @@ pub type Send = (usize, usize, Vec<Vert>);
 /// sender for determinism.
 pub type Inbox = Vec<(usize, Vec<Vert>)>;
 
+/// Cached fault-aware route information for one rank pair.
+#[derive(Debug, Clone)]
+struct FaultRoute {
+    hops: usize,
+    bw: f64,
+    detour: usize,
+    route: Vec<RouteStep>,
+}
+
 /// Deterministic superstep simulation world for an `R × C` grid of ranks
 /// placed on a modelled machine.
 ///
@@ -38,7 +52,7 @@ pub type Inbox = Vec<(usize, Vec<Vert>)>;
 /// use bgl_comm::{OpClass, ProcessorGrid, SimWorld};
 /// let mut world = SimWorld::bluegene(ProcessorGrid::new(2, 2));
 /// // rank 0 sends three vertices to rank 3:
-/// let inboxes = world.exchange(OpClass::Fold, vec![(0, 3, vec![7, 8, 9])]);
+/// let inboxes = world.exchange(OpClass::Fold, vec![(0, 3, vec![7, 8, 9])]).unwrap();
 /// assert_eq!(inboxes[3], vec![(0, vec![7, 8, 9])]);
 /// assert!(world.time() > 0.0); // α–β–hop cost was charged
 /// ```
@@ -58,6 +72,19 @@ pub struct SimWorld {
     compute_time: f64,
     hash_time: f64,
     memcpy_time: f64,
+    /// The fault plan in effect (`FaultPlan::none()` by default, in which
+    /// case every fault path below is skipped entirely).
+    plan: FaultPlan,
+    /// Ranks currently dead (scheduled deaths that have fired and not
+    /// been revived by recovery).
+    dead: Vec<bool>,
+    /// Data-exchange round counter driving the fault schedule. Control
+    /// traffic (BlueGene/L's separate reliable tree network) neither
+    /// advances it nor suffers faults, so both runtimes number the
+    /// expand/fold rounds identically.
+    data_round: u64,
+    /// Fault-aware routes per rank pair (static for a fixed plan).
+    route_cache: HashMap<(usize, usize), FaultRoute>,
 }
 
 impl SimWorld {
@@ -85,7 +112,27 @@ impl SimWorld {
             compute_time: 0.0,
             hash_time: 0.0,
             memcpy_time: 0.0,
+            plan: FaultPlan::none(),
+            dead: vec![false; grid.len()],
+            data_round: 0,
+            route_cache: HashMap::new(),
         }
+    }
+
+    /// Like [`SimWorld::new`] but returns a typed error instead of
+    /// panicking when the machine is too small for the grid.
+    pub fn try_new(
+        grid: ProcessorGrid,
+        machine: MachineConfig,
+        mapping_kind: TaskMappingKind,
+        chunk: ChunkPolicy,
+    ) -> Result<Self, CommError> {
+        let ranks = grid.len();
+        let nodes = machine.dims.node_count();
+        if ranks > nodes {
+            return Err(CommError::MachineTooSmall { ranks, nodes });
+        }
+        Ok(Self::new(grid, machine, mapping_kind, chunk))
     }
 
     /// Convenience constructor: a BlueGene/L partition just large enough
@@ -99,6 +146,49 @@ impl SimWorld {
             TaskMappingKind::FoldedPlanes,
             ChunkPolicy::Unbounded,
         )
+    }
+
+    /// Builder-style: attach a fault plan.
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.set_fault_plan(plan);
+        self
+    }
+
+    /// Install a fault plan. Resets the fault schedule clock and the
+    /// route cache (routes depend on the plan's dead links/nodes), but
+    /// not the time/statistics clocks.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.plan = plan;
+        self.dead = vec![false; self.grid.len()];
+        self.data_round = 0;
+        self.route_cache.clear();
+    }
+
+    /// The fault plan in effect.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Ranks currently dead (scheduled deaths that have fired).
+    pub fn dead_ranks(&self) -> Vec<usize> {
+        (0..self.dead.len()).filter(|&r| self.dead[r]).collect()
+    }
+
+    /// Data-exchange rounds performed so far (the fault schedule clock).
+    pub fn data_round(&self) -> u64 {
+        self.data_round
+    }
+
+    /// Bring a dead rank back (models activating a spare node during
+    /// checkpoint recovery). A revived rank will not re-die: scheduled
+    /// deaths fire on an exact round match, and the round has advanced.
+    pub fn revive(&mut self, rank: usize) {
+        self.dead[rank] = false;
+    }
+
+    /// Record one completed checkpoint recovery in the fault counters.
+    pub fn note_recovery(&mut self) {
+        self.stats.faults.recoveries += 1;
     }
 
     /// Enable per-link traffic accounting (off by default — it costs a
@@ -195,6 +285,32 @@ impl SimWorld {
         self.compute_time = 0.0;
         self.hash_time = 0.0;
         self.memcpy_time = 0.0;
+        self.dead = vec![false; self.grid.len()];
+        self.data_round = 0;
+    }
+
+    /// Fault-aware route lookup for `(from, to)`: `(hops, bandwidth
+    /// factor, detour hops)`. Routes are static for a fixed plan, so the
+    /// BFS result (and the explicit route, for traffic attribution) is
+    /// cached per rank pair.
+    fn route_info(&mut self, from: usize, to: usize) -> Result<(usize, f64, usize), CommError> {
+        if let Some(fr) = self.route_cache.get(&(from, to)) {
+            return Ok((fr.hops, fr.bw, fr.detour));
+        }
+        let dims = self.cost.machine().dims;
+        let a = self.mapping.coord_of(from);
+        let b = self.mapping.coord_of(to);
+        let route = route_with_faults(dims, a, b, &self.plan)
+            .map_err(|_| CommError::NoRoute { from, to })?;
+        let fr = FaultRoute {
+            hops: route.len(),
+            bw: self.plan.route_bandwidth_factor(&route),
+            detour: detour_hops(dims, &route),
+            route,
+        };
+        let out = (fr.hops, fr.bw, fr.detour);
+        self.route_cache.insert((from, to), fr);
+        Ok(out)
     }
 
     /// Execute one message round: deliver every `(from, to, payload)`,
@@ -204,8 +320,40 @@ impl SimWorld {
     /// statistics (they never leave the node). Empty payloads are legal
     /// and cost one chunk of software overhead (an explicit empty
     /// message); callers that can skip empties should not emit them.
-    pub fn exchange(&mut self, class: OpClass, sends: Vec<Send>) -> Vec<Inbox> {
+    ///
+    /// With an active fault plan, [`OpClass::Expand`]/[`OpClass::Fold`]
+    /// rounds advance the fault schedule clock and are subject to
+    /// injected faults: drops/truncations trigger modelled ack-timeout
+    /// retransmission with bounded exponential backoff (charged as extra
+    /// simulated time and counted in `stats.faults`), routes detour
+    /// around dead links/nodes through the α–β–hop cost, and scheduled
+    /// rank deaths surface as [`CommError::RankDead`] before anything is
+    /// charged. [`OpClass::Control`] traffic rides BlueGene/L's separate
+    /// reliable tree network: never faulted, never advances the clock.
+    pub fn exchange(&mut self, class: OpClass, sends: Vec<Send>) -> Result<Vec<Inbox>, CommError> {
         let p = self.p();
+        let faultable = class != OpClass::Control && self.plan.is_active();
+        let mut fault_round = 0u64;
+        if faultable {
+            fault_round = self.data_round;
+            self.data_round += 1;
+            if self.plan.has_deaths() {
+                let newly: Vec<usize> = self.plan.deaths_at(fault_round).collect();
+                for r in newly {
+                    if r < p {
+                        self.dead[r] = true;
+                    }
+                }
+            }
+            if let Some(r) = self.dead.iter().position(|&d| d) {
+                return Err(CommError::RankDead { rank: r });
+            }
+        }
+        let msg_faults = faultable && self.plan.has_message_faults();
+        let topo_faults = faultable
+            && self.plan.has_topology_faults()
+            && self.cost.machine().kind == MachineKind::Torus3D;
+
         let mut out_time = vec![0.0f64; p];
         let mut in_time = vec![0.0f64; p];
         let mut inboxes: Vec<Inbox> = vec![Vec::new(); p];
@@ -216,7 +364,12 @@ impl SimWorld {
         };
 
         for (from, to, payload) in sends {
-            debug_assert!(from < p && to < p, "rank out of range");
+            if from >= p || to >= p {
+                return Err(CommError::DestinationOutOfRange {
+                    dest: from.max(to),
+                    p,
+                });
+            }
             if from == to {
                 inboxes[to].push((from, payload));
                 continue;
@@ -224,34 +377,77 @@ impl SimWorld {
             let verts = payload.len();
             let bytes = verts as u64 * VERT_BYTES;
             let chunks = self.chunk.message_count(verts) as u64;
-            let hops = self
-                .cost
-                .hops(self.mapping.coord_of(from), self.mapping.coord_of(to));
+            let (hops, bw) = if topo_faults {
+                let (hops, bw, detour) = self.route_info(from, to)?;
+                self.stats.faults.detour_hops += detour as u64;
+                (hops, bw)
+            } else {
+                (
+                    self.cost
+                        .hops(self.mapping.coord_of(from), self.mapping.coord_of(to)),
+                    1.0,
+                )
+            };
             let m = self.cost.machine();
-            let t = chunks as f64 * m.software_overhead
+            let base = chunks as f64 * m.software_overhead
                 + hops as f64 * m.hop_latency
-                + bytes as f64 / m.link_bandwidth;
+                + bytes as f64 / (m.link_bandwidth * bw);
+            let mut t = base;
+            if msg_faults {
+                match self
+                    .plan
+                    .delivery(class.index() as u8, fault_round, from, to)
+                {
+                    Ok(d) => {
+                        let failed = d.attempts - 1;
+                        let dropped = failed - d.truncated_attempts;
+                        // A dropped attempt loses the payload in transit:
+                        // the header went out, the ack timer expired.
+                        t += dropped as f64 * (m.software_overhead + hops as f64 * m.hop_latency);
+                        // A truncated attempt transits fully before the
+                        // receiver rejects the short payload.
+                        t += d.truncated_attempts as f64 * base;
+                        // Bounded exponential backoff before each retry.
+                        for k in 0..failed {
+                            t += m.software_overhead * (1u64 << k.min(6)) as f64;
+                        }
+                        if d.duplicated {
+                            t += base;
+                            self.stats.faults.duplicates_injected += 1;
+                        }
+                        self.stats.faults.drops_injected += dropped as u64;
+                        self.stats.faults.truncations_injected += d.truncated_attempts as u64;
+                        self.stats.faults.retransmissions += failed as u64;
+                    }
+                    Err(attempts) => return Err(CommError::Unreachable { from, to, attempts }),
+                }
+            }
             out_time[from] += t;
             in_time[to] += t;
 
             self.stats.note_message(class, to, verts, chunks);
             // Peak buffer is per wire message, i.e. per chunk.
             self.stats.note_peak(self.chunk.peak_message_len(verts));
-            if let Some(traffic) = &mut self.traffic {
-                traffic.record(
-                    self.cost.machine(),
-                    self.mapping.coord_of(from),
-                    self.mapping.coord_of(to),
-                    bytes,
-                );
-            }
-            if let Some(rt) = &mut round_traffic {
-                rt.record(
-                    self.cost.machine(),
-                    self.mapping.coord_of(from),
-                    self.mapping.coord_of(to),
-                    bytes,
-                );
+            if self.traffic.is_some() || round_traffic.is_some() {
+                let detoured = if topo_faults {
+                    self.route_cache.get(&(from, to))
+                } else {
+                    None
+                };
+                for tr in [&mut self.traffic, &mut round_traffic]
+                    .into_iter()
+                    .flatten()
+                {
+                    match detoured {
+                        Some(fr) => tr.record_route(&fr.route, bytes),
+                        None => tr.record(
+                            self.cost.machine(),
+                            self.mapping.coord_of(from),
+                            self.mapping.coord_of(to),
+                            bytes,
+                        ),
+                    }
+                }
             }
             inboxes[to].push((from, payload));
         }
@@ -269,7 +465,7 @@ impl SimWorld {
         for inbox in &mut inboxes {
             inbox.sort_by_key(|(from, _)| *from);
         }
-        inboxes
+        Ok(inboxes)
     }
 
     /// Charge a synchronous compute phase: elapsed time is the maximum of
@@ -361,14 +557,12 @@ mod tests {
     #[test]
     fn exchange_delivers_sorted_by_sender() {
         let mut w = world(4);
-        let inboxes = w.exchange(
-            OpClass::Fold,
-            vec![
-                (3, 0, vec![30]),
-                (1, 0, vec![10]),
-                (2, 0, vec![20]),
-            ],
-        );
+        let inboxes = w
+            .exchange(
+                OpClass::Fold,
+                vec![(3, 0, vec![30]), (1, 0, vec![10]), (2, 0, vec![20])],
+            )
+            .unwrap();
         assert_eq!(
             inboxes[0],
             vec![(1, vec![10]), (2, vec![20]), (3, vec![30])]
@@ -380,7 +574,8 @@ mod tests {
     fn exchange_charges_time_and_stats() {
         let mut w = world(4);
         assert_eq!(w.time(), 0.0);
-        w.exchange(OpClass::Expand, vec![(0, 1, vec![1, 2, 3])]);
+        w.exchange(OpClass::Expand, vec![(0, 1, vec![1, 2, 3])])
+            .unwrap();
         assert!(w.time() > 0.0);
         assert_eq!(w.comm_time(), w.time());
         assert_eq!(w.stats.class(OpClass::Expand).received_verts, 3);
@@ -390,7 +585,7 @@ mod tests {
     #[test]
     fn self_sends_are_free_and_uncounted() {
         let mut w = world(4);
-        let inboxes = w.exchange(OpClass::Fold, vec![(2, 2, vec![7, 8])]);
+        let inboxes = w.exchange(OpClass::Fold, vec![(2, 2, vec![7, 8])]).unwrap();
         assert_eq!(inboxes[2], vec![(2, vec![7, 8])]);
         assert_eq!(w.time(), 0.0);
         assert_eq!(w.stats.total_received(), 0);
@@ -401,13 +596,15 @@ mod tests {
         // Two disjoint transfers of equal size: elapsed equals one
         // transfer, not two.
         let mut w = world(4);
-        w.exchange(OpClass::Fold, vec![(0, 1, vec![0; 100])]);
+        w.exchange(OpClass::Fold, vec![(0, 1, vec![0; 100])])
+            .unwrap();
         let t1 = w.time();
         w.reset();
         w.exchange(
             OpClass::Fold,
             vec![(0, 1, vec![0; 100]), (2, 3, vec![0; 100])],
-        );
+        )
+        .unwrap();
         let t2 = w.time();
         // Hop counts may differ between the pairs; allow a small slack.
         assert!(t2 < 1.5 * t1, "t1={t1} t2={t2}");
@@ -430,8 +627,12 @@ mod tests {
             TaskMappingKind::FoldedPlanes,
             ChunkPolicy::fixed(10),
         );
-        unbounded.exchange(OpClass::Fold, vec![(0, 1, vec![0; 1000])]);
-        chunked.exchange(OpClass::Fold, vec![(0, 1, vec![0; 1000])]);
+        unbounded
+            .exchange(OpClass::Fold, vec![(0, 1, vec![0; 1000])])
+            .unwrap();
+        chunked
+            .exchange(OpClass::Fold, vec![(0, 1, vec![0; 1000])])
+            .unwrap();
         assert!(chunked.time() > unbounded.time());
         assert_eq!(chunked.stats.class(OpClass::Fold).messages, 100);
         assert_eq!(chunked.stats.peak_buffer_verts, 10);
@@ -474,7 +675,7 @@ mod tests {
     #[test]
     fn empty_round_is_free() {
         let mut w = world(4);
-        let inboxes = w.exchange(OpClass::Control, Vec::new());
+        let inboxes = w.exchange(OpClass::Control, Vec::new()).unwrap();
         assert!(inboxes.iter().all(Vec::is_empty));
         assert_eq!(w.time(), 0.0);
         assert_eq!(w.stats.total_received(), 0);
@@ -483,7 +684,8 @@ mod tests {
     #[test]
     fn empty_payload_still_costs_alpha() {
         let mut w = world(2);
-        w.exchange(OpClass::Control, vec![(0, 1, Vec::new())]);
+        w.exchange(OpClass::Control, vec![(0, 1, Vec::new())])
+            .unwrap();
         assert!(w.time() > 0.0, "explicit empty message pays overhead");
         assert_eq!(w.stats.class(OpClass::Control).messages, 1);
         assert_eq!(w.stats.class(OpClass::Control).received_verts, 0);
@@ -492,7 +694,7 @@ mod tests {
     #[test]
     fn reset_clears_everything() {
         let mut w = world(4);
-        w.exchange(OpClass::Fold, vec![(0, 1, vec![1])]);
+        w.exchange(OpClass::Fold, vec![(0, 1, vec![1])]).unwrap();
         w.compute_phase(&[1.0; 4]);
         w.reset();
         assert_eq!(w.time(), 0.0);
@@ -511,8 +713,8 @@ mod tests {
         congested.enable_congestion_model();
         assert!(congested.congestion_model());
         let sends: Vec<Send> = (1..16).map(|r| (r, 0, vec![0u64; 50_000])).collect();
-        plain.exchange(OpClass::Fold, sends.clone());
-        congested.exchange(OpClass::Fold, sends);
+        plain.exchange(OpClass::Fold, sends.clone()).unwrap();
+        congested.exchange(OpClass::Fold, sends).unwrap();
         // Deliveries are identical; only time differs (>= plain).
         assert!(congested.time() >= plain.time());
         // rank 0 has at most 6 incident links on the torus, so 15 large
@@ -533,8 +735,8 @@ mod tests {
         congested.enable_congestion_model();
         // Find two rank pairs with disjoint single-hop routes.
         let sends: Vec<Send> = vec![(0, 1, vec![1; 100]), (2, 3, vec![2; 100])];
-        plain.exchange(OpClass::Fold, sends.clone());
-        congested.exchange(OpClass::Fold, sends);
+        plain.exchange(OpClass::Fold, sends.clone()).unwrap();
+        congested.exchange(OpClass::Fold, sends).unwrap();
         // Congestion bound is bytes/bandwidth for the busiest link,
         // which is at most the endpoint cost: no slowdown.
         assert!((congested.time() - plain.time()).abs() < plain.time() * 0.5 + 1e-12);
@@ -543,8 +745,10 @@ mod tests {
     #[test]
     fn time_breakdown_sums_to_totals() {
         let mut w = world(4);
-        w.exchange(OpClass::Expand, vec![(0, 1, vec![1; 100])]);
-        w.exchange(OpClass::Fold, vec![(1, 2, vec![2; 200])]);
+        w.exchange(OpClass::Expand, vec![(0, 1, vec![1; 100])])
+            .unwrap();
+        w.exchange(OpClass::Fold, vec![(1, 2, vec![2; 200])])
+            .unwrap();
         w.allreduce_or(&[false; 4]);
         w.hash_phase(&[500, 100, 0, 0]);
         w.memcpy_phase(&[4096, 0, 0, 0]);
@@ -562,7 +766,165 @@ mod tests {
         let mut w = world(4);
         assert!(w.traffic().is_none());
         w.enable_traffic_accounting();
-        w.exchange(OpClass::Fold, vec![(0, 1, vec![1, 2])]);
+        w.exchange(OpClass::Fold, vec![(0, 1, vec![1, 2])]).unwrap();
         assert!(w.traffic().unwrap().total_bytes() > 0);
+    }
+
+    #[test]
+    fn try_new_rejects_too_small_machine() {
+        let grid = ProcessorGrid::new(8, 8);
+        let machine = MachineConfig::bluegene_l_partition(bgl_torus::TorusDims::new(2, 2, 2));
+        let err = SimWorld::try_new(
+            grid,
+            machine,
+            TaskMappingKind::FoldedPlanes,
+            ChunkPolicy::Unbounded,
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            CommError::MachineTooSmall {
+                ranks: 64,
+                nodes: 8
+            }
+        );
+    }
+
+    #[test]
+    fn out_of_range_destination_is_typed_error() {
+        let mut w = world(4);
+        let err = w
+            .exchange(OpClass::Fold, vec![(0, 9, vec![1])])
+            .unwrap_err();
+        assert_eq!(err, CommError::DestinationOutOfRange { dest: 9, p: 4 });
+    }
+
+    #[test]
+    fn none_plan_is_byte_identical_to_fault_free() {
+        let mut a = world(4);
+        let mut b = world(4).with_fault_plan(FaultPlan::none());
+        let sends: Vec<Send> = vec![(0, 1, vec![1, 2, 3]), (2, 3, vec![4; 100])];
+        let ia = a.exchange(OpClass::Expand, sends.clone()).unwrap();
+        let ib = b.exchange(OpClass::Expand, sends).unwrap();
+        assert_eq!(ia, ib);
+        assert_eq!(a.time(), b.time());
+        assert_eq!(a.stats, b.stats);
+        assert!(!b.stats.faults.any());
+    }
+
+    #[test]
+    fn drops_slow_the_round_and_count_retransmissions() {
+        let plan = FaultPlan::seeded(7).with_drop_prob(0.4);
+        let mut faulty = world(4).with_fault_plan(plan);
+        let mut clean = world(4);
+        // Enough messages that a 40% drop rate certainly fires.
+        let sends: Vec<Send> = (1..4).map(|r| (0, r, vec![0u64; 1000])).collect();
+        for _ in 0..8 {
+            let ia = faulty.exchange(OpClass::Fold, sends.clone()).unwrap();
+            let ib = clean.exchange(OpClass::Fold, sends.clone()).unwrap();
+            assert_eq!(ia, ib, "faults delay but never change deliveries");
+        }
+        assert!(faulty.stats.faults.drops_injected > 0);
+        assert!(faulty.stats.faults.retransmissions >= faulty.stats.faults.drops_injected);
+        assert!(faulty.time() > clean.time(), "retries cost simulated time");
+        // Logical message accounting is unchanged by retransmission.
+        assert_eq!(
+            faulty.stats.class(OpClass::Fold).messages,
+            clean.stats.class(OpClass::Fold).messages
+        );
+    }
+
+    #[test]
+    fn fault_schedule_is_deterministic() {
+        let mk = || world(4).with_fault_plan(FaultPlan::seeded(42).with_drop_prob(0.3));
+        let run = |w: &mut SimWorld| {
+            for _ in 0..10 {
+                w.exchange(
+                    OpClass::Expand,
+                    vec![(0, 1, vec![0; 64]), (2, 3, vec![0; 64])],
+                )
+                .unwrap();
+            }
+            (w.stats.faults, w.time())
+        };
+        let (f1, t1) = run(&mut mk());
+        let (f2, t2) = run(&mut mk());
+        assert_eq!(f1, f2);
+        assert_eq!(t1, t2);
+    }
+
+    #[test]
+    fn control_class_is_exempt_from_faults() {
+        let plan = FaultPlan::seeded(3).with_drop_prob(1.0);
+        let mut w = world(4).with_fault_plan(plan);
+        // drop_prob 1.0 would make any data message unreachable; control
+        // traffic sails through and does not advance the fault clock.
+        w.exchange(OpClass::Control, vec![(0, 1, vec![9])]).unwrap();
+        assert_eq!(w.data_round(), 0);
+        assert!(!w.stats.faults.any());
+        let err = w
+            .exchange(OpClass::Fold, vec![(0, 1, vec![9])])
+            .unwrap_err();
+        assert!(matches!(err, CommError::Unreachable { .. }));
+    }
+
+    #[test]
+    fn scheduled_death_fires_and_revive_recovers() {
+        let plan = FaultPlan::seeded(1).kill_rank_at(2, 1);
+        let mut w = world(4).with_fault_plan(plan);
+        let sends = vec![(0, 1, vec![5u64])];
+        w.exchange(OpClass::Expand, sends.clone()).unwrap(); // round 0: fine
+        let err = w.exchange(OpClass::Fold, sends.clone()).unwrap_err();
+        assert_eq!(err, CommError::RankDead { rank: 2 });
+        assert_eq!(w.dead_ranks(), vec![2]);
+        // The failed round charged nothing and delivered nothing, but did
+        // advance the clock; revival makes the next round succeed and the
+        // death never refires.
+        w.revive(2);
+        assert!(w.dead_ranks().is_empty());
+        for _ in 0..4 {
+            w.exchange(OpClass::Fold, sends.clone()).unwrap();
+        }
+        w.note_recovery();
+        assert_eq!(w.stats.faults.recoveries, 1);
+    }
+
+    #[test]
+    fn dead_link_detour_charges_more_hops() {
+        // Kill a link on the direct route between two mapped neighbours;
+        // the detour must cost more time than the clean route and count
+        // detour hops.
+        let grid = ProcessorGrid::square_ish(16);
+        let mut clean = SimWorld::bluegene(grid);
+        let sends = vec![(0usize, 1usize, vec![0u64; 100])];
+        clean.exchange(OpClass::Fold, sends.clone()).unwrap();
+        let a = clean.mapping().coord_of(0);
+        let b = clean.mapping().coord_of(1);
+        // Only a meaningful test if the pair is a single hop apart.
+        let dims = clean.cost_model().machine().dims;
+        if bgl_torus::hop_distance(dims, a, b) == 1 {
+            let plan = FaultPlan::seeded(0).kill_link(a, b);
+            let mut faulty = SimWorld::bluegene(grid).with_fault_plan(plan);
+            faulty.exchange(OpClass::Fold, sends).unwrap();
+            assert!(faulty.stats.faults.detour_hops > 0);
+            assert!(faulty.time() > clean.time());
+        }
+    }
+
+    #[test]
+    fn degraded_link_slows_transfers() {
+        let grid = ProcessorGrid::square_ish(4);
+        let mut clean = SimWorld::bluegene(grid);
+        let sends = vec![(0usize, 1usize, vec![0u64; 10_000])];
+        clean.exchange(OpClass::Fold, sends.clone()).unwrap();
+        let a = clean.mapping().coord_of(0);
+        let b = clean.mapping().coord_of(1);
+        let dims = clean.cost_model().machine().dims;
+        if bgl_torus::hop_distance(dims, a, b) == 1 {
+            let plan = FaultPlan::seeded(0).degrade_link(a, b, 0.25);
+            let mut faulty = SimWorld::bluegene(grid).with_fault_plan(plan);
+            faulty.exchange(OpClass::Fold, sends).unwrap();
+            assert!(faulty.time() > clean.time());
+        }
     }
 }

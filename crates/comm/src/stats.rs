@@ -69,6 +69,57 @@ impl ClassStats {
     }
 }
 
+/// Counters for injected faults and the protocol work they caused.
+///
+/// All-zero for fault-free runs (and for runs under `FaultPlan::none()`),
+/// so adding these fields never perturbs the fault-free statistics.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FaultStats {
+    /// Delivery attempts lost in transit (sender retried after an ack
+    /// timeout).
+    pub drops_injected: u64,
+    /// Delivery attempts that arrived truncated (receiver rejected the
+    /// short payload; the garbled bytes did transit the wire).
+    pub truncations_injected: u64,
+    /// Spurious duplicate deliveries (detected and discarded by the
+    /// receiver's sequence check).
+    pub duplicates_injected: u64,
+    /// Retransmissions performed (failed attempts that were retried).
+    pub retransmissions: u64,
+    /// Extra hops taken by routes detouring around dead links/nodes,
+    /// summed over messages.
+    pub detour_hops: u64,
+    /// Rank-death recoveries completed (checkpoint restore + replay).
+    pub recoveries: u64,
+}
+
+impl FaultStats {
+    /// Whether any fault was observed.
+    pub fn any(&self) -> bool {
+        *self != FaultStats::default()
+    }
+
+    fn merge(&mut self, o: &FaultStats) {
+        self.drops_injected += o.drops_injected;
+        self.truncations_injected += o.truncations_injected;
+        self.duplicates_injected += o.duplicates_injected;
+        self.retransmissions += o.retransmissions;
+        self.detour_hops += o.detour_hops;
+        self.recoveries += o.recoveries;
+    }
+
+    fn minus(&self, o: &FaultStats) -> FaultStats {
+        FaultStats {
+            drops_injected: self.drops_injected - o.drops_injected,
+            truncations_injected: self.truncations_injected - o.truncations_injected,
+            duplicates_injected: self.duplicates_injected - o.duplicates_injected,
+            retransmissions: self.retransmissions - o.retransmissions,
+            detour_hops: self.detour_hops - o.detour_hops,
+            recoveries: self.recoveries - o.recoveries,
+        }
+    }
+}
+
 /// Cumulative communication statistics for a world of `p` ranks.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CommStats {
@@ -81,6 +132,8 @@ pub struct CommStats {
     /// Largest single wire message observed, in vertices (§3.1 peak
     /// buffer requirement).
     pub peak_buffer_verts: usize,
+    /// Injected-fault counters (all zero on fault-free runs).
+    pub faults: FaultStats,
 }
 
 impl CommStats {
@@ -91,6 +144,7 @@ impl CommStats {
             received_per_rank: vec![0; p],
             dups_eliminated_per_rank: vec![0; p],
             peak_buffer_verts: 0,
+            faults: FaultStats::default(),
         }
     }
 
@@ -165,6 +219,7 @@ impl CommStats {
             *a += b;
         }
         self.peak_buffer_verts = self.peak_buffer_verts.max(o.peak_buffer_verts);
+        self.faults.merge(&o.faults);
     }
 
     /// Counter-wise difference `self - earlier` (both cumulative
@@ -190,6 +245,7 @@ impl CommStats {
                 .map(|(a, b)| a - b)
                 .collect(),
             peak_buffer_verts: self.peak_buffer_verts,
+            faults: self.faults.minus(&earlier.faults),
         }
     }
 }
@@ -237,6 +293,25 @@ mod tests {
         let d = s.minus(&snap);
         assert_eq!(d.class(OpClass::Expand).received_verts, 30);
         assert_eq!(d.received_per_rank[1], 30);
+    }
+
+    #[test]
+    fn fault_counters_merge_and_subtract() {
+        let mut s = CommStats::new(2);
+        assert!(!s.faults.any(), "fresh stats carry no faults");
+        s.faults.drops_injected = 4;
+        s.faults.retransmissions = 5;
+        let snap = s.clone();
+        s.faults.drops_injected += 2;
+        s.faults.recoveries += 1;
+        let d = s.minus(&snap);
+        assert_eq!(d.faults.drops_injected, 2);
+        assert_eq!(d.faults.recoveries, 1);
+        assert_eq!(d.faults.retransmissions, 0);
+        let mut a = CommStats::new(2);
+        a.merge(&s);
+        assert_eq!(a.faults.drops_injected, 6);
+        assert!(a.faults.any());
     }
 
     #[test]

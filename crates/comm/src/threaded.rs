@@ -1,11 +1,11 @@
 //! Real multi-threaded SPMD runtime.
 //!
-//! One OS thread per rank, communicating through crossbeam channels.
-//! This runtime executes the *same* per-rank BFS logic as the superstep
-//! simulator, but with genuine concurrency — it exists to demonstrate the
-//! algorithms on a real parallel substrate and to validate that the
-//! simulator's message routing is faithful (integration tests assert
-//! identical BFS results from both engines).
+//! One OS thread per rank, communicating through `std::sync::mpsc`
+//! channels. This runtime executes the *same* per-rank BFS logic as the
+//! superstep simulator, but with genuine concurrency — it exists to
+//! demonstrate the algorithms on a real parallel substrate and to
+//! validate that the simulator's message routing is faithful
+//! (integration tests assert identical BFS results from both engines).
 //!
 //! The communication primitive is a bulk-synchronous `exchange`: each
 //! round, every rank posts at most one packet to every other rank and
@@ -13,14 +13,37 @@
 //! tagged so fast senders can run ahead without corrupting slow
 //! receivers' views. No cost model applies here — wall-clock time is
 //! real.
+//!
+//! A shared [`FaultPlan`] injects the *same* deterministic fault
+//! schedule as the simulator: sender-side `delivery` decisions count
+//! drops/truncations/duplicates/retransmissions per rank (payloads
+//! still arrive — the ack/retransmit protocol eventually succeeds
+//! unless the budget is exhausted), and scheduled rank deaths surface
+//! as [`CommError::RankDead`] at the same data round in every rank.
+//! Receives use bounded timeouts instead of indefinite blocking, so a
+//! rank that stops participating yields a typed error, not a hang.
 
 // Parallel index loops over per-rank arrays are intentional here.
 #![allow(clippy::needless_range_loop)]
 
+use crate::error::CommError;
+use crate::stats::{FaultStats, OpClass};
 use crate::topology::ProcessorGrid;
 use crate::Vert;
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use bgl_torus::FaultPlan;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long a rank waits on a round before giving up with
+/// [`CommError::Timeout`]. Generous: only reached if a peer hangs
+/// without flagging itself dead.
+const EXCHANGE_DEADLINE: Duration = Duration::from_secs(5);
+
+/// Poll tick while waiting: each expiry re-checks peer liveness flags.
+const POLL_TICK: Duration = Duration::from_millis(2);
 
 /// A packet between ranks: all payloads `from` has for the receiver in
 /// one round.
@@ -39,6 +62,18 @@ pub struct RankCtx {
     round: u64,
     /// Packets that arrived early for future rounds.
     stash: HashMap<u64, Vec<Packet>>,
+    plan: Arc<FaultPlan>,
+    /// Liveness flags shared by all ranks; a rank that dies (scheduled
+    /// death or unrecoverable send) clears its own flag so peers stop
+    /// waiting for its packets.
+    alive: Arc<Vec<AtomicBool>>,
+    /// Data-exchange round counter driving the fault schedule. Control
+    /// traffic neither advances it nor suffers faults, mirroring the
+    /// simulator (BlueGene/L's separate reliable tree network).
+    data_round: u64,
+    /// Faults this rank injected on its sends (sender-side accounting;
+    /// summing over ranks matches the simulator's world totals).
+    pub faults: FaultStats,
 }
 
 impl RankCtx {
@@ -52,36 +87,115 @@ impl RankCtx {
         self.grid
     }
 
+    /// The fault plan in effect.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Mark this rank dead (peers stop waiting for it) and return `e`.
+    fn fail(&self, e: CommError) -> CommError {
+        self.alive[self.rank].store(false, Ordering::SeqCst);
+        e
+    }
+
     /// One bulk-synchronous message round. `sends` lists `(dest,
     /// payload)` pairs (multiple payloads to one destination are
     /// allowed). Returns every non-empty payload addressed to this rank,
     /// as `(from, payload)` sorted by sender. Acts as a world barrier.
-    pub fn exchange(&mut self, sends: Vec<(usize, Vec<Vert>)>) -> Vec<(usize, Vec<Vert>)> {
+    ///
+    /// With an active fault plan, [`OpClass::Expand`]/[`OpClass::Fold`]
+    /// rounds advance the fault schedule clock, injected message faults
+    /// are counted in [`RankCtx::faults`], and scheduled rank deaths
+    /// surface as [`CommError::RankDead`] in *every* rank at the same
+    /// round (the plan is shared, so survivors detect deaths without
+    /// waiting for silence).
+    pub fn exchange(
+        &mut self,
+        class: OpClass,
+        sends: Vec<(usize, Vec<Vert>)>,
+    ) -> Result<Vec<(usize, Vec<Vert>)>, CommError> {
         let p = self.grid.len();
+        let faultable = class != OpClass::Control && self.plan.is_active();
+        let mut fault_round = 0u64;
+        if faultable {
+            fault_round = self.data_round;
+            self.data_round += 1;
+            if self.plan.has_deaths() {
+                for r in self.plan.deaths_at(fault_round) {
+                    if r < p {
+                        self.alive[r].store(false, Ordering::SeqCst);
+                    }
+                }
+                // Deterministic death check: every rank computes the same
+                // schedule, so the whole world aborts this round together.
+                let mut doomed = None;
+                for d in self.plan.deaths() {
+                    if d.at_round <= fault_round && d.rank < p {
+                        doomed = match doomed {
+                            Some(r) if r <= d.rank => Some(r),
+                            _ => Some(d.rank),
+                        };
+                    }
+                }
+                if let Some(rank) = doomed {
+                    return Err(self.fail(CommError::RankDead { rank }));
+                }
+            }
+        }
         let round = self.round;
         self.round += 1;
 
-        // Aggregate per destination.
+        // Aggregate per destination, injecting sender-side faults.
         let mut per_dest: Vec<Vec<Vec<Vert>>> = vec![Vec::new(); p];
         let mut self_payloads = Vec::new();
+        let msg_faults = faultable && self.plan.has_message_faults();
         for (dest, payload) in sends {
-            assert!(dest < p, "destination {dest} out of range");
+            if dest >= p {
+                return Err(self.fail(CommError::DestinationOutOfRange { dest, p }));
+            }
             if dest == self.rank {
                 if !payload.is_empty() {
                     self_payloads.push(payload);
                 }
-            } else {
-                per_dest[dest].push(payload);
+                continue;
             }
+            if msg_faults {
+                match self
+                    .plan
+                    .delivery(class.index() as u8, fault_round, self.rank, dest)
+                {
+                    Ok(d) => {
+                        let failed = d.attempts - 1;
+                        let dropped = failed - d.truncated_attempts;
+                        self.faults.drops_injected += dropped as u64;
+                        self.faults.truncations_injected += d.truncated_attempts as u64;
+                        self.faults.retransmissions += failed as u64;
+                        if d.duplicated {
+                            // Receiver-side sequence check discards the
+                            // duplicate; only the counter observes it.
+                            self.faults.duplicates_injected += 1;
+                        }
+                    }
+                    Err(attempts) => {
+                        return Err(self.fail(CommError::Unreachable {
+                            from: self.rank,
+                            to: dest,
+                            attempts,
+                        }))
+                    }
+                }
+            }
+            per_dest[dest].push(payload);
         }
+
         // Post exactly one packet to every peer (possibly empty): this is
-        // what lets receivers detect round completion.
+        // what lets receivers detect round completion. Send errors mean
+        // the peer already exited; its dead flag covers it below.
         for dest in 0..p {
             if dest == self.rank {
                 continue;
             }
             let payloads = std::mem::take(&mut per_dest[dest]);
-            // Receiver side drops empties; keep the packet as the round marker.
             let _ = self.senders[dest].send(Packet {
                 round,
                 from: self.rank,
@@ -89,18 +203,40 @@ impl RankCtx {
             });
         }
 
-        // Collect one packet per peer for this round.
+        // Collect one packet per peer for this round, with a bounded
+        // wait: each poll tick re-checks liveness so a dead peer turns
+        // into a typed error instead of a hang.
+        let deadline = Instant::now() + EXCHANGE_DEADLINE;
         let mut got: Vec<Packet> = self.stash.remove(&round).unwrap_or_default();
+        let mut heard = vec![false; p];
+        heard[self.rank] = true;
+        for pkt in &got {
+            heard[pkt.from] = true;
+        }
         while got.len() < p - 1 {
-            let pkt = self
-                .receiver
-                .recv()
-                .expect("peer thread hung up mid-round");
-            if pkt.round == round {
-                got.push(pkt);
-            } else {
-                debug_assert!(pkt.round > round, "stale packet from a past round");
-                self.stash.entry(pkt.round).or_default().push(pkt);
+            match self.receiver.recv_timeout(POLL_TICK) {
+                Ok(pkt) => {
+                    if pkt.round == round {
+                        heard[pkt.from] = true;
+                        got.push(pkt);
+                    } else {
+                        debug_assert!(pkt.round > round, "stale packet from a past round");
+                        self.stash.entry(pkt.round).or_default().push(pkt);
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => {
+                    for peer in 0..p {
+                        if !heard[peer] && !self.alive[peer].load(Ordering::SeqCst) {
+                            return Err(self.fail(CommError::RankDead { rank: peer }));
+                        }
+                    }
+                    if Instant::now() >= deadline {
+                        return Err(self.fail(CommError::Timeout {
+                            rank: self.rank,
+                            round,
+                        }));
+                    }
+                }
             }
         }
 
@@ -116,31 +252,34 @@ impl RankCtx {
             }
         }
         out.sort_by_key(|a| a.0);
-        out
+        Ok(out)
     }
 
-    /// Global OR across all ranks (one exchange round).
-    pub fn allreduce_or(&mut self, flag: bool) -> bool {
-        self.allreduce_sum(flag as u64) > 0
+    /// Global OR across all ranks (one control round).
+    pub fn allreduce_or(&mut self, flag: bool) -> Result<bool, CommError> {
+        Ok(self.allreduce_sum(flag as u64)? > 0)
     }
 
-    /// Global sum across all ranks (one exchange round).
-    pub fn allreduce_sum(&mut self, value: u64) -> u64 {
+    /// Global sum across all ranks (one control round).
+    pub fn allreduce_sum(&mut self, value: u64) -> Result<u64, CommError> {
         let p = self.grid.len();
-        let sends: Vec<(usize, Vec<Vert>)> =
-            (0..p).filter(|&d| d != self.rank).map(|d| (d, vec![value + 1])).collect();
-        let got = self.exchange(sends);
+        let sends: Vec<(usize, Vec<Vert>)> = (0..p)
+            .filter(|&d| d != self.rank)
+            .map(|d| (d, vec![value + 1]))
+            .collect();
+        let got = self.exchange(OpClass::Control, sends)?;
         // +1 shift lets zero values survive the empty-payload filter.
         let mut total = value;
         for (_, payload) in got {
             total += payload[0] - 1;
         }
-        total
+        Ok(total)
     }
 
     /// Barrier: an exchange with no payloads.
-    pub fn barrier(&mut self) {
-        let _ = self.exchange(Vec::new());
+    pub fn barrier(&mut self) -> Result<(), CommError> {
+        let _ = self.exchange(OpClass::Control, Vec::new())?;
+        Ok(())
     }
 }
 
@@ -149,8 +288,17 @@ impl RankCtx {
 pub struct ThreadedWorld;
 
 impl ThreadedWorld {
-    /// Run `body` on every rank of `grid` concurrently.
+    /// Run `body` on every rank of `grid` concurrently, fault-free.
     pub fn run<F, T>(grid: ProcessorGrid, body: F) -> Vec<T>
+    where
+        F: Fn(&mut RankCtx) -> T + Sync,
+        T: Send,
+    {
+        Self::run_with(grid, FaultPlan::none(), body)
+    }
+
+    /// Run `body` on every rank of `grid` concurrently under `plan`.
+    pub fn run_with<F, T>(grid: ProcessorGrid, plan: FaultPlan, body: F) -> Vec<T>
     where
         F: Fn(&mut RankCtx) -> T + Sync,
         T: Send,
@@ -159,10 +307,12 @@ impl ThreadedWorld {
         let mut senders = Vec::with_capacity(p);
         let mut receivers = Vec::with_capacity(p);
         for _ in 0..p {
-            let (tx, rx) = unbounded();
+            let (tx, rx) = channel();
             senders.push(tx);
             receivers.push(rx);
         }
+        let plan = Arc::new(plan);
+        let alive: Arc<Vec<AtomicBool>> = Arc::new((0..p).map(|_| AtomicBool::new(true)).collect());
 
         let body = &body;
         let senders_ref = &senders;
@@ -170,6 +320,8 @@ impl ThreadedWorld {
         std::thread::scope(|scope| {
             let mut handles = Vec::with_capacity(p);
             for (rank, receiver) in receivers.into_iter().enumerate() {
+                let plan = Arc::clone(&plan);
+                let alive = Arc::clone(&alive);
                 handles.push(scope.spawn(move || {
                     let mut ctx = RankCtx {
                         rank,
@@ -178,6 +330,10 @@ impl ThreadedWorld {
                         receiver,
                         round: 0,
                         stash: HashMap::new(),
+                        plan,
+                        alive,
+                        data_round: 0,
+                        faults: FaultStats::default(),
                     };
                     body(&mut ctx)
                 }));
@@ -204,12 +360,9 @@ mod tests {
             } else {
                 vec![(0, vec![ctx.rank() as Vert])]
             };
-            ctx.exchange(sends)
+            ctx.exchange(OpClass::Fold, sends).unwrap()
         });
-        assert_eq!(
-            results[0],
-            vec![(1, vec![1]), (2, vec![2]), (3, vec![3])]
-        );
+        assert_eq!(results[0], vec![(1, vec![1]), (2, vec![2]), (3, vec![3])]);
         assert!(results[1].is_empty());
     }
 
@@ -217,7 +370,8 @@ mod tests {
     fn self_sends_are_delivered() {
         let grid = ProcessorGrid::new(1, 2);
         let results = ThreadedWorld::run(grid, |ctx| {
-            ctx.exchange(vec![(ctx.rank(), vec![42])])
+            ctx.exchange(OpClass::Fold, vec![(ctx.rank(), vec![42])])
+                .unwrap()
         });
         for (rank, inbox) in results.iter().enumerate() {
             assert_eq!(inbox, &vec![(rank, vec![42])]);
@@ -231,7 +385,12 @@ mod tests {
             let mut seen = Vec::new();
             for round in 0..10u64 {
                 let next = (ctx.rank() + 1) % 4;
-                let got = ctx.exchange(vec![(next, vec![round * 100 + ctx.rank() as u64])]);
+                let got = ctx
+                    .exchange(
+                        OpClass::Expand,
+                        vec![(next, vec![round * 100 + ctx.rank() as u64])],
+                    )
+                    .unwrap();
                 assert_eq!(got.len(), 1);
                 seen.push(got[0].1[0]);
             }
@@ -246,11 +405,11 @@ mod tests {
     #[test]
     fn allreduce_sum_and_or() {
         let grid = ProcessorGrid::new(2, 3);
-        let sums = ThreadedWorld::run(grid, |ctx| ctx.allreduce_sum(ctx.rank() as u64));
+        let sums = ThreadedWorld::run(grid, |ctx| ctx.allreduce_sum(ctx.rank() as u64).unwrap());
         assert!(sums.iter().all(|&s| s == 15));
-        let ors = ThreadedWorld::run(grid, |ctx| ctx.allreduce_or(ctx.rank() == 3));
+        let ors = ThreadedWorld::run(grid, |ctx| ctx.allreduce_or(ctx.rank() == 3).unwrap());
         assert!(ors.iter().all(|&o| o));
-        let ors = ThreadedWorld::run(grid, |ctx| ctx.allreduce_or(false));
+        let ors = ThreadedWorld::run(grid, |ctx| ctx.allreduce_or(false).unwrap());
         assert!(ors.iter().all(|&o| !o));
     }
 
@@ -259,7 +418,7 @@ mod tests {
         let grid = ProcessorGrid::new(1, 3);
         let sums = ThreadedWorld::run(grid, |ctx| {
             let _ = ctx.rank();
-            ctx.allreduce_sum(0)
+            ctx.allreduce_sum(0).unwrap()
         });
         assert!(sums.iter().all(|&s| s == 0));
     }
@@ -268,8 +427,8 @@ mod tests {
     fn single_rank_world() {
         let grid = ProcessorGrid::new(1, 1);
         let results = ThreadedWorld::run(grid, |ctx| {
-            ctx.barrier();
-            ctx.allreduce_sum(7)
+            ctx.barrier().unwrap();
+            ctx.allreduce_sum(7).unwrap()
         });
         assert_eq!(results, vec![7]);
     }
@@ -294,9 +453,108 @@ mod tests {
         let grid = ProcessorGrid::new(1, 2);
         let results = ThreadedWorld::run(grid, |ctx| {
             let other = 1 - ctx.rank();
-            ctx.exchange(vec![(other, Vec::new())])
+            ctx.exchange(OpClass::Fold, vec![(other, Vec::new())])
+                .unwrap()
         });
         assert!(results[0].is_empty());
         assert!(results[1].is_empty());
+    }
+
+    #[test]
+    fn out_of_range_destination_is_typed_error() {
+        let grid = ProcessorGrid::new(1, 2);
+        let results = ThreadedWorld::run(grid, |ctx| {
+            if ctx.rank() == 0 {
+                ctx.exchange(OpClass::Fold, vec![(7, vec![1])])
+            } else {
+                // The peer sees rank 0 flag itself dead instead of hanging.
+                ctx.exchange(OpClass::Fold, Vec::new())
+            }
+        });
+        assert_eq!(
+            results[0],
+            Err(CommError::DestinationOutOfRange { dest: 7, p: 2 })
+        );
+        assert_eq!(results[1], Err(CommError::RankDead { rank: 0 }));
+    }
+
+    #[test]
+    fn scheduled_death_aborts_world_at_same_round() {
+        let grid = ProcessorGrid::new(2, 2);
+        let plan = FaultPlan::seeded(5).kill_rank_at(2, 3);
+        let results = ThreadedWorld::run_with(grid, plan, |ctx| {
+            let mut rounds_done = 0u64;
+            for i in 0..10u64 {
+                let next = (ctx.rank() + 1) % 4;
+                match ctx.exchange(OpClass::Expand, vec![(next, vec![i])]) {
+                    Ok(_) => rounds_done += 1,
+                    Err(e) => return (rounds_done, Some(e)),
+                }
+            }
+            (rounds_done, None)
+        });
+        for (rounds_done, err) in results {
+            assert_eq!(rounds_done, 3, "all ranks abort at the death round");
+            assert_eq!(err, Some(CommError::RankDead { rank: 2 }));
+        }
+    }
+
+    #[test]
+    fn fault_counters_match_simulator() {
+        // Same plan, same message pattern, both runtimes: identical
+        // world-total fault counters (pure-hash decisions).
+        use crate::buffer::ChunkPolicy;
+        use crate::sim::SimWorld;
+        use bgl_torus::{MachineConfig, TaskMappingKind};
+
+        let grid = ProcessorGrid::new(2, 2);
+        let mk_plan = || {
+            FaultPlan::seeded(99)
+                .with_drop_prob(0.3)
+                .with_truncate_prob(0.1)
+                .with_duplicate_prob(0.1)
+        };
+        let rounds = 6u64;
+
+        let mut sim = SimWorld::new(
+            grid,
+            MachineConfig::bluegene_l_partition(MachineConfig::fit_partition(4)),
+            TaskMappingKind::FoldedPlanes,
+            ChunkPolicy::Unbounded,
+        )
+        .with_fault_plan(mk_plan());
+        for i in 0..rounds {
+            let sends = (0..4)
+                .map(|r| (r, (r + 1) % 4, vec![i; 8]))
+                .collect::<Vec<_>>();
+            sim.exchange(OpClass::Expand, sends).unwrap();
+        }
+
+        let per_rank = ThreadedWorld::run_with(grid, mk_plan(), |ctx| {
+            for i in 0..rounds {
+                let next = (ctx.rank() + 1) % 4;
+                ctx.exchange(OpClass::Expand, vec![(next, vec![i; 8])])
+                    .unwrap();
+            }
+            ctx.faults
+        });
+        let mut total = FaultStats::default();
+        for f in &per_rank {
+            total.drops_injected += f.drops_injected;
+            total.truncations_injected += f.truncations_injected;
+            total.duplicates_injected += f.duplicates_injected;
+            total.retransmissions += f.retransmissions;
+        }
+        assert!(total.retransmissions > 0, "plan should actually fire");
+        assert_eq!(total.drops_injected, sim.stats.faults.drops_injected);
+        assert_eq!(
+            total.truncations_injected,
+            sim.stats.faults.truncations_injected
+        );
+        assert_eq!(
+            total.duplicates_injected,
+            sim.stats.faults.duplicates_injected
+        );
+        assert_eq!(total.retransmissions, sim.stats.faults.retransmissions);
     }
 }

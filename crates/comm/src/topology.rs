@@ -190,7 +190,10 @@ mod tests {
         assert_eq!(ProcessorGrid::square_ish(12), ProcessorGrid::new(3, 4));
         assert_eq!(ProcessorGrid::square_ish(7), ProcessorGrid::new(1, 7));
         assert_eq!(ProcessorGrid::square_ish(1), ProcessorGrid::new(1, 1));
-        assert_eq!(ProcessorGrid::square_ish(32768), ProcessorGrid::new(128, 256));
+        assert_eq!(
+            ProcessorGrid::square_ish(32768),
+            ProcessorGrid::new(128, 256)
+        );
     }
 
     #[test]

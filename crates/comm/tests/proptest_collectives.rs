@@ -99,11 +99,12 @@ proptest! {
 
         let grid = ProcessorGrid::one_d(p);
         let mut w1 = SimWorld::bluegene(grid);
-        let ring = reduce_scatter_union_ring(&mut w1, OpClass::Fold, &groups, blocks.clone());
+        let ring =
+            reduce_scatter_union_ring(&mut w1, OpClass::Fold, &groups, blocks.clone()).unwrap();
         prop_assert_eq!(&ring, &expect);
 
         let mut w2 = SimWorld::bluegene(grid);
-        let two = two_phase_fold(&mut w2, OpClass::Fold, &groups, blocks);
+        let two = two_phase_fold(&mut w2, OpClass::Fold, &groups, blocks).unwrap();
         prop_assert_eq!(&two, &expect);
     }
 
@@ -131,9 +132,10 @@ proptest! {
 
         let grid = ProcessorGrid::one_d(p);
         let mut w1 = SimWorld::bluegene(grid);
-        let ring = allgather_ring(&mut w1, OpClass::Expand, &groups, contribution.clone());
+        let ring = allgather_ring(&mut w1, OpClass::Expand, &groups, contribution.clone()).unwrap();
         let mut w2 = SimWorld::bluegene(grid);
-        let two = two_phase_expand(&mut w2, OpClass::Expand, &groups, contribution.clone());
+        let two =
+            two_phase_expand(&mut w2, OpClass::Expand, &groups, contribution.clone()).unwrap();
 
         for rank in 0..p {
             let group = groups.group_of(rank);
@@ -163,7 +165,7 @@ proptest! {
         let sends: Vec<Vec<(usize, Vec<Vert>)>> = (0..p)
             .map(|r| vec![((r + offset) % p, vec![r as Vert + 1000])])
             .collect();
-        let inboxes = alltoallv(&mut w, OpClass::Fold, &groups, sends);
+        let inboxes = alltoallv(&mut w, OpClass::Fold, &groups, sends).unwrap();
         for (rank, inbox) in inboxes.iter().enumerate() {
             let src = (rank + p - offset) % p;
             prop_assert_eq!(inbox.clone(), vec![(src, vec![src as Vert + 1000])]);

@@ -18,8 +18,8 @@ use crate::config::{BfsConfig, FoldStrategy};
 use crate::state::{gather_levels, RankState};
 use crate::stats::{LevelStats, RunStats};
 use bgl_comm::collectives::{
-    alltoall::alltoallv, reduce_scatter::reduce_scatter_union_ring,
-    two_phase::two_phase_fold, Groups,
+    alltoall::alltoallv, reduce_scatter::reduce_scatter_union_ring, two_phase::two_phase_fold,
+    Groups,
 };
 use bgl_comm::{OpClass, SimWorld, Vert};
 use bgl_graph::{DistGraph, Vertex};
@@ -95,22 +95,23 @@ pub fn run(
                     })
                     .collect();
                 alltoallv(world, OpClass::Fold, &row_groups, sends)
+                    .expect("1D BFS runs fault-free")
                     .into_iter()
                     .map(|inbox| inbox.into_iter().map(|(_, pl)| pl).collect())
                     .collect()
             }
             FoldStrategy::ReduceScatterUnion => {
                 reduce_scatter_union_ring(world, OpClass::Fold, &row_groups, blocks)
+                    .expect("1D BFS runs fault-free")
                     .into_iter()
                     .map(|set| vec![set])
                     .collect()
             }
-            FoldStrategy::TwoPhaseRing => {
-                two_phase_fold(world, OpClass::Fold, &row_groups, blocks)
-                    .into_iter()
-                    .map(|set| vec![set])
-                    .collect()
-            }
+            FoldStrategy::TwoPhaseRing => two_phase_fold(world, OpClass::Fold, &row_groups, blocks)
+                .expect("1D BFS runs fault-free")
+                .into_iter()
+                .map(|set| vec![set])
+                .collect(),
         };
 
         // Steps 14–16: label new vertices.

@@ -14,6 +14,26 @@
 //!
 //! Compute time is charged per level from the hash-probe counts; all
 //! message accounting happens inside the communication layer.
+//!
+//! ## Fault tolerance
+//!
+//! Three entry points share one engine:
+//!
+//! * [`run`] — the historical panicking API for fault-free worlds;
+//! * [`try_run`] — the same run with communication faults surfaced as
+//!   typed [`CommError`]s instead of panics;
+//! * [`run_resilient`] — level-synchronous **checkpoint/recover**. Every
+//!   [`ResilientConfig::checkpoint_every`] levels the per-rank states are
+//!   checkpointed, and after every absorb each rank mirrors its freshly
+//!   labeled vertices to a buddy rank over the (reliable, fault-exempt)
+//!   control network. When an exchange reports [`CommError::RankDead`],
+//!   a spare node is brought in ([`SimWorld::revive`]), the dead rank's
+//!   graph cells are **regenerated from the graph seed** (the same
+//!   property that makes construction grid-independent), its labels are
+//!   replayed from the buddy's mirrored deltas, survivors roll back to
+//!   the checkpoint, and the search resumes. Recovery is exact: the
+//!   recovered run produces bit-identical level labels to a fault-free
+//!   run, because absorb only ever labels unreached vertices.
 
 use crate::config::{BfsConfig, ExpandStrategy, FoldStrategy};
 use crate::state::{gather_levels, RankState};
@@ -25,7 +45,7 @@ use bgl_comm::collectives::{
     two_phase::{two_phase_expand, two_phase_fold},
     Groups,
 };
-use bgl_comm::{OpClass, SimWorld, Vert};
+use bgl_comm::{CommError, OpClass, SimWorld, Vert};
 use bgl_graph::{DistGraph, Vertex};
 
 /// The outcome of one distributed BFS run.
@@ -40,14 +60,291 @@ pub struct BfsResult {
     pub target_level: Option<u32>,
 }
 
+/// Configuration of the checkpoint/recover protocol used by
+/// [`run_resilient`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResilientConfig {
+    /// Checkpoint the per-rank states every this many levels (minimum 1:
+    /// a checkpoint at the start of every level).
+    pub checkpoint_every: u32,
+    /// Give up (returning the underlying [`CommError::RankDead`]) after
+    /// this many recoveries in one run.
+    pub max_recoveries: u32,
+}
+
+impl Default for ResilientConfig {
+    fn default() -> Self {
+        Self {
+            checkpoint_every: 1,
+            max_recoveries: 8,
+        }
+    }
+}
+
+/// A [`BfsResult`] plus the recovery log of a [`run_resilient`] run.
+#[derive(Debug, Clone)]
+pub struct ResilientBfsResult {
+    /// The search result — bit-identical levels to a fault-free run.
+    pub result: BfsResult,
+    /// Number of rank deaths recovered from.
+    pub recoveries: u32,
+    /// The ranks that died and were rebuilt, in recovery order.
+    pub recovered_ranks: Vec<usize>,
+    /// Simulated time spent inside recovery itself (graph regeneration
+    /// handoff + mirrored-label transfer); the replayed levels show up
+    /// in the ordinary sim time instead.
+    pub recovery_time: f64,
+}
+
+/// What one level of the main loop decided.
+enum LevelOutcome {
+    /// Global frontier empty: traversal complete.
+    Exhausted,
+    /// The configured target was labeled this level.
+    TargetFound,
+    /// Proceed to the next level.
+    Advance,
+}
+
 /// Run Algorithm 2 from `source` on `graph` under `config`, inside
 /// `world`. The world's grid must match the graph's.
+///
+/// Panics if the world reports a communication fault; use [`try_run`] or
+/// [`run_resilient`] when a [`bgl_comm::FaultPlan`] is active.
 pub fn run(
     graph: &DistGraph,
     world: &mut SimWorld,
     config: &BfsConfig,
     source: Vertex,
 ) -> BfsResult {
+    try_run(graph, world, config, source)
+        .expect("communication fault during BFS (use try_run/run_resilient with a FaultPlan)")
+}
+
+/// [`run`] with communication faults surfaced as typed errors. Under a
+/// plan of message faults only (drops/truncations/duplicates) the
+/// retransmission protocol is transparent — the result equals a
+/// fault-free run, just slower; a rank death surfaces as
+/// [`CommError::RankDead`].
+pub fn try_run(
+    graph: &DistGraph,
+    world: &mut SimWorld,
+    config: &BfsConfig,
+    source: Vertex,
+) -> Result<BfsResult, CommError> {
+    engine(graph, world, config, source, None).map(|r| r.result)
+}
+
+/// Fault-tolerant BFS: [`try_run`] plus checkpoint/recover for rank
+/// deaths, per `resilience`. See the module docs for the protocol.
+pub fn run_resilient(
+    graph: &DistGraph,
+    world: &mut SimWorld,
+    config: &BfsConfig,
+    source: Vertex,
+    resilience: &ResilientConfig,
+) -> Result<ResilientBfsResult, CommError> {
+    engine(graph, world, config, source, Some(resilience))
+}
+
+/// One level of the paper's main loop over all simulated ranks. Pushes
+/// this level's [`LevelStats`] and sets `target_level` before reporting
+/// [`LevelOutcome::TargetFound`].
+#[allow(clippy::too_many_arguments)]
+fn level_pass(
+    world: &mut SimWorld,
+    config: &BfsConfig,
+    states: &mut [RankState<'_>],
+    row_groups: &Groups,
+    col_groups: &Groups,
+    level: u32,
+    level_records: &mut Vec<LevelStats>,
+    target_level: &mut Option<u32>,
+) -> Result<LevelOutcome, CommError> {
+    let grid = world.grid();
+    let time_at_start = world.time();
+    let comm_at_start = world.comm_time();
+    let comm_snapshot = world.stats.clone();
+
+    // -- 1. termination check on global frontier size.
+    let frontier_sizes: Vec<u64> = states.iter().map(|s| s.frontier_len()).collect();
+    let global_frontier = world.allreduce_sum(&frontier_sizes);
+    if global_frontier == 0 {
+        return Ok(LevelOutcome::Exhausted);
+    }
+
+    // -- 2. expand.
+    let fbar: Vec<Vec<Vec<Vert>>> = match config.expand {
+        ExpandStrategy::Targeted => {
+            let sends: Vec<Vec<(usize, Vec<Vert>)>> = states
+                .iter_mut()
+                .map(|s| s.expand_sends_targeted())
+                .collect();
+            alltoallv(world, OpClass::Expand, col_groups, sends)?
+                .into_iter()
+                .map(|inbox| inbox.into_iter().map(|(_, pl)| pl).collect())
+                .collect()
+        }
+        ExpandStrategy::AllGatherRing => {
+            let contributions: Vec<Vec<Vert>> = states.iter().map(|s| s.frontier.clone()).collect();
+            allgather_ring(world, OpClass::Expand, col_groups, contributions)?
+                .into_iter()
+                .map(|parts| parts.into_iter().map(|(_, pl)| pl).collect())
+                .collect()
+        }
+        ExpandStrategy::TwoPhaseRing => {
+            let contributions: Vec<Vec<Vert>> = states.iter().map(|s| s.frontier.clone()).collect();
+            two_phase_expand(world, OpClass::Expand, col_groups, contributions)?
+                .into_iter()
+                .map(|parts| parts.into_iter().map(|(_, pl)| pl).collect())
+                .collect()
+        }
+    };
+
+    // -- 3. local discovery.
+    let blocks: Vec<Vec<Vec<Vert>>> = states
+        .iter_mut()
+        .zip(&fbar)
+        .map(|(s, lists)| {
+            let refs: Vec<&[Vert]> = lists.iter().map(Vec::as_slice).collect();
+            s.discover(&refs)
+        })
+        .collect();
+    drop(fbar);
+
+    // -- 4. fold.
+    let nbar: Vec<Vec<Vec<Vert>>> = match config.fold {
+        FoldStrategy::DirectAllToAll => {
+            let sends: Vec<Vec<(usize, Vec<Vert>)>> = blocks
+                .into_iter()
+                .enumerate()
+                .map(|(rank, bs)| {
+                    let i = grid.row_of(rank);
+                    bs.into_iter()
+                        .enumerate()
+                        .filter(|(_, b)| !b.is_empty())
+                        .map(|(m, b)| (grid.rank_of(i, m), b))
+                        .collect()
+                })
+                .collect();
+            alltoallv(world, OpClass::Fold, row_groups, sends)?
+                .into_iter()
+                .map(|inbox| inbox.into_iter().map(|(_, pl)| pl).collect())
+                .collect()
+        }
+        FoldStrategy::ReduceScatterUnion => {
+            reduce_scatter_union_ring(world, OpClass::Fold, row_groups, blocks)?
+                .into_iter()
+                .map(|set| vec![set])
+                .collect()
+        }
+        FoldStrategy::TwoPhaseRing => two_phase_fold(world, OpClass::Fold, row_groups, blocks)?
+            .into_iter()
+            .map(|set| vec![set])
+            .collect(),
+    };
+
+    // -- 5. absorb + compute charge.
+    for (s, lists) in states.iter_mut().zip(&nbar) {
+        let refs: Vec<&[Vert]> = lists.iter().map(Vec::as_slice).collect();
+        s.absorb(&refs, level + 1);
+    }
+    let probes: Vec<u64> = states.iter_mut().map(RankState::take_probes).collect();
+    world.hash_phase(&probes);
+
+    // -- target detection.
+    if let Some(t) = config.target {
+        let flags: Vec<bool> = states.iter().map(|s| s.level_of(t).is_some()).collect();
+        if world.allreduce_or(&flags) {
+            *target_level = Some(level + 1);
+        }
+    }
+
+    let delta = world.stats.minus(&comm_snapshot);
+    level_records.push(LevelStats {
+        level,
+        frontier: global_frontier,
+        expand_received: delta.class(OpClass::Expand).received_verts,
+        fold_received: delta.class(OpClass::Fold).received_verts,
+        dups_eliminated: delta.total_dups_eliminated(),
+        sim_time: world.time() - time_at_start,
+        comm_time: world.comm_time() - comm_at_start,
+    });
+
+    if target_level.is_some() {
+        return Ok(LevelOutcome::TargetFound);
+    }
+    Ok(LevelOutcome::Advance)
+}
+
+/// Mirror each rank's freshly labeled vertices (its new frontier, tagged
+/// `next_level` in the delta log) to its buddy rank over the reliable
+/// control network, charged through the cost model.
+fn mirror_deltas(
+    world: &mut SimWorld,
+    states: &[RankState<'_>],
+    next_level: u32,
+    deltas: &mut [Vec<(u32, Vec<Vertex>)>],
+) -> Result<(), CommError> {
+    let p = states.len();
+    let mut sends = Vec::new();
+    for (rank, st) in states.iter().enumerate() {
+        deltas[rank].push((next_level, st.frontier.clone()));
+        if !st.frontier.is_empty() {
+            sends.push((rank, (rank + 1) % p, st.frontier.clone()));
+        }
+    }
+    world.exchange(OpClass::Control, sends)?;
+    Ok(())
+}
+
+/// Flatten the mirrored delta log up to `through_level` into one wire
+/// payload: `[level, count, verts...]*`.
+fn encode_deltas(deltas: &[(u32, Vec<Vertex>)], through_level: u32) -> Vec<Vert> {
+    let mut payload = Vec::new();
+    for (lvl, verts) in deltas {
+        if *lvl > through_level {
+            continue;
+        }
+        payload.push(*lvl as Vert);
+        payload.push(verts.len() as Vert);
+        payload.extend_from_slice(verts);
+    }
+    payload
+}
+
+/// Rebuild a revived rank's [`RankState`] from the wire-encoded delta
+/// log: labels for every delta level, frontier from the checkpoint
+/// level's delta.
+fn replay_deltas<'g>(mut st: RankState<'g>, payload: &[Vert], ckpt_level: u32) -> RankState<'g> {
+    let owned = st.rank_graph().owned.clone();
+    let mut i = 0usize;
+    while i < payload.len() {
+        let lvl = payload[i] as u32;
+        let count = payload[i + 1] as usize;
+        let verts = &payload[i + 2..i + 2 + count];
+        for &v in verts {
+            debug_assert!(owned.contains(&v), "mirrored delta for a non-owned vertex");
+            st.levels[(v - owned.start) as usize] = lvl;
+        }
+        if lvl == ckpt_level {
+            st.frontier = verts.to_vec();
+        }
+        i += 2 + count;
+    }
+    st
+}
+
+/// The shared engine behind [`run`], [`try_run`] and [`run_resilient`].
+/// With `resilience == None` the communication sequence is identical to
+/// the historical fault-free `run` — no checkpoints, no mirror traffic.
+fn engine(
+    graph: &DistGraph,
+    world: &mut SimWorld,
+    config: &BfsConfig,
+    source: Vertex,
+    resilience: Option<&ResilientConfig>,
+) -> Result<ResilientBfsResult, CommError> {
     let grid = world.grid();
     assert_eq!(grid, graph.grid(), "world and graph grids must match");
     assert!(source < graph.spec.n, "source out of range");
@@ -61,136 +358,118 @@ pub fn run(
         .iter()
         .map(|rg| RankState::new(rg, graph.partition, config.sent_neighbors))
         .collect();
-    states[graph.partition.owner_of(source)].init_source(source);
+    let owner = graph.partition.owner_of(source);
+    states[owner].init_source(source);
 
     let mut level_records = Vec::new();
     let mut target_level = None;
+
+    // Checkpoint/recover machinery (inert when `resilience` is None).
+    let mut snapshot: Vec<RankState<'_>> = Vec::new();
+    let mut ckpt_level: u32 = 0;
+    let mut deltas: Vec<Vec<(u32, Vec<Vertex>)>> = vec![Vec::new(); p];
+    if resilience.is_some() {
+        // The source label is the level-0 delta.
+        deltas[owner].push((0, vec![source]));
+    }
+    let mut recoveries = 0u32;
+    let mut recovered_ranks: Vec<usize> = Vec::new();
+    let mut recovery_time = 0.0f64;
 
     let mut level: u32 = 0;
     loop {
         if config.max_levels > 0 && level >= config.max_levels {
             break;
         }
-        let time_at_start = world.time();
-        let comm_at_start = world.comm_time();
-        let comm_snapshot = world.stats.clone();
-
-        // -- 1. termination check on global frontier size.
-        let frontier_sizes: Vec<u64> = states.iter().map(|s| s.frontier_len()).collect();
-        let global_frontier = world.allreduce_sum(&frontier_sizes);
-        if global_frontier == 0 {
-            break;
-        }
-
-        // -- 2. expand.
-        let fbar: Vec<Vec<Vec<Vert>>> = match config.expand {
-            ExpandStrategy::Targeted => {
-                let sends: Vec<Vec<(usize, Vec<Vert>)>> = states
-                    .iter_mut()
-                    .map(|s| s.expand_sends_targeted())
-                    .collect();
-                alltoallv(world, OpClass::Expand, &col_groups, sends)
-                    .into_iter()
-                    .map(|inbox| inbox.into_iter().map(|(_, pl)| pl).collect())
-                    .collect()
-            }
-            ExpandStrategy::AllGatherRing => {
-                let contributions: Vec<Vec<Vert>> =
-                    states.iter().map(|s| s.frontier.clone()).collect();
-                allgather_ring(world, OpClass::Expand, &col_groups, contributions)
-                    .into_iter()
-                    .map(|parts| parts.into_iter().map(|(_, pl)| pl).collect())
-                    .collect()
-            }
-            ExpandStrategy::TwoPhaseRing => {
-                let contributions: Vec<Vec<Vert>> =
-                    states.iter().map(|s| s.frontier.clone()).collect();
-                two_phase_expand(world, OpClass::Expand, &col_groups, contributions)
-                    .into_iter()
-                    .map(|parts| parts.into_iter().map(|(_, pl)| pl).collect())
-                    .collect()
-            }
-        };
-
-        // -- 3. local discovery.
-        let blocks: Vec<Vec<Vec<Vert>>> = states
-            .iter_mut()
-            .zip(&fbar)
-            .map(|(s, lists)| {
-                let refs: Vec<&[Vert]> = lists.iter().map(Vec::as_slice).collect();
-                s.discover(&refs)
-            })
-            .collect();
-        drop(fbar);
-
-        // -- 4. fold.
-        let nbar: Vec<Vec<Vec<Vert>>> = match config.fold {
-            FoldStrategy::DirectAllToAll => {
-                let sends: Vec<Vec<(usize, Vec<Vert>)>> = blocks
-                    .into_iter()
-                    .enumerate()
-                    .map(|(rank, bs)| {
-                        let i = grid.row_of(rank);
-                        bs.into_iter()
-                            .enumerate()
-                            .filter(|(_, b)| !b.is_empty())
-                            .map(|(m, b)| (grid.rank_of(i, m), b))
-                            .collect()
-                    })
-                    .collect();
-                alltoallv(world, OpClass::Fold, &row_groups, sends)
-                    .into_iter()
-                    .map(|inbox| inbox.into_iter().map(|(_, pl)| pl).collect())
-                    .collect()
-            }
-            FoldStrategy::ReduceScatterUnion => {
-                reduce_scatter_union_ring(world, OpClass::Fold, &row_groups, blocks)
-                    .into_iter()
-                    .map(|set| vec![set])
-                    .collect()
-            }
-            FoldStrategy::TwoPhaseRing => {
-                two_phase_fold(world, OpClass::Fold, &row_groups, blocks)
-                    .into_iter()
-                    .map(|set| vec![set])
-                    .collect()
-            }
-        };
-
-        // -- 5. absorb + compute charge.
-        for (s, lists) in states.iter_mut().zip(&nbar) {
-            let refs: Vec<&[Vert]> = lists.iter().map(Vec::as_slice).collect();
-            s.absorb(&refs, level + 1);
-        }
-        let probes: Vec<u64> = states.iter_mut().map(RankState::take_probes).collect();
-        world.hash_phase(&probes);
-
-        // -- target detection.
-        if let Some(t) = config.target {
-            let flags: Vec<bool> = states
-                .iter()
-                .map(|s| s.level_of(t).is_some())
-                .collect();
-            if world.allreduce_or(&flags) {
-                target_level = Some(level + 1);
+        if let Some(rc) = resilience {
+            if level.is_multiple_of(rc.checkpoint_every.max(1)) {
+                snapshot = states.clone();
+                ckpt_level = level;
             }
         }
 
-        let delta = world.stats.minus(&comm_snapshot);
-        level_records.push(LevelStats {
+        match level_pass(
+            world,
+            config,
+            &mut states,
+            &row_groups,
+            &col_groups,
             level,
-            frontier: global_frontier,
-            expand_received: delta.class(OpClass::Expand).received_verts,
-            fold_received: delta.class(OpClass::Fold).received_verts,
-            dups_eliminated: delta.total_dups_eliminated(),
-            sim_time: world.time() - time_at_start,
-            comm_time: world.comm_time() - comm_at_start,
-        });
+            &mut level_records,
+            &mut target_level,
+        ) {
+            Ok(LevelOutcome::Exhausted) | Ok(LevelOutcome::TargetFound) => break,
+            Ok(LevelOutcome::Advance) => {
+                if resilience.is_some() {
+                    mirror_deltas(world, &states, level + 1, &mut deltas)?;
+                }
+                level += 1;
+            }
+            Err(CommError::RankDead { rank }) => {
+                let Some(rc) = resilience else {
+                    return Err(CommError::RankDead { rank });
+                };
+                if recoveries >= rc.max_recoveries {
+                    return Err(CommError::RankDead { rank });
+                }
+                recoveries += 1;
+                recovered_ranks.push(rank);
+                let t0 = world.time();
 
-        if target_level.is_some() {
-            break;
+                // A spare node takes over the dead rank's coordinate.
+                world.revive(rank);
+                world.note_recovery();
+
+                // Its graph cells are regenerated from the seed — the
+                // same determinism that makes construction
+                // grid-independent makes every cell recomputable.
+                let rebuilt = bgl_graph::rebuild_rank(&graph.spec, grid, rank);
+                assert_eq!(
+                    rebuilt, graph.ranks[rank],
+                    "seed regeneration must reproduce the dead rank's graph share"
+                );
+
+                // The buddy ships its mirrored label history to the
+                // revived rank over the control network (charged).
+                let buddy = (rank + 1) % p;
+                let payload = encode_deltas(&deltas[rank], ckpt_level);
+                let inboxes = world.exchange(OpClass::Control, vec![(buddy, rank, payload)])?;
+                let received = inboxes[rank]
+                    .first()
+                    .map(|(_, pl)| pl.clone())
+                    .unwrap_or_default();
+
+                // Rebuild the dead rank's state purely from regenerated
+                // graph + mirrored deltas (never from its lost memory),
+                // then check it against the checkpoint it must equal.
+                let fresh =
+                    RankState::new(&graph.ranks[rank], graph.partition, config.sent_neighbors);
+                let restored = replay_deltas(fresh, &received, ckpt_level);
+                assert_eq!(
+                    restored.levels, snapshot[rank].levels,
+                    "replayed labels must match the checkpointed labels"
+                );
+                assert_eq!(
+                    restored.frontier, snapshot[rank].frontier,
+                    "replayed frontier must match the checkpointed frontier"
+                );
+
+                // Survivors roll back to the checkpoint; the revived
+                // rank joins with its replayed state (its sent-neighbors
+                // cache starts cold — resends are harmless because
+                // absorb only labels unreached vertices).
+                states = snapshot.clone();
+                states[rank] = restored;
+                level_records.retain(|r| r.level < ckpt_level);
+                for d in deltas.iter_mut() {
+                    d.retain(|(l, _)| *l <= ckpt_level);
+                }
+                target_level = None;
+                level = ckpt_level;
+                recovery_time += world.time() - t0;
+            }
+            Err(e) => return Err(e),
         }
-        level += 1;
     }
 
     // The source's own level-0 target case.
@@ -202,19 +481,24 @@ pub fn run(
 
     let levels = gather_levels(&states, graph.spec.n);
     let reached = states.iter().map(|s| s.reached()).sum();
-    BfsResult {
-        stats: RunStats {
-            levels: level_records,
-            sim_time: world.time(),
-            comm_time: world.comm_time(),
-            compute_time: world.compute_time(),
-            reached,
-            comm: world.stats.clone(),
-            p,
+    Ok(ResilientBfsResult {
+        result: BfsResult {
+            stats: RunStats {
+                levels: level_records,
+                sim_time: world.time(),
+                comm_time: world.comm_time(),
+                compute_time: world.compute_time(),
+                reached,
+                comm: world.stats.clone(),
+                p,
+            },
+            target_level,
+            levels,
         },
-        target_level,
-        levels,
-    }
+        recoveries,
+        recovered_ranks,
+        recovery_time,
+    })
 }
 
 #[cfg(test)]
@@ -222,7 +506,7 @@ mod tests {
     use super::*;
     use crate::config::{ExpandStrategy, FoldStrategy};
     use crate::reference;
-    use bgl_comm::ProcessorGrid;
+    use bgl_comm::{FaultPlan, ProcessorGrid};
     use bgl_graph::GraphSpec;
 
     fn check_against_oracle(spec: GraphSpec, grid: ProcessorGrid, config: BfsConfig) {
@@ -234,7 +518,10 @@ mod tests {
         assert_eq!(got.levels, expect, "grid {grid:?} config {config:?}");
         assert_eq!(
             got.stats.reached,
-            expect.iter().filter(|&&l| l != reference::UNREACHED).count() as u64
+            expect
+                .iter()
+                .filter(|&&l| l != reference::UNREACHED)
+                .count() as u64
         );
     }
 
@@ -392,5 +679,160 @@ mod tests {
             .levels
             .iter()
             .all(|&l| l == reference::UNREACHED || l <= 2));
+    }
+
+    // ---- fault injection and recovery ----
+
+    #[test]
+    fn none_fault_plan_is_byte_identical() {
+        let spec = GraphSpec::poisson(300, 6.0, 23);
+        let grid = ProcessorGrid::new(2, 3);
+        let graph = DistGraph::build(spec, grid);
+        let mut clean = SimWorld::bluegene(grid);
+        let a = run(&graph, &mut clean, &BfsConfig::default(), 0);
+        let mut gated = SimWorld::bluegene(grid).with_fault_plan(FaultPlan::none());
+        let b = try_run(&graph, &mut gated, &BfsConfig::default(), 0).unwrap();
+        assert_eq!(a.levels, b.levels);
+        assert_eq!(a.stats.sim_time, b.stats.sim_time);
+        assert_eq!(a.stats.comm, b.stats.comm);
+    }
+
+    #[test]
+    fn lossy_run_is_transparent_but_slower() {
+        let spec = GraphSpec::poisson(300, 6.0, 37);
+        let grid = ProcessorGrid::new(2, 3);
+        let graph = DistGraph::build(spec, grid);
+        let mut clean = SimWorld::bluegene(grid);
+        let a = run(&graph, &mut clean, &BfsConfig::default(), 0);
+        let plan = FaultPlan::seeded(7)
+            .with_drop_prob(0.2)
+            .with_truncate_prob(0.05)
+            .with_duplicate_prob(0.05);
+        let mut lossy = SimWorld::bluegene(grid).with_fault_plan(plan);
+        let b = try_run(&graph, &mut lossy, &BfsConfig::default(), 0).unwrap();
+        assert_eq!(a.levels, b.levels, "retransmission must be transparent");
+        assert!(b.stats.sim_time > a.stats.sim_time, "retries cost time");
+        assert!(b.stats.comm.faults.retransmissions > 0);
+        assert!(b.stats.comm.faults.drops_injected > 0);
+        // Logical message accounting is unchanged by the fault protocol.
+        assert_eq!(
+            a.stats.comm.class(OpClass::Fold).received_verts,
+            b.stats.comm.class(OpClass::Fold).received_verts
+        );
+    }
+
+    #[test]
+    fn rank_death_without_resilience_is_typed_error() {
+        let spec = GraphSpec::poisson(300, 6.0, 31);
+        let grid = ProcessorGrid::new(2, 3);
+        let graph = DistGraph::build(spec, grid);
+        let plan = FaultPlan::seeded(5).kill_rank_at(4, 3);
+        let mut world = SimWorld::bluegene(grid).with_fault_plan(plan);
+        let err = try_run(&graph, &mut world, &BfsConfig::default(), 0).unwrap_err();
+        assert_eq!(err, CommError::RankDead { rank: 4 });
+    }
+
+    #[test]
+    fn dead_rank_recovery_is_bit_identical() {
+        let spec = GraphSpec::poisson(400, 6.0, 31);
+        let adj = bgl_graph::dist::adjacency(&spec);
+        let expect = reference::bfs_levels(&adj, 0);
+        for (r, c, victim, round) in [(2, 3, 4usize, 3u64), (3, 3, 0, 2), (2, 2, 1, 5)] {
+            let grid = ProcessorGrid::new(r, c);
+            let graph = DistGraph::build(spec, grid);
+            let plan = FaultPlan::seeded(5).kill_rank_at(victim, round);
+            let mut world = SimWorld::bluegene(grid).with_fault_plan(plan);
+            let got = run_resilient(
+                &graph,
+                &mut world,
+                &BfsConfig::default(),
+                0,
+                &ResilientConfig::default(),
+            )
+            .unwrap();
+            assert_eq!(got.result.levels, expect, "grid {r}x{c} victim {victim}");
+            assert_eq!(got.recoveries, 1);
+            assert_eq!(got.recovered_ranks, vec![victim]);
+            assert!(got.recovery_time > 0.0);
+            assert_eq!(world.stats.faults.recoveries, 1);
+        }
+    }
+
+    #[test]
+    fn recovery_under_lossy_exchanges_still_exact() {
+        let spec = GraphSpec::poisson(350, 5.0, 47);
+        let adj = bgl_graph::dist::adjacency(&spec);
+        let expect = reference::bfs_levels(&adj, 0);
+        let grid = ProcessorGrid::new(2, 3);
+        let graph = DistGraph::build(spec, grid);
+        let plan = FaultPlan::seeded(13)
+            .with_drop_prob(0.15)
+            .kill_rank_at(2, 4);
+        let mut world = SimWorld::bluegene(grid).with_fault_plan(plan);
+        let got = run_resilient(
+            &graph,
+            &mut world,
+            &BfsConfig::default(),
+            0,
+            &ResilientConfig {
+                checkpoint_every: 2,
+                max_recoveries: 4,
+            },
+        )
+        .unwrap();
+        assert_eq!(got.result.levels, expect);
+        assert_eq!(got.recoveries, 1);
+        assert!(got.result.stats.comm.faults.retransmissions > 0);
+    }
+
+    #[test]
+    fn max_recoveries_zero_refuses_recovery() {
+        let spec = GraphSpec::poisson(200, 5.0, 9);
+        let grid = ProcessorGrid::new(2, 2);
+        let graph = DistGraph::build(spec, grid);
+        let plan = FaultPlan::seeded(3).kill_rank_at(1, 2);
+        let mut world = SimWorld::bluegene(grid).with_fault_plan(plan);
+        let err = run_resilient(
+            &graph,
+            &mut world,
+            &BfsConfig::default(),
+            0,
+            &ResilientConfig {
+                checkpoint_every: 1,
+                max_recoveries: 0,
+            },
+        )
+        .unwrap_err();
+        assert_eq!(err, CommError::RankDead { rank: 1 });
+    }
+
+    #[test]
+    fn resilient_without_faults_matches_plain_levels() {
+        let spec = GraphSpec::poisson(300, 6.0, 61);
+        let grid = ProcessorGrid::new(2, 3);
+        let graph = DistGraph::build(spec, grid);
+        let mut w1 = SimWorld::bluegene(grid);
+        let plain = run(&graph, &mut w1, &BfsConfig::default(), 0);
+        let mut w2 = SimWorld::bluegene(grid);
+        let res = run_resilient(
+            &graph,
+            &mut w2,
+            &BfsConfig::default(),
+            0,
+            &ResilientConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(res.result.levels, plain.levels);
+        assert_eq!(res.recoveries, 0);
+        assert!(res.recovered_ranks.is_empty());
+        // The mirror traffic rides the control network only.
+        assert_eq!(
+            res.result.stats.comm.class(OpClass::Expand).received_verts,
+            plain.stats.comm.class(OpClass::Expand).received_verts
+        );
+        assert_eq!(
+            res.result.stats.comm.class(OpClass::Fold).received_verts,
+            plain.stats.comm.class(OpClass::Fold).received_verts
+        );
     }
 }

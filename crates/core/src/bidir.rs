@@ -137,6 +137,7 @@ pub fn run(
                     .map(|s| s.expand_sends_targeted())
                     .collect();
                 alltoallv(world, OpClass::Expand, &col_groups, sends)
+                    .expect("bidirectional search runs fault-free")
                     .into_iter()
                     .map(|inbox| inbox.into_iter().map(|(_, pl)| pl).collect())
                     .collect()
@@ -145,6 +146,7 @@ pub fn run(
                 let contributions: Vec<Vec<Vert>> =
                     states.iter().map(|s| s.frontier.clone()).collect();
                 allgather_ring(world, OpClass::Expand, &col_groups, contributions)
+                    .expect("bidirectional search runs fault-free")
                     .into_iter()
                     .map(|parts| parts.into_iter().map(|(_, pl)| pl).collect())
                     .collect()
@@ -153,6 +155,7 @@ pub fn run(
                 let contributions: Vec<Vec<Vert>> =
                     states.iter().map(|s| s.frontier.clone()).collect();
                 two_phase_expand(world, OpClass::Expand, &col_groups, contributions)
+                    .expect("bidirectional search runs fault-free")
                     .into_iter()
                     .map(|parts| parts.into_iter().map(|(_, pl)| pl).collect())
                     .collect()
@@ -182,22 +185,23 @@ pub fn run(
                     })
                     .collect();
                 alltoallv(world, OpClass::Fold, &row_groups, sends)
+                    .expect("bidirectional search runs fault-free")
                     .into_iter()
                     .map(|inbox| inbox.into_iter().map(|(_, pl)| pl).collect())
                     .collect()
             }
             FoldStrategy::ReduceScatterUnion => {
                 reduce_scatter_union_ring(world, OpClass::Fold, &row_groups, blocks)
+                    .expect("bidirectional search runs fault-free")
                     .into_iter()
                     .map(|set| vec![set])
                     .collect()
             }
-            FoldStrategy::TwoPhaseRing => {
-                two_phase_fold(world, OpClass::Fold, &row_groups, blocks)
-                    .into_iter()
-                    .map(|set| vec![set])
-                    .collect()
-            }
+            FoldStrategy::TwoPhaseRing => two_phase_fold(world, OpClass::Fold, &row_groups, blocks)
+                .expect("bidirectional search runs fault-free")
+                .into_iter()
+                .map(|set| vec![set])
+                .collect(),
         };
         for (s, lists) in states.iter_mut().zip(&nbar) {
             let refs: Vec<&[Vert]> = lists.iter().map(Vec::as_slice).collect();
@@ -281,7 +285,11 @@ mod tests {
         // Sparse graph => long shortest paths; stresses the termination
         // condition (candidate vs depth sums).
         let spec = GraphSpec::poisson(600, 2.5, 53);
-        check_distances(spec, ProcessorGrid::new(2, 2), &[(0, 599), (3, 300), (10, 550)]);
+        check_distances(
+            spec,
+            ProcessorGrid::new(2, 2),
+            &[(0, 599), (3, 300), (10, 550)],
+        );
     }
 
     #[test]
@@ -342,12 +350,7 @@ mod tests {
             .expect("far vertex exists");
 
         let mut w_uni = SimWorld::bluegene(grid);
-        let uni = crate::bfs2d::run(
-            &graph,
-            &mut w_uni,
-            &BfsConfig::default().with_target(t),
-            0,
-        );
+        let uni = crate::bfs2d::run(&graph, &mut w_uni, &BfsConfig::default().with_target(t), 0);
         let mut w_bi = SimWorld::bluegene(grid);
         let bi = run(&graph, &mut w_bi, &BfsConfig::default(), 0, t);
 

@@ -10,7 +10,10 @@
 //!   partitioning;
 //! * [`bfs2d`] — Algorithm 2, the 2D (edge) partitioning with *expand*
 //!   (processor-column) and *fold* (processor-row) collectives,
-//!   configurable across the paper's communication strategies;
+//!   configurable across the paper's communication strategies; also
+//!   home of the fault-tolerant engine ([`bfs2d::run_resilient`]) that
+//!   survives lossy exchanges and rank deaths via level-synchronous
+//!   checkpoint/recover with bit-identical recovery;
 //! * [`bidir`] — the §2.3 bi-directional search;
 //! * [`theory`] — the §3.1 analytic message-length bounds (γ function)
 //!   and the Figure 6.b 1D/2D crossover-degree solver;
@@ -60,7 +63,7 @@ pub mod theory;
 pub mod threaded_run;
 pub mod tree;
 
-pub use bfs2d::BfsResult;
+pub use bfs2d::{BfsResult, ResilientBfsResult, ResilientConfig};
 pub use bidir::BidirResult;
 pub use config::{BfsConfig, ExpandStrategy, FoldStrategy};
 pub use reference::UNREACHED;

@@ -93,8 +93,8 @@ pub fn estimate(
     // §2.4.1: expected non-empty columns = (n/C) · γ(n/R), capped by
     // both the block-column width and the entry count.
     let cols = (n / c * gamma(n, k, n / r)).min(entries).min(n / c);
-    let col_index_bytes = cols * (w + std::mem::size_of::<usize>() as f64)
-        + cols * (w + HASH_SLOT_OVERHEAD);
+    let col_index_bytes =
+        cols * (w + std::mem::size_of::<usize>() as f64) + cols * (w + HASH_SLOT_OVERHEAD);
 
     // §2.4.1 (transposed): unique row vertices = (n/R) · γ(n/C); each
     // carries a hash slot and a sent-neighbors flag.
@@ -182,7 +182,11 @@ mod tests {
             est.total() / 1e6
         );
         // And it is a substantial fraction — this was a big machine run.
-        assert!(est.utilization() > 0.05, "utilization {:.3}", est.utilization());
+        assert!(
+            est.utilization() > 0.05,
+            "utilization {:.3}",
+            est.utilization()
+        );
     }
 
     #[test]

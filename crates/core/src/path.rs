@@ -38,11 +38,18 @@ pub fn extract_path(
 ) -> Option<Vec<Vertex>> {
     let grid = world.grid();
     assert_eq!(grid, graph.grid(), "world and graph grids must match");
-    assert_eq!(levels.len() as u64, graph.spec.n, "level array size mismatch");
+    assert_eq!(
+        levels.len() as u64,
+        graph.spec.n,
+        "level array size mismatch"
+    );
     if levels[target as usize] == UNREACHED {
         return None;
     }
-    debug_assert_eq!(levels[source as usize], 0, "levels must be rooted at source");
+    debug_assert_eq!(
+        levels[source as usize], 0,
+        "levels must be rooted at source"
+    );
 
     let mut path = vec![target];
     let mut cur = target;
@@ -58,7 +65,9 @@ pub fn extract_path(
         let announce: Vec<(usize, usize, Vec<Vert>)> = (0..grid.rows())
             .map(|i| (owner, grid.rank_of(i, col), vec![cur]))
             .collect();
-        let inboxes = world.exchange(OpClass::Control, announce);
+        let inboxes = world
+            .exchange(OpClass::Control, announce)
+            .expect("control traffic is fault-exempt");
 
         // Round 2 (fold-shaped): column peers forward cur's partial
         // neighbor lists to the neighbors' owners.
@@ -83,7 +92,9 @@ pub fn extract_path(
                 }
             }
         }
-        let inboxes = world.exchange(OpClass::Control, forwards);
+        let inboxes = world
+            .exchange(OpClass::Control, forwards)
+            .expect("control traffic is fault-exempt");
 
         // Round 3: owners filter candidates at level l-1 and reply to
         // cur's owner; take the smallest for determinism.
@@ -102,7 +113,9 @@ pub fn extract_path(
                 replies.push((rank, owner, vec![u]));
             }
         }
-        let inboxes = world.exchange(OpClass::Control, replies);
+        let inboxes = world
+            .exchange(OpClass::Control, replies)
+            .expect("control traffic is fault-exempt");
         let parent = inboxes[owner]
             .iter()
             .flat_map(|(_, list)| list.iter().copied())
@@ -182,7 +195,9 @@ mod tests {
     #[test]
     fn unreached_target_has_no_path() {
         let (graph, mut world, levels, _) = setup(300, 1.2, 3, 2, 2);
-        let t = (0..300u64).find(|&v| levels[v as usize] == UNREACHED).unwrap();
+        let t = (0..300u64)
+            .find(|&v| levels[v as usize] == UNREACHED)
+            .unwrap();
         assert!(extract_path(&graph, &mut world, &levels, 0, t).is_none());
     }
 
@@ -209,8 +224,8 @@ mod tests {
         let (graph, mut world, levels, adj) = setup(500, 4.0, 23, 3, 2);
         for target in [33u64, 222, 444] {
             let expect = reference::distance(&adj, 0, target);
-            let got = extract_path(&graph, &mut world, &levels, 0, target)
-                .map(|p| p.len() as u32 - 1);
+            let got =
+                extract_path(&graph, &mut world, &levels, 0, target).map(|p| p.len() as u32 - 1);
             assert_eq!(got, expect, "target {target}");
         }
     }

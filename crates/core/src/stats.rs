@@ -67,9 +67,7 @@ impl RunStats {
         if self.levels.is_empty() || self.p == 0 {
             return 0.0;
         }
-        self.comm.class(class).received_verts as f64
-            / self.p as f64
-            / self.levels.len() as f64
+        self.comm.class(class).received_verts as f64 / self.p as f64 / self.levels.len() as f64
     }
 
     /// Figure 7 metric: the redundancy ratio in percent.

@@ -217,7 +217,10 @@ mod tests {
         // near-balances the equation.
         let (n, p) = (4e7, 400.0);
         let k = crossover_degree(n, p, 1e4).expect("crossover exists");
-        assert!((30.0..36.0).contains(&k), "crossover k = {k}, paper reports 34");
+        assert!(
+            (30.0..36.0).contains(&k),
+            "crossover k = {k}, paper reports 34"
+        );
         let lhs = expected_len_1d(n, 34.0, p);
         let rhs = expected_len_2d_square(n, 34.0, p);
         assert!(

@@ -5,35 +5,72 @@
 //! with genuine concurrent message passing. Exists to validate the
 //! simulator against a real parallel execution and to power examples
 //! that want actual parallelism; no cost model applies.
+//!
+//! [`run_threaded_with_faults`] drives the same loop under a
+//! [`FaultPlan`]: lossy exchanges retransmit (counted per rank in
+//! [`FaultStats`]), and a scheduled rank death aborts every rank at the
+//! same superstep with a typed [`CommError`]. Because both runtimes
+//! derive faults from the same pure hash of `(seed, class, round, from,
+//! to)`, a run here injects the *same* fault schedule as the simulator —
+//! the cross-runtime determinism the fault tests assert.
 
 use crate::reference::UNREACHED;
 use crate::state::RankState;
 use bgl_comm::threaded::ThreadedWorld;
-use bgl_comm::Vert;
+use bgl_comm::{CommError, FaultPlan, FaultStats, OpClass, Vert};
 use bgl_graph::{DistGraph, Vertex};
+
+/// What one rank of a faulty threaded run produced.
+#[derive(Debug, Clone)]
+pub struct RankOutcome {
+    /// First global vertex owned by this rank.
+    pub owned_start: Vertex,
+    /// Level labels for the owned range.
+    pub levels: Vec<u32>,
+    /// Faults this rank observed on its outgoing messages.
+    pub faults: FaultStats,
+}
 
 /// Run a BFS from `source` using one thread per rank. Returns the global
 /// level array.
 pub fn run_threaded(graph: &DistGraph, source: Vertex, use_sent: bool) -> Vec<u32> {
+    let per_rank = run_threaded_with_faults(graph, source, use_sent, FaultPlan::none());
+    let mut levels = vec![UNREACHED; graph.spec.n as usize];
+    for out in per_rank {
+        let out = out.expect("fault-free threaded run cannot fail");
+        let s = out.owned_start as usize;
+        levels[s..s + out.levels.len()].copy_from_slice(&out.levels);
+    }
+    levels
+}
+
+/// [`run_threaded`] under a deterministic [`FaultPlan`]. Each rank
+/// reports its own outcome: the labels it computed plus its fault
+/// counters, or the typed error that aborted it.
+pub fn run_threaded_with_faults(
+    graph: &DistGraph,
+    source: Vertex,
+    use_sent: bool,
+    plan: FaultPlan,
+) -> Vec<Result<RankOutcome, CommError>> {
     let grid = graph.grid();
     assert!(source < graph.spec.n);
 
-    let per_rank = ThreadedWorld::run(grid, |ctx| {
+    ThreadedWorld::run_with(grid, plan, |ctx| -> Result<RankOutcome, CommError> {
         let rank = ctx.rank();
         let mut st = RankState::new(&graph.ranks[rank], graph.partition, use_sent);
         st.init_source(source);
 
         let mut level: u32 = 0;
         loop {
-            let global_frontier = ctx.allreduce_sum(st.frontier_len());
+            let global_frontier = ctx.allreduce_sum(st.frontier_len())?;
             if global_frontier == 0 {
                 break;
             }
             // Expand (targeted) — one world round.
             let sends: Vec<(usize, Vec<Vert>)> = st.expand_sends_targeted();
-            let fbar = ctx.exchange(sends);
-            let fbar_refs: Vec<&[Vert]> =
-                fbar.iter().map(|(_, pl)| pl.as_slice()).collect();
+            let fbar = ctx.exchange(OpClass::Expand, sends)?;
+            let fbar_refs: Vec<&[Vert]> = fbar.iter().map(|(_, pl)| pl.as_slice()).collect();
             // Discover + fold (direct all-to-all) — one world round.
             let blocks = st.discover(&fbar_refs);
             let i = grid.row_of(rank);
@@ -43,21 +80,17 @@ pub fn run_threaded(graph: &DistGraph, source: Vertex, use_sent: bool) -> Vec<u3
                 .filter(|(_, b)| !b.is_empty())
                 .map(|(m, b)| (grid.rank_of(i, m), b))
                 .collect();
-            let nbar = ctx.exchange(sends);
-            let nbar_refs: Vec<&[Vert]> =
-                nbar.iter().map(|(_, pl)| pl.as_slice()).collect();
+            let nbar = ctx.exchange(OpClass::Fold, sends)?;
+            let nbar_refs: Vec<&[Vert]> = nbar.iter().map(|(_, pl)| pl.as_slice()).collect();
             st.absorb(&nbar_refs, level + 1);
             level += 1;
         }
-        (st.rank_graph().owned.start, st.levels)
-    });
-
-    let mut levels = vec![UNREACHED; graph.spec.n as usize];
-    for (start, local) in per_rank {
-        let s = start as usize;
-        levels[s..s + local.len()].copy_from_slice(&local);
-    }
-    levels
+        Ok(RankOutcome {
+            owned_start: st.rank_graph().owned.start,
+            levels: st.levels,
+            faults: ctx.faults,
+        })
+    })
 }
 
 #[cfg(test)]
@@ -100,5 +133,60 @@ mod tests {
         let expect = reference::bfs_levels(&adj, 3);
         let graph = DistGraph::build(spec, ProcessorGrid::new(2, 2));
         assert_eq!(run_threaded(&graph, 3, false), expect);
+    }
+
+    #[test]
+    fn lossy_threaded_matches_oracle_and_sim_fault_schedule() {
+        // Identical (seed, FaultPlan) must produce the same fault
+        // schedule — and therefore the same retransmission counters —
+        // in the threaded runtime and the simulator, and the lossy run
+        // must still produce oracle-exact levels in both.
+        let spec = GraphSpec::poisson(300, 6.0, 91);
+        let adj = bgl_graph::dist::adjacency(&spec);
+        let expect = reference::bfs_levels(&adj, 0);
+        let grid = ProcessorGrid::new(2, 2);
+        let graph = DistGraph::build(spec, grid);
+        let plan = FaultPlan::seeded(17)
+            .with_drop_prob(0.2)
+            .with_truncate_prob(0.05)
+            .with_duplicate_prob(0.05);
+
+        let outs = run_threaded_with_faults(&graph, 0, true, plan.clone());
+        let mut levels = vec![UNREACHED; graph.spec.n as usize];
+        let mut total = FaultStats::default();
+        for out in outs {
+            let out = out.expect("message faults are transparent");
+            let s = out.owned_start as usize;
+            levels[s..s + out.levels.len()].copy_from_slice(&out.levels);
+            total.drops_injected += out.faults.drops_injected;
+            total.truncations_injected += out.faults.truncations_injected;
+            total.duplicates_injected += out.faults.duplicates_injected;
+            total.retransmissions += out.faults.retransmissions;
+        }
+        assert_eq!(levels, expect);
+        assert!(total.retransmissions > 0);
+
+        let mut world = SimWorld::bluegene(grid).with_fault_plan(plan);
+        let sim =
+            crate::bfs2d::try_run(&graph, &mut world, &BfsConfig::baseline_alltoall(), 0).unwrap();
+        assert_eq!(sim.levels, expect);
+        let sf = &sim.stats.comm.faults;
+        assert_eq!(total.drops_injected, sf.drops_injected);
+        assert_eq!(total.truncations_injected, sf.truncations_injected);
+        assert_eq!(total.duplicates_injected, sf.duplicates_injected);
+        assert_eq!(total.retransmissions, sf.retransmissions);
+    }
+
+    #[test]
+    fn threaded_rank_death_aborts_all_ranks() {
+        let spec = GraphSpec::poisson(200, 5.0, 21);
+        let grid = ProcessorGrid::new(2, 2);
+        let graph = DistGraph::build(spec, grid);
+        let plan = FaultPlan::seeded(9).kill_rank_at(2, 3);
+        let outs = run_threaded_with_faults(&graph, 0, true, plan);
+        assert_eq!(outs.len(), 4);
+        for out in outs {
+            assert_eq!(out.unwrap_err(), CommError::RankDead { rank: 2 });
+        }
     }
 }

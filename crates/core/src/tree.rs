@@ -199,6 +199,7 @@ pub fn run_tree(
         let sends: Vec<Vec<(usize, Vec<Vert>)>> =
             states.iter().map(|s| s.expand_sends(grid)).collect();
         let fbar: Vec<Vec<Vec<Vert>>> = alltoallv(world, OpClass::Expand, &col_groups, sends)
+            .expect("tree construction runs fault-free")
             .into_iter()
             .map(|inbox| inbox.into_iter().map(|(_, pl)| pl).collect())
             .collect();
@@ -225,6 +226,7 @@ pub fn run_tree(
             })
             .collect();
         let nbar: Vec<Vec<Vec<Vert>>> = alltoallv(world, OpClass::Fold, &row_groups, fold_sends)
+            .expect("tree construction runs fault-free")
             .into_iter()
             .map(|inbox| inbox.into_iter().map(|(_, pl)| pl).collect())
             .collect();
@@ -392,8 +394,7 @@ mod tests {
         let mut w_tree = SimWorld::bluegene(grid);
         let tree = run_tree(&graph, &mut w_tree, &BfsConfig::default(), 0);
         let mut w_plain = SimWorld::bluegene(grid);
-        let plain =
-            crate::bfs2d::run(&graph, &mut w_plain, &BfsConfig::baseline_alltoall(), 0);
+        let plain = crate::bfs2d::run(&graph, &mut w_plain, &BfsConfig::baseline_alltoall(), 0);
 
         assert_eq!(tree.levels, plain.levels);
         let f_tree = tree.stats.comm.class(OpClass::Fold).received_verts;

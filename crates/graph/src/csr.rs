@@ -23,7 +23,7 @@ use crate::Vertex;
 use rustc_hash::FxHashMap;
 
 /// CSR-like storage of the non-empty partial edge lists on one rank.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct PartialEdgeLists {
     /// Non-empty columns (global vertex ids), sorted ascending.
     cols: Vec<Vertex>,
@@ -174,14 +174,7 @@ mod tests {
 
     fn sample() -> PartialEdgeLists {
         // cols: 2 -> {5, 7}, 9 -> {1}, 4 -> {0, 1, 8}
-        PartialEdgeLists::from_entries(vec![
-            (7, 2),
-            (5, 2),
-            (1, 9),
-            (0, 4),
-            (8, 4),
-            (1, 4),
-        ])
+        PartialEdgeLists::from_entries(vec![(7, 2), (5, 2), (1, 9), (0, 4), (8, 4), (1, 4)])
     }
 
     #[test]

@@ -27,7 +27,7 @@ use bgl_comm::ProcessorGrid;
 use rayon::prelude::*;
 
 /// One rank's share of the distributed graph.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RankGraph {
     /// The rank id (row-major in the grid).
     pub rank: usize,
@@ -215,7 +215,10 @@ impl DistGraph {
 
     /// Total adjacency entries stored across all ranks (≈ n·k).
     pub fn total_entries(&self) -> u64 {
-        self.ranks.iter().map(|r| r.edges.num_entries() as u64).sum()
+        self.ranks
+            .iter()
+            .map(|r| r.edges.num_entries() as u64)
+            .sum()
     }
 
     /// Largest per-rank storage footprint in bytes (memory scalability
@@ -226,6 +229,42 @@ impl DistGraph {
             .map(|r| r.edges.approx_bytes())
             .max()
             .unwrap_or(0)
+    }
+}
+
+/// Regenerate a single rank's share of the graph from the spec alone.
+///
+/// Fault recovery uses this: graphs are seed-generated, so a dead rank's
+/// `RankGraph` need not be checkpointed — a spare node replays the
+/// deterministic generator, keeping the entries this rank stores and the
+/// targeting rows for the vertices it owns. Produces a result identical
+/// to `DistGraph::build(spec, grid).ranks[rank]`.
+pub fn rebuild_rank(spec: &GraphSpec, grid: ProcessorGrid, rank: usize) -> RankGraph {
+    let partition = TwoDPartition::new(spec.n, grid);
+    let owned = partition.owned_range(rank);
+    let mut entries: Vec<(Vertex, Vertex)> = Vec::new();
+    let mut expand_targets: Vec<Vec<u16>> = vec![Vec::new(); partition.owned_len(rank)];
+    gen::for_each_entry(spec, |u, v| {
+        let storer = partition.storer_of_entry(u, v);
+        if storer == rank {
+            entries.push((u, v));
+        }
+        // The registration exchange, replayed locally: any storer of a
+        // non-empty list for an owned vertex is an expand target row.
+        if owned.contains(&v) {
+            let (i, _) = grid.position_of(storer);
+            expand_targets[(v - owned.start) as usize].push(i as u16);
+        }
+    });
+    for t in expand_targets.iter_mut() {
+        t.sort_unstable();
+        t.dedup();
+    }
+    RankGraph {
+        rank,
+        owned,
+        edges: PartialEdgeLists::from_entries(entries),
+        expand_targets,
     }
 }
 
@@ -395,15 +434,27 @@ mod tests {
     }
 
     #[test]
+    fn rebuild_rank_matches_build() {
+        for spec in [
+            GraphSpec::poisson(300, 5.0, 7),
+            GraphSpec::rmat(1 << 8, 6.0, 3),
+        ] {
+            let grid = ProcessorGrid::new(3, 2);
+            let g = DistGraph::build(spec, grid);
+            for rank in 0..grid.len() {
+                let rebuilt = rebuild_rank(&spec, grid, rank);
+                assert_eq!(rebuilt, g.ranks[rank], "rank {rank}");
+            }
+        }
+    }
+
+    #[test]
     fn owned_local_offsets() {
         let spec = spec_small();
         let g = DistGraph::build(spec, ProcessorGrid::new(2, 2));
         let r = &g.ranks[1];
         assert_eq!(r.owned_local(r.owned.start), Some(0));
-        assert_eq!(
-            r.owned_local(r.owned.end - 1),
-            Some(r.owned_len() - 1)
-        );
+        assert_eq!(r.owned_local(r.owned.end - 1), Some(r.owned_len() - 1));
         assert_eq!(r.owned_local(r.owned.end), None);
     }
 }

@@ -230,11 +230,7 @@ pub fn rmat_draws(spec: &GraphSpec) -> u64 {
 /// Draw chunk `chunk_idx` of the R-MAT edge stream (draw indices
 /// `[chunk_idx·stride, min((chunk_idx+1)·stride, total))`), emitting
 /// both directions of each sampled edge. Self-loops are skipped.
-pub fn rmat_chunk_edges(
-    spec: &GraphSpec,
-    chunk_idx: u64,
-    stride: u64,
-) -> Vec<(Vertex, Vertex)> {
+pub fn rmat_chunk_edges(spec: &GraphSpec, chunk_idx: u64, stride: u64) -> Vec<(Vertex, Vertex)> {
     let GraphFamily::RMat { a, b, c } = spec.family else {
         panic!("rmat_chunk_edges requires an R-MAT spec");
     };

@@ -38,7 +38,7 @@ pub mod spec;
 pub mod stats;
 
 pub use csr::PartialEdgeLists;
-pub use dist::{DistGraph, RankGraph};
+pub use dist::{rebuild_rank, DistGraph, RankGraph};
 pub use gen::{cell_entries, for_each_entry, ChunkGrid};
 pub use partition::TwoDPartition;
 pub use spec::{GraphFamily, GraphSpec};

@@ -20,7 +20,10 @@
 //! * [`mapping`] — the Figure 1 task mapping from an `Lx × Ly` logical
 //!   processor array onto torus planes, plus naive mappings for ablation;
 //! * [`cost`] — an α–β–hop communication cost model with per-link
-//!   accounting, used by `bgl-comm` to derive simulated times.
+//!   accounting, used by `bgl-comm` to derive simulated times;
+//! * [`fault`] — deterministic, seeded fault plans (dead links/nodes,
+//!   degraded bandwidth, lossy messaging, scheduled rank deaths) and
+//!   fault-aware routing that detours around dead components.
 //!
 //! The model is deliberately analytic rather than cycle-accurate: the
 //! paper's claims we reproduce are about message counts, sizes, hop
@@ -31,12 +34,14 @@
 
 pub mod coord;
 pub mod cost;
+pub mod fault;
 pub mod machine;
 pub mod mapping;
 pub mod routing;
 
 pub use coord::{Coord3, TorusDims};
 pub use cost::{CostModel, LinkTraffic, TransferCost};
+pub use fault::{detour_hops, route_with_faults, Delivery, FaultPlan, Isolated, RankDeath};
 pub use machine::{MachineConfig, MachineKind};
 pub use mapping::{LogicalArray, TaskMapping, TaskMappingKind};
 pub use routing::{diameter, hop_distance, mean_hop_distance, route_dimension_ordered, RouteStep};

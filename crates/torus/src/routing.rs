@@ -120,8 +120,7 @@ mod tests {
     #[test]
     fn route_is_dimension_ordered() {
         let dims = TorusDims::new(8, 8, 8);
-        let route =
-            route_dimension_ordered(dims, Coord3::new(0, 0, 0), Coord3::new(3, 3, 3));
+        let route = route_dimension_ordered(dims, Coord3::new(0, 0, 0), Coord3::new(3, 3, 3));
         let dims_seq: Vec<usize> = route.iter().map(|s| s.dim).collect();
         let mut sorted = dims_seq.clone();
         sorted.sort_unstable();

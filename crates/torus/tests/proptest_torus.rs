@@ -2,8 +2,7 @@
 //! hop distance, route validity, and task-mapping injectivity.
 
 use bgl_torus::{
-    hop_distance, route_dimension_ordered, LogicalArray, TaskMapping, TaskMappingKind,
-    TorusDims,
+    hop_distance, route_dimension_ordered, LogicalArray, TaskMapping, TaskMappingKind, TorusDims,
 };
 use proptest::prelude::*;
 

@@ -19,7 +19,13 @@ use bgl_bfs::graph::{degrees, DegreeStats};
 use bgl_bfs::{BfsConfig, DistGraph, GraphSpec, ProcessorGrid, SimWorld};
 
 fn run_kernel(name: &str, spec: GraphSpec, grid: ProcessorGrid, num_sources: u64) {
-    println!("— {name}: n = {}, k = {}, grid {}x{}", spec.n, spec.avg_degree, grid.rows(), grid.cols());
+    println!(
+        "— {name}: n = {}, k = {}, grid {}x{}",
+        spec.n,
+        spec.avg_degree,
+        grid.rows(),
+        grid.cols()
+    );
     let graph = DistGraph::build(spec, grid);
     let adj = bgl_bfs::graph::dist::adjacency(&spec);
     let deg = DegreeStats::from_degrees(&degrees(&graph));

@@ -49,8 +49,16 @@ fn main() {
     );
     println!(
         "  volume         : expand {} verts, fold {} verts, {} duplicates unioned away ({:.1}%)",
-        result.stats.comm.class(bgl_bfs::comm::OpClass::Expand).received_verts,
-        result.stats.comm.class(bgl_bfs::comm::OpClass::Fold).received_verts,
+        result
+            .stats
+            .comm
+            .class(bgl_bfs::comm::OpClass::Expand)
+            .received_verts,
+        result
+            .stats
+            .comm
+            .class(bgl_bfs::comm::OpClass::Fold)
+            .received_verts,
         result.stats.comm.total_dups_eliminated(),
         result.stats.redundancy_ratio_percent()
     );

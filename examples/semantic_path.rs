@@ -76,8 +76,8 @@ fn main() {
     assert_eq!(Some(d_full), uni.target_level);
     assert_eq!(Some(d_full), bi.distance);
 
-    let saving = 100.0
-        * (1.0 - bi.stats.total_received() as f64 / uni.stats.total_received() as f64);
+    let saving =
+        100.0 * (1.0 - bi.stats.total_received() as f64 / uni.stats.total_received() as f64);
     println!(
         "\nbi-directional search moved {saving:.1}% less volume than the \
          uni-directional search (paper: \"orders of magnitude smaller\" per \

@@ -43,7 +43,11 @@ fn main() {
         let r = bfs2d::run(&graph, &mut world, &BfsConfig::paper_optimized(), 0);
 
         let peak_frontier = r.stats.levels.iter().map(|l| l.frontier).max().unwrap_or(0);
-        let fold_wire = r.stats.comm.class(bgl_bfs::comm::OpClass::Fold).received_verts;
+        let fold_wire = r
+            .stats
+            .comm
+            .class(bgl_bfs::comm::OpClass::Fold)
+            .received_verts;
         // Locality: how many discovered neighbors were owned by the
         // discovering rank itself (never hit the wire)? Estimate from
         // reached edges vs wire volume.

@@ -36,9 +36,9 @@ fn main() {
     let reached = threaded.iter().filter(|&&l| l != UNREACHED).count();
     println!("both engines labeled {reached} vertices identically ✓");
     println!(
-        "superstep simulator : {:>8.1?} wall ({} simulated ms on BG/L)",
+        "superstep simulator : {:>8.1?} wall ({:.3} simulated ms on BG/L)",
         sim_wall,
-        format!("{:.3}", sim.stats.sim_time * 1e3)
+        sim.stats.sim_time * 1e3
     );
     println!("threaded SPMD (16 OS threads): {threaded_wall:>8.1?} wall");
     println!(

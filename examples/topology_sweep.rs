@@ -39,10 +39,8 @@ fn main() {
         // §3.1 expected lengths are totals over a whole-frontier sweep;
         // divide by the executed level count for a per-level analogue.
         let levels = res.stats.num_levels().max(1) as f64;
-        let exp_expand =
-            theory::expected_len_2d_expand(n as f64, k, p as f64, r as f64) / levels;
-        let exp_fold =
-            theory::expected_len_2d_fold(n as f64, k, p as f64, c as f64) / levels;
+        let exp_expand = theory::expected_len_2d_expand(n as f64, k, p as f64, r as f64) / levels;
+        let exp_fold = theory::expected_len_2d_fold(n as f64, k, p as f64, c as f64) / levels;
 
         println!(
             "{:>7} {:>9.3}ms {:>9.3}ms {:>12.1} {:>12.1} {:>12.1} {:>12.1}",

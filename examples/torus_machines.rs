@@ -10,18 +10,21 @@
 //! cargo run --release --example torus_machines
 //! ```
 
+use bgl_bfs::comm::ChunkPolicy;
 use bgl_bfs::core::bfs2d;
 use bgl_bfs::torus::{
     mean_hop_distance, LogicalArray, MachineConfig, TaskMapping, TaskMappingKind,
 };
 use bgl_bfs::{BfsConfig, DistGraph, GraphSpec, ProcessorGrid, SimWorld};
-use bgl_bfs::comm::ChunkPolicy;
 
 fn main() {
     // (a) the machines.
     for (name, m) in [
         ("BlueGene/L (full)", MachineConfig::bluegene_l_full()),
-        ("BlueGene/L (half, the paper's partition)", MachineConfig::bluegene_l_half()),
+        (
+            "BlueGene/L (half, the paper's partition)",
+            MachineConfig::bluegene_l_half(),
+        ),
         ("MCR Linux cluster", MachineConfig::mcr_cluster()),
     ] {
         let hops = match m.kind {

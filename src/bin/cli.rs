@@ -12,7 +12,9 @@
 use bgl_bfs::comm::ChunkPolicy;
 use bgl_bfs::core::{bfs2d, bidir, memory, path, theory};
 use bgl_bfs::torus::MachineConfig;
-use bgl_bfs::{BfsConfig, DistGraph, GraphSpec, ProcessorGrid, SimWorld};
+use bgl_bfs::{
+    BfsConfig, DistGraph, FaultPlan, GraphSpec, ProcessorGrid, ResilientConfig, SimWorld,
+};
 use std::collections::HashMap;
 
 const HELP: &str = "\
@@ -22,6 +24,8 @@ USAGE: bgl-bfs <command> [--flag value]...
 
 COMMANDS
   search   run a BFS (flags: --n --k --seed --rows --cols --source [--target] [--bidir])
+           fault injection (non-bidir): [--drop-rate 0.1] [--dead-rank 3 [--dead-at 4]]
+           [--fault-seed 7] — runs the checkpoint/recover engine and prints fault counters
   path     extract a shortest path (flags as search, --target required)
   theory   print the §3.1 message-length analysis (--n --p [--kmax])
   memory   per-node memory feasibility (--per-rank --k --rows --cols [--chunk])
@@ -55,14 +59,20 @@ impl Flags {
     fn u64(&self, key: &str, default: u64) -> u64 {
         self.0
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key}: bad integer {v:?}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key}: bad integer {v:?}"))
+            })
             .unwrap_or(default)
     }
 
     fn f64(&self, key: &str, default: f64) -> f64 {
         self.0
             .get(key)
-            .map(|v| v.parse().unwrap_or_else(|_| panic!("--{key}: bad number {v:?}")))
+            .map(|v| {
+                v.parse()
+                    .unwrap_or_else(|_| panic!("--{key}: bad number {v:?}"))
+            })
             .unwrap_or(default)
     }
 
@@ -72,10 +82,7 @@ impl Flags {
 }
 
 fn grid_from(flags: &Flags) -> ProcessorGrid {
-    ProcessorGrid::new(
-        flags.u64("rows", 4) as usize,
-        flags.u64("cols", 4) as usize,
-    )
+    ProcessorGrid::new(flags.u64("rows", 4) as usize, flags.u64("cols", 4) as usize)
 }
 
 fn spec_from(flags: &Flags) -> GraphSpec {
@@ -98,11 +105,33 @@ fn cmd_search(flags: &Flags) {
         grid.cols()
     );
     let graph = DistGraph::build(spec, grid);
+
+    let mut plan = FaultPlan::seeded(flags.u64("fault-seed", 7));
+    if flags.has("drop-rate") {
+        plan = plan.with_drop_prob(flags.f64("drop-rate", 0.0));
+    }
+    if flags.has("dead-rank") {
+        plan = plan.kill_rank_at(
+            flags.u64("dead-rank", 0) as usize % grid.len(),
+            flags.u64("dead-at", 4),
+        );
+    }
+    let faulty = plan.is_active();
+
     let mut world = SimWorld::bluegene(grid);
 
     if flags.has("bidir") {
+        if faulty {
+            eprintln!("warning: fault injection applies to the plain search only; ignoring");
+        }
         let target = flags.u64("target", spec.n - 1).min(spec.n - 1);
-        let r = bidir::run(&graph, &mut world, &BfsConfig::paper_optimized(), source, target);
+        let r = bidir::run(
+            &graph,
+            &mut world,
+            &BfsConfig::paper_optimized(),
+            source,
+            target,
+        );
         match r.distance {
             Some(d) => println!("bi-directional distance {source} → {target}: {d}"),
             None => println!("{source} and {target} are not connected"),
@@ -120,7 +149,31 @@ fn cmd_search(flags: &Flags) {
     if flags.has("target") {
         config = config.with_target(flags.u64("target", 0).min(spec.n - 1));
     }
-    let r = bfs2d::run(&graph, &mut world, &config, source);
+    let r = if faulty {
+        world = SimWorld::bluegene(grid).with_fault_plan(plan);
+        let res = bfs2d::run_resilient(
+            &graph,
+            &mut world,
+            &config,
+            source,
+            &ResilientConfig::default(),
+        )
+        .unwrap_or_else(|e| {
+            eprintln!("error: search did not survive the fault plan: {e}");
+            std::process::exit(1);
+        });
+        if res.recoveries > 0 {
+            println!(
+                "recovered {} rank death(s) ({:?}) in {:.3} ms of recovery time",
+                res.recoveries,
+                res.recovered_ranks,
+                res.recovery_time * 1e3
+            );
+        }
+        res.result
+    } else {
+        bfs2d::run(&graph, &mut world, &config, source)
+    };
     println!(
         "reached {}/{} vertices in {} levels",
         r.stats.reached,
@@ -142,6 +195,19 @@ fn cmd_search(flags: &Flags) {
         r.stats.avg_fold_len_per_level(),
         r.stats.redundancy_ratio_percent()
     );
+    let f = &r.stats.comm.faults;
+    if faulty || f.any() {
+        println!(
+            "faults: {} drops, {} truncations, {} duplicates => {} retransmissions; \
+             {} detour hops, {} recoveries",
+            f.drops_injected,
+            f.truncations_injected,
+            f.duplicates_injected,
+            f.retransmissions,
+            f.detour_hops,
+            f.recoveries
+        );
+    }
 }
 
 fn cmd_path(flags: &Flags) {
@@ -157,7 +223,10 @@ fn cmd_path(flags: &Flags) {
             println!("shortest path ({} hops):", p.len() - 1);
             println!(
                 "  {}",
-                p.iter().map(u64::to_string).collect::<Vec<_>>().join(" -> ")
+                p.iter()
+                    .map(u64::to_string)
+                    .collect::<Vec<_>>()
+                    .join(" -> ")
             );
         }
         None => println!("{target} is not reachable from {source}"),
@@ -168,7 +237,10 @@ fn cmd_theory(flags: &Flags) {
     let n = flags.u64("n", 40_000_000) as f64;
     let p = flags.u64("p", 400) as f64;
     let kmax = flags.f64("kmax", 1e4);
-    println!("§3.1 analysis for n = {n}, P = {p} (square mesh √P = {:.0}):\n", p.sqrt());
+    println!(
+        "§3.1 analysis for n = {n}, P = {p} (square mesh √P = {:.0}):\n",
+        p.sqrt()
+    );
     println!(
         "{:>6} {:>14} {:>14} {:>14} {:>14}",
         "k", "1D fold", "2D expand", "2D fold", "worst n/P·k"
@@ -228,8 +300,14 @@ fn cmd_memory(flags: &Flags) {
 
 fn cmd_info() {
     for (name, m) in [
-        ("BlueGene/L full (64x32x32)", MachineConfig::bluegene_l_full()),
-        ("BlueGene/L half (32x32x32)", MachineConfig::bluegene_l_half()),
+        (
+            "BlueGene/L full (64x32x32)",
+            MachineConfig::bluegene_l_full(),
+        ),
+        (
+            "BlueGene/L half (32x32x32)",
+            MachineConfig::bluegene_l_half(),
+        ),
         ("MCR Linux cluster", MachineConfig::mcr_cluster()),
     ] {
         println!(
@@ -240,6 +318,28 @@ fn cmd_info() {
             m.software_overhead * 1e6,
             m.hash_rate / 1e6
         );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first() else {
+        print!("{HELP}");
+        return;
+    };
+    let flags = Flags::parse(&args[1..]);
+    match cmd.as_str() {
+        "search" => cmd_search(&flags),
+        "path" => cmd_path(&flags),
+        "theory" => cmd_theory(&flags),
+        "memory" => cmd_memory(&flags),
+        "info" => cmd_info(),
+        "help" | "--help" | "-h" => print!("{HELP}"),
+        other => {
+            eprintln!("unknown command {other:?}\n");
+            print!("{HELP}");
+            std::process::exit(2);
+        }
     }
 }
 
@@ -281,27 +381,5 @@ mod tests {
     #[should_panic(expected = "bad integer")]
     fn bad_integer_rejected() {
         flags("--n abc").u64("n", 0);
-    }
-}
-
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(cmd) = args.first() else {
-        print!("{HELP}");
-        return;
-    };
-    let flags = Flags::parse(&args[1..]);
-    match cmd.as_str() {
-        "search" => cmd_search(&flags),
-        "path" => cmd_path(&flags),
-        "theory" => cmd_theory(&flags),
-        "memory" => cmd_memory(&flags),
-        "info" => cmd_info(),
-        "help" | "--help" | "-h" => print!("{HELP}"),
-        other => {
-            eprintln!("unknown command {other:?}\n");
-            print!("{HELP}");
-            std::process::exit(2);
-        }
     }
 }

@@ -18,6 +18,8 @@ pub use bgl_comm as comm;
 pub use bgl_graph as graph;
 pub use bgl_torus as torus;
 
-pub use bfs_core::{bfs1d, bfs2d, bidir, theory, BfsConfig, ExpandStrategy, FoldStrategy};
-pub use bgl_comm::{ProcessorGrid, SimWorld};
+pub use bfs_core::{
+    bfs1d, bfs2d, bidir, theory, BfsConfig, ExpandStrategy, FoldStrategy, ResilientConfig,
+};
+pub use bgl_comm::{CommError, FaultPlan, ProcessorGrid, SimWorld};
 pub use bgl_graph::{DistGraph, GraphSpec};

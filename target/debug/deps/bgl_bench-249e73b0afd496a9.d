@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bgl_bench-249e73b0afd496a9.d: crates/bench/src/lib.rs crates/bench/src/exp.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/bgl_bench-249e73b0afd496a9: crates/bench/src/lib.rs crates/bench/src/exp.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/exp.rs:
+crates/bench/src/harness.rs:

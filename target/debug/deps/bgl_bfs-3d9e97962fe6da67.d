@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bgl_bfs-3d9e97962fe6da67.d: src/lib.rs
+
+/root/repo/target/debug/deps/bgl_bfs-3d9e97962fe6da67: src/lib.rs
+
+src/lib.rs:

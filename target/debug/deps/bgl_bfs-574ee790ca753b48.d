@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bgl_bfs-574ee790ca753b48.d: src/bin/cli.rs
+
+/root/repo/target/debug/deps/bgl_bfs-574ee790ca753b48: src/bin/cli.rs
+
+src/bin/cli.rs:

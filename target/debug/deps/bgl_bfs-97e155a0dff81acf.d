@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bgl_bfs-97e155a0dff81acf.d: src/lib.rs
+
+/root/repo/target/debug/deps/libbgl_bfs-97e155a0dff81acf.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libbgl_bfs-97e155a0dff81acf.rmeta: src/lib.rs
+
+src/lib.rs:

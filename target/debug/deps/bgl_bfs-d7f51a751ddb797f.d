@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bgl_bfs-d7f51a751ddb797f.d: src/bin/cli.rs
+
+/root/repo/target/debug/deps/bgl_bfs-d7f51a751ddb797f: src/bin/cli.rs
+
+src/bin/cli.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bgl_bfs-dc14e88cd65779bd.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbgl_bfs-dc14e88cd65779bd.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/bgl_comm-f8b5fd54ab0cde5f.d: crates/comm/src/lib.rs crates/comm/src/buffer.rs crates/comm/src/collectives/mod.rs crates/comm/src/collectives/allgather.rs crates/comm/src/collectives/alltoall.rs crates/comm/src/collectives/reduce_scatter.rs crates/comm/src/collectives/two_phase.rs crates/comm/src/error.rs crates/comm/src/setops.rs crates/comm/src/sim.rs crates/comm/src/stats.rs crates/comm/src/threaded.rs crates/comm/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbgl_comm-f8b5fd54ab0cde5f.rmeta: crates/comm/src/lib.rs crates/comm/src/buffer.rs crates/comm/src/collectives/mod.rs crates/comm/src/collectives/allgather.rs crates/comm/src/collectives/alltoall.rs crates/comm/src/collectives/reduce_scatter.rs crates/comm/src/collectives/two_phase.rs crates/comm/src/error.rs crates/comm/src/setops.rs crates/comm/src/sim.rs crates/comm/src/stats.rs crates/comm/src/threaded.rs crates/comm/src/topology.rs Cargo.toml
+
+crates/comm/src/lib.rs:
+crates/comm/src/buffer.rs:
+crates/comm/src/collectives/mod.rs:
+crates/comm/src/collectives/allgather.rs:
+crates/comm/src/collectives/alltoall.rs:
+crates/comm/src/collectives/reduce_scatter.rs:
+crates/comm/src/collectives/two_phase.rs:
+crates/comm/src/error.rs:
+crates/comm/src/setops.rs:
+crates/comm/src/sim.rs:
+crates/comm/src/stats.rs:
+crates/comm/src/threaded.rs:
+crates/comm/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

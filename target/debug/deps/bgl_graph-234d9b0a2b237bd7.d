@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bgl_graph-234d9b0a2b237bd7.d: crates/graph/src/lib.rs crates/graph/src/csr.rs crates/graph/src/dist.rs crates/graph/src/gen.rs crates/graph/src/partition.rs crates/graph/src/spec.rs crates/graph/src/stats.rs
+
+/root/repo/target/debug/deps/bgl_graph-234d9b0a2b237bd7: crates/graph/src/lib.rs crates/graph/src/csr.rs crates/graph/src/dist.rs crates/graph/src/gen.rs crates/graph/src/partition.rs crates/graph/src/spec.rs crates/graph/src/stats.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/dist.rs:
+crates/graph/src/gen.rs:
+crates/graph/src/partition.rs:
+crates/graph/src/spec.rs:
+crates/graph/src/stats.rs:

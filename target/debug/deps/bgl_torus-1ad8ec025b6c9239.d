@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/bgl_torus-1ad8ec025b6c9239.d: crates/torus/src/lib.rs crates/torus/src/coord.rs crates/torus/src/cost.rs crates/torus/src/fault.rs crates/torus/src/machine.rs crates/torus/src/mapping.rs crates/torus/src/routing.rs
+
+/root/repo/target/debug/deps/bgl_torus-1ad8ec025b6c9239: crates/torus/src/lib.rs crates/torus/src/coord.rs crates/torus/src/cost.rs crates/torus/src/fault.rs crates/torus/src/machine.rs crates/torus/src/mapping.rs crates/torus/src/routing.rs
+
+crates/torus/src/lib.rs:
+crates/torus/src/coord.rs:
+crates/torus/src/cost.rs:
+crates/torus/src/fault.rs:
+crates/torus/src/machine.rs:
+crates/torus/src/mapping.rs:
+crates/torus/src/routing.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bgl_torus-4208d69956f6d43d.d: crates/torus/src/lib.rs crates/torus/src/coord.rs crates/torus/src/cost.rs crates/torus/src/fault.rs crates/torus/src/machine.rs crates/torus/src/mapping.rs crates/torus/src/routing.rs
+
+/root/repo/target/debug/deps/libbgl_torus-4208d69956f6d43d.rlib: crates/torus/src/lib.rs crates/torus/src/coord.rs crates/torus/src/cost.rs crates/torus/src/fault.rs crates/torus/src/machine.rs crates/torus/src/mapping.rs crates/torus/src/routing.rs
+
+/root/repo/target/debug/deps/libbgl_torus-4208d69956f6d43d.rmeta: crates/torus/src/lib.rs crates/torus/src/coord.rs crates/torus/src/cost.rs crates/torus/src/fault.rs crates/torus/src/machine.rs crates/torus/src/mapping.rs crates/torus/src/routing.rs
+
+crates/torus/src/lib.rs:
+crates/torus/src/coord.rs:
+crates/torus/src/cost.rs:
+crates/torus/src/fault.rs:
+crates/torus/src/machine.rs:
+crates/torus/src/mapping.rs:
+crates/torus/src/routing.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/bgl_torus-e04ee5c0606a8ff6.d: crates/torus/src/lib.rs crates/torus/src/coord.rs crates/torus/src/cost.rs crates/torus/src/fault.rs crates/torus/src/machine.rs crates/torus/src/mapping.rs crates/torus/src/routing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbgl_torus-e04ee5c0606a8ff6.rmeta: crates/torus/src/lib.rs crates/torus/src/coord.rs crates/torus/src/cost.rs crates/torus/src/fault.rs crates/torus/src/machine.rs crates/torus/src/mapping.rs crates/torus/src/routing.rs Cargo.toml
+
+crates/torus/src/lib.rs:
+crates/torus/src/coord.rs:
+crates/torus/src/cost.rs:
+crates/torus/src/fault.rs:
+crates/torus/src/machine.rs:
+crates/torus/src/mapping.rs:
+crates/torus/src/routing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

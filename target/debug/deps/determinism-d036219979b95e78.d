@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-d036219979b95e78.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-d036219979b95e78: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_equivalence-3ac0d0d369bcf0cd.d: tests/engine_equivalence.rs
+
+/root/repo/target/debug/deps/engine_equivalence-3ac0d0d369bcf0cd: tests/engine_equivalence.rs
+
+tests/engine_equivalence.rs:

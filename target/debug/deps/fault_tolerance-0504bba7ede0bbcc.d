@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-0504bba7ede0bbcc.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-0504bba7ede0bbcc: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

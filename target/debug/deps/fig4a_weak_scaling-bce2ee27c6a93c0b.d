@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4a_weak_scaling-bce2ee27c6a93c0b.d: crates/bench/src/bin/fig4a_weak_scaling.rs
+
+/root/repo/target/debug/deps/fig4a_weak_scaling-bce2ee27c6a93c0b: crates/bench/src/bin/fig4a_weak_scaling.rs
+
+crates/bench/src/bin/fig4a_weak_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4b_message_volume-a990c6743ec7fac5.d: crates/bench/src/bin/fig4b_message_volume.rs
+
+/root/repo/target/debug/deps/fig4b_message_volume-a990c6743ec7fac5: crates/bench/src/bin/fig4b_message_volume.rs
+
+crates/bench/src/bin/fig4b_message_volume.rs:

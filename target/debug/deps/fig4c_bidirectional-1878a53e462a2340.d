@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4c_bidirectional-1878a53e462a2340.d: crates/bench/src/bin/fig4c_bidirectional.rs
+
+/root/repo/target/debug/deps/fig4c_bidirectional-1878a53e462a2340: crates/bench/src/bin/fig4c_bidirectional.rs
+
+crates/bench/src/bin/fig4c_bidirectional.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_strong_scaling-50e87c600ae630c3.d: crates/bench/src/bin/fig5_strong_scaling.rs
+
+/root/repo/target/debug/deps/fig5_strong_scaling-50e87c600ae630c3: crates/bench/src/bin/fig5_strong_scaling.rs
+
+crates/bench/src/bin/fig5_strong_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_partition_volume-87d21a9537f77463.d: crates/bench/src/bin/fig6_partition_volume.rs
+
+/root/repo/target/debug/deps/fig6_partition_volume-87d21a9537f77463: crates/bench/src/bin/fig6_partition_volume.rs
+
+crates/bench/src/bin/fig6_partition_volume.rs:

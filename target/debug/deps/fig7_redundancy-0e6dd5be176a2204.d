@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_redundancy-0e6dd5be176a2204.d: crates/bench/src/bin/fig7_redundancy.rs
+
+/root/repo/target/debug/deps/fig7_redundancy-0e6dd5be176a2204: crates/bench/src/bin/fig7_redundancy.rs
+
+crates/bench/src/bin/fig7_redundancy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracle_equivalence-578d8ac1f4afb5c2.d: tests/oracle_equivalence.rs
+
+/root/repo/target/debug/deps/oracle_equivalence-578d8ac1f4afb5c2: tests/oracle_equivalence.rs
+
+tests/oracle_equivalence.rs:

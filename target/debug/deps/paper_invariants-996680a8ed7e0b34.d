@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/paper_invariants-996680a8ed7e0b34.d: tests/paper_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpaper_invariants-996680a8ed7e0b34.rmeta: tests/paper_invariants.rs Cargo.toml
+
+tests/paper_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_invariants-c8fd16d2bfb101ae.d: tests/paper_invariants.rs
+
+/root/repo/target/debug/deps/paper_invariants-c8fd16d2bfb101ae: tests/paper_invariants.rs
+
+tests/paper_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_collectives-34afcb56046539f2.d: crates/comm/tests/proptest_collectives.rs
+
+/root/repo/target/debug/deps/proptest_collectives-34afcb56046539f2: crates/comm/tests/proptest_collectives.rs
+
+crates/comm/tests/proptest_collectives.rs:

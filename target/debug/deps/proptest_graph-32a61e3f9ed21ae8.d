@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_graph-32a61e3f9ed21ae8.d: crates/graph/tests/proptest_graph.rs
+
+/root/repo/target/debug/deps/proptest_graph-32a61e3f9ed21ae8: crates/graph/tests/proptest_graph.rs
+
+crates/graph/tests/proptest_graph.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_torus-201d67e43ddd7721.d: crates/torus/tests/proptest_torus.rs
+
+/root/repo/target/debug/deps/proptest_torus-201d67e43ddd7721: crates/torus/tests/proptest_torus.rs
+
+crates/torus/tests/proptest_torus.rs:

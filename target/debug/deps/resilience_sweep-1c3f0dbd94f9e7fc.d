@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resilience_sweep-1c3f0dbd94f9e7fc.d: crates/bench/src/bin/resilience_sweep.rs
+
+/root/repo/target/debug/deps/resilience_sweep-1c3f0dbd94f9e7fc: crates/bench/src/bin/resilience_sweep.rs
+
+crates/bench/src/bin/resilience_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_topologies-22ea0ae51af43ce2.d: crates/bench/src/bin/table1_topologies.rs
+
+/root/repo/target/debug/deps/table1_topologies-22ea0ae51af43ce2: crates/bench/src/bin/table1_topologies.rs
+
+crates/bench/src/bin/table1_topologies.rs:

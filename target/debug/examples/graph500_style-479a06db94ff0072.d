@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/graph500_style-479a06db94ff0072.d: examples/graph500_style.rs
+
+/root/repo/target/debug/examples/graph500_style-479a06db94ff0072: examples/graph500_style.rs
+
+examples/graph500_style.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-e8f42a06ebe70018.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-e8f42a06ebe70018: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/semantic_path-25de0688ac2dd8ed.d: examples/semantic_path.rs
+
+/root/repo/target/debug/examples/semantic_path-25de0688ac2dd8ed: examples/semantic_path.rs
+
+examples/semantic_path.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/semantic_path-9ac701774a74458e.d: examples/semantic_path.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsemantic_path-9ac701774a74458e.rmeta: examples/semantic_path.rs Cargo.toml
+
+examples/semantic_path.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/small_world-c8a11f7220faf3fd.d: examples/small_world.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsmall_world-c8a11f7220faf3fd.rmeta: examples/small_world.rs Cargo.toml
+
+examples/small_world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

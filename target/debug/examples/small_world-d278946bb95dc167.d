@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/small_world-d278946bb95dc167.d: examples/small_world.rs
+
+/root/repo/target/debug/examples/small_world-d278946bb95dc167: examples/small_world.rs
+
+examples/small_world.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/threaded_vs_sim-0da4f1fe0e78c0dd.d: examples/threaded_vs_sim.rs
+
+/root/repo/target/debug/examples/threaded_vs_sim-0da4f1fe0e78c0dd: examples/threaded_vs_sim.rs
+
+examples/threaded_vs_sim.rs:

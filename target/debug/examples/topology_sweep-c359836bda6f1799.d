@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/topology_sweep-c359836bda6f1799.d: examples/topology_sweep.rs
+
+/root/repo/target/debug/examples/topology_sweep-c359836bda6f1799: examples/topology_sweep.rs
+
+examples/topology_sweep.rs:

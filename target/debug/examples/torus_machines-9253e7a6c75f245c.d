@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/torus_machines-9253e7a6c75f245c.d: examples/torus_machines.rs
+
+/root/repo/target/debug/examples/torus_machines-9253e7a6c75f245c: examples/torus_machines.rs
+
+examples/torus_machines.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bgl_bench-5d205c29819e796a.d: crates/bench/src/lib.rs crates/bench/src/exp.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libbgl_bench-5d205c29819e796a.rlib: crates/bench/src/lib.rs crates/bench/src/exp.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libbgl_bench-5d205c29819e796a.rmeta: crates/bench/src/lib.rs crates/bench/src/exp.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/exp.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bgl_bfs-25873dc8d29ba4f6.d: src/bin/cli.rs
+
+/root/repo/target/release/deps/bgl_bfs-25873dc8d29ba4f6: src/bin/cli.rs
+
+src/bin/cli.rs:

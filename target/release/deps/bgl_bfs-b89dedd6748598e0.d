@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bgl_bfs-b89dedd6748598e0.d: src/lib.rs
+
+/root/repo/target/release/deps/libbgl_bfs-b89dedd6748598e0.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libbgl_bfs-b89dedd6748598e0.rmeta: src/lib.rs
+
+src/lib.rs:

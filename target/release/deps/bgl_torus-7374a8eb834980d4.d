@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/bgl_torus-7374a8eb834980d4.d: crates/torus/src/lib.rs crates/torus/src/coord.rs crates/torus/src/cost.rs crates/torus/src/fault.rs crates/torus/src/machine.rs crates/torus/src/mapping.rs crates/torus/src/routing.rs
+
+/root/repo/target/release/deps/libbgl_torus-7374a8eb834980d4.rlib: crates/torus/src/lib.rs crates/torus/src/coord.rs crates/torus/src/cost.rs crates/torus/src/fault.rs crates/torus/src/machine.rs crates/torus/src/mapping.rs crates/torus/src/routing.rs
+
+/root/repo/target/release/deps/libbgl_torus-7374a8eb834980d4.rmeta: crates/torus/src/lib.rs crates/torus/src/coord.rs crates/torus/src/cost.rs crates/torus/src/fault.rs crates/torus/src/machine.rs crates/torus/src/mapping.rs crates/torus/src/routing.rs
+
+crates/torus/src/lib.rs:
+crates/torus/src/coord.rs:
+crates/torus/src/cost.rs:
+crates/torus/src/fault.rs:
+crates/torus/src/machine.rs:
+crates/torus/src/mapping.rs:
+crates/torus/src/routing.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4a_weak_scaling-5b4388a603943a6d.d: crates/bench/src/bin/fig4a_weak_scaling.rs
+
+/root/repo/target/release/deps/fig4a_weak_scaling-5b4388a603943a6d: crates/bench/src/bin/fig4a_weak_scaling.rs
+
+crates/bench/src/bin/fig4a_weak_scaling.rs:

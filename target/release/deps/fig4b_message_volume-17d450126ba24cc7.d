@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4b_message_volume-17d450126ba24cc7.d: crates/bench/src/bin/fig4b_message_volume.rs
+
+/root/repo/target/release/deps/fig4b_message_volume-17d450126ba24cc7: crates/bench/src/bin/fig4b_message_volume.rs
+
+crates/bench/src/bin/fig4b_message_volume.rs:

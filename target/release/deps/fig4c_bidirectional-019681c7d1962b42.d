@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4c_bidirectional-019681c7d1962b42.d: crates/bench/src/bin/fig4c_bidirectional.rs
+
+/root/repo/target/release/deps/fig4c_bidirectional-019681c7d1962b42: crates/bench/src/bin/fig4c_bidirectional.rs
+
+crates/bench/src/bin/fig4c_bidirectional.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_strong_scaling-57b5c68ab776d941.d: crates/bench/src/bin/fig5_strong_scaling.rs
+
+/root/repo/target/release/deps/fig5_strong_scaling-57b5c68ab776d941: crates/bench/src/bin/fig5_strong_scaling.rs
+
+crates/bench/src/bin/fig5_strong_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_partition_volume-675840a866ebe2ec.d: crates/bench/src/bin/fig6_partition_volume.rs
+
+/root/repo/target/release/deps/fig6_partition_volume-675840a866ebe2ec: crates/bench/src/bin/fig6_partition_volume.rs
+
+crates/bench/src/bin/fig6_partition_volume.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_redundancy-330ef117d4a76c7a.d: crates/bench/src/bin/fig7_redundancy.rs
+
+/root/repo/target/release/deps/fig7_redundancy-330ef117d4a76c7a: crates/bench/src/bin/fig7_redundancy.rs
+
+crates/bench/src/bin/fig7_redundancy.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-89b28f09c65190a1.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-89b28f09c65190a1.rlib: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-89b28f09c65190a1.rmeta: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

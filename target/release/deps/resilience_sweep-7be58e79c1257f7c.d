@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/resilience_sweep-7be58e79c1257f7c.d: crates/bench/src/bin/resilience_sweep.rs
+
+/root/repo/target/release/deps/resilience_sweep-7be58e79c1257f7c: crates/bench/src/bin/resilience_sweep.rs
+
+crates/bench/src/bin/resilience_sweep.rs:

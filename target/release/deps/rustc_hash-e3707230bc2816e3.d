@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rustc_hash-e3707230bc2816e3.d: vendor/rustc-hash/src/lib.rs
+
+/root/repo/target/release/deps/librustc_hash-e3707230bc2816e3.rlib: vendor/rustc-hash/src/lib.rs
+
+/root/repo/target/release/deps/librustc_hash-e3707230bc2816e3.rmeta: vendor/rustc-hash/src/lib.rs
+
+vendor/rustc-hash/src/lib.rs:

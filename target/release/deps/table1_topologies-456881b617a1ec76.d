@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_topologies-456881b617a1ec76.d: crates/bench/src/bin/table1_topologies.rs
+
+/root/repo/target/release/deps/table1_topologies-456881b617a1ec76: crates/bench/src/bin/table1_topologies.rs
+
+crates/bench/src/bin/table1_topologies.rs:

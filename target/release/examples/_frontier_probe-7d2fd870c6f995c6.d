@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_frontier_probe-7d2fd870c6f995c6.d: examples/_frontier_probe.rs
+
+/root/repo/target/release/examples/_frontier_probe-7d2fd870c6f995c6: examples/_frontier_probe.rs
+
+examples/_frontier_probe.rs:

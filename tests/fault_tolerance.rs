@@ -1,0 +1,171 @@
+//! Fault tolerance: BFS under deterministic fault injection must be
+//! *transparent* — lossy links and dead ranks change cost, never the
+//! answer — and the fault machinery itself must be a strict no-op when
+//! disabled.
+
+use bgl_bfs::core::{bfs2d, reference, threaded_run};
+use bgl_bfs::{
+    BfsConfig, CommError, DistGraph, FaultPlan, GraphSpec, ProcessorGrid, ResilientConfig, SimWorld,
+};
+
+/// A `FaultPlan::none()` world is byte-identical to a plain world:
+/// same levels, same per-class communication stats, same simulated
+/// time to the last bit. The fault layer costs nothing when off.
+#[test]
+fn none_plan_is_byte_identical_to_no_plan() {
+    for (rows, cols, seed) in [(2, 3, 7u64), (4, 4, 42), (1, 4, 9)] {
+        let spec = GraphSpec::poisson(4_000, 8.0, seed);
+        let grid = ProcessorGrid::new(rows, cols);
+        let graph = DistGraph::build(spec, grid);
+        let config = BfsConfig::paper_optimized();
+
+        let mut plain = SimWorld::bluegene(grid);
+        let a = bfs2d::run(&graph, &mut plain, &config, 1);
+
+        let mut faulty = SimWorld::bluegene(grid).with_fault_plan(FaultPlan::none());
+        let b = bfs2d::run(&graph, &mut faulty, &config, 1);
+
+        assert_eq!(a.levels, b.levels);
+        assert_eq!(a.stats.comm, b.stats.comm);
+        assert_eq!(a.stats.sim_time.to_bits(), b.stats.sim_time.to_bits());
+        assert!(!b.stats.comm.faults.any(), "no faults may be counted");
+    }
+}
+
+/// Lossy exchanges (drops + truncations + duplicates at up to 20%)
+/// and a scheduled rank death: the resilient engine still produces the
+/// sequential oracle's labels, across seeds and grid shapes.
+#[test]
+fn recovery_matches_oracle_across_seeds_and_topologies() {
+    for (n, k, seed, rows, cols, victim, at) in [
+        (3_000u64, 6.0, 11u64, 2usize, 2usize, 3usize, 2u64),
+        (3_000, 6.0, 23, 2, 3, 0, 5),
+        (5_000, 10.0, 5, 4, 2, 6, 8),
+        (2_000, 4.0, 77, 3, 3, 4, 2),
+    ] {
+        let spec = GraphSpec::poisson(n, k, seed);
+        let grid = ProcessorGrid::new(rows, cols);
+        let graph = DistGraph::build(spec, grid);
+        let adj = bgl_bfs::graph::dist::adjacency(&spec);
+        let oracle = reference::bfs_levels(&adj, 1);
+
+        let plan = FaultPlan::seeded(seed ^ 0x5eed)
+            .with_drop_prob(0.2)
+            .with_truncate_prob(0.05)
+            .with_duplicate_prob(0.05)
+            .kill_rank_at(victim, at);
+        let mut world = SimWorld::bluegene(grid).with_fault_plan(plan);
+        let got = bfs2d::run_resilient(
+            &graph,
+            &mut world,
+            &BfsConfig::baseline_alltoall(),
+            1,
+            &ResilientConfig::default(),
+        )
+        .expect("resilient run must survive one death");
+
+        assert_eq!(got.result.levels, oracle, "seed {seed} on {rows}x{cols}");
+        assert_eq!(got.recoveries, 1);
+        assert_eq!(got.recovered_ranks, vec![victim]);
+        assert!(got.recovery_time > 0.0);
+        assert!(got.result.stats.comm.faults.drops_injected > 0);
+    }
+}
+
+/// Without a resilient configuration a rank death is a typed error,
+/// not a panic, and it names the dead rank.
+#[test]
+fn rank_death_surfaces_as_typed_error() {
+    let spec = GraphSpec::poisson(2_000, 6.0, 3);
+    let grid = ProcessorGrid::new(2, 2);
+    let graph = DistGraph::build(spec, grid);
+    let plan = FaultPlan::seeded(1).kill_rank_at(2, 3);
+    let mut world = SimWorld::bluegene(grid).with_fault_plan(plan);
+    let err = bfs2d::try_run(&graph, &mut world, &BfsConfig::baseline_alltoall(), 1)
+        .expect_err("death must abort the non-resilient run");
+    assert_eq!(err, CommError::RankDead { rank: 2 });
+}
+
+/// Cross-runtime fault determinism: the superstep simulator and the
+/// real one-thread-per-rank runtime see the *same* fault schedule —
+/// identical drop/truncation/duplication/retransmission counts — and
+/// both still match the sequential oracle.
+#[test]
+fn sim_and_threaded_runtimes_share_the_fault_schedule() {
+    for (seed, fault_seed, rows, cols) in [(31u64, 5u64, 2usize, 2usize), (8, 19, 2, 3)] {
+        let spec = GraphSpec::poisson(2_500, 6.0, seed);
+        let grid = ProcessorGrid::new(rows, cols);
+        let graph = DistGraph::build(spec, grid);
+        let adj = bgl_bfs::graph::dist::adjacency(&spec);
+        let oracle = reference::bfs_levels(&adj, 1);
+        let plan = FaultPlan::seeded(fault_seed)
+            .with_drop_prob(0.15)
+            .with_truncate_prob(0.05)
+            .with_duplicate_prob(0.05);
+
+        // Threaded runtime: sum per-rank fault counters.
+        let outcomes = threaded_run::run_threaded_with_faults(&graph, 1, true, plan.clone());
+        let mut threaded_levels = vec![u32::MAX; spec.n as usize];
+        let (mut drops, mut truncs, mut dups, mut retrans) = (0u64, 0u64, 0u64, 0u64);
+        for outcome in outcomes {
+            let o = outcome.expect("lossy-but-alive run must complete");
+            for (i, &l) in o.levels.iter().enumerate() {
+                threaded_levels[o.owned_start as usize + i] = l;
+            }
+            drops += o.faults.drops_injected;
+            truncs += o.faults.truncations_injected;
+            dups += o.faults.duplicates_injected;
+            retrans += o.faults.retransmissions;
+        }
+        assert_eq!(threaded_levels, oracle);
+
+        // Simulator on the same plan: identical schedule, same counts.
+        let mut world = SimWorld::bluegene(grid).with_fault_plan(plan);
+        let r = bfs2d::try_run(&graph, &mut world, &BfsConfig::baseline_alltoall(), 1)
+            .expect("lossy sim run must complete");
+        assert_eq!(r.levels, oracle);
+        let f = &r.stats.comm.faults;
+        assert_eq!(f.drops_injected, drops, "seed {seed}");
+        assert_eq!(f.truncations_injected, truncs, "seed {seed}");
+        assert_eq!(f.duplicates_injected, dups, "seed {seed}");
+        assert_eq!(f.retransmissions, retrans, "seed {seed}");
+        assert!(f.drops_injected > 0, "the plan must actually fire");
+    }
+}
+
+/// Checkpoint cadence is behaviour-neutral: any `checkpoint_every`
+/// recovers to the same labels, and a fault-free resilient run matches
+/// the plain engine exactly.
+#[test]
+fn checkpoint_cadence_does_not_change_the_answer() {
+    let spec = GraphSpec::poisson(3_000, 8.0, 13);
+    let grid = ProcessorGrid::new(2, 3);
+    let graph = DistGraph::build(spec, grid);
+    let config = BfsConfig::baseline_alltoall();
+    let mut plain_world = SimWorld::bluegene(grid);
+    let plain = bfs2d::run(&graph, &mut plain_world, &config, 1);
+
+    for every in [1u32, 2, 3] {
+        let plan = FaultPlan::seeded(9).kill_rank_at(5, 7);
+        let mut world = SimWorld::bluegene(grid).with_fault_plan(plan);
+        let rc = ResilientConfig {
+            checkpoint_every: every,
+            ..ResilientConfig::default()
+        };
+        let got = bfs2d::run_resilient(&graph, &mut world, &config, 1, &rc)
+            .expect("must recover at any cadence");
+        assert_eq!(
+            got.result.levels, plain.levels,
+            "checkpoint_every = {every}"
+        );
+        assert_eq!(got.recoveries, 1);
+    }
+
+    // Fault-free resilient run: same labels, zero recoveries.
+    let mut world = SimWorld::bluegene(grid);
+    let got = bfs2d::run_resilient(&graph, &mut world, &config, 1, &ResilientConfig::default())
+        .expect("fault-free resilient run cannot fail");
+    assert_eq!(got.result.levels, plain.levels);
+    assert_eq!(got.recoveries, 0);
+    assert_eq!(got.recovery_time, 0.0);
+}

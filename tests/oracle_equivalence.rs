@@ -3,7 +3,9 @@
 //! sequential reference labels on the same generated graph.
 
 use bgl_bfs::core::{bfs1d, bfs2d, bidir, reference};
-use bgl_bfs::{BfsConfig, DistGraph, ExpandStrategy, FoldStrategy, GraphSpec, ProcessorGrid, SimWorld};
+use bgl_bfs::{
+    BfsConfig, DistGraph, ExpandStrategy, FoldStrategy, GraphSpec, ProcessorGrid, SimWorld,
+};
 use proptest::prelude::*;
 
 fn expand_strategy() -> impl Strategy<Value = ExpandStrategy> {

@@ -1,0 +1,238 @@
+//! Vendored minimal benchmark harness (offline build).
+//!
+//! Mirrors the `criterion` API shapes the workspace's benches use —
+//! `criterion_group!`/`criterion_main!`, `benchmark_group`,
+//! `bench_function`/`bench_with_input`, `Bencher::iter`, `BenchmarkId`,
+//! `Throughput` — and reports a simple mean wall-clock time per
+//! iteration. No statistics, warm-up, or HTML reports: enough to run
+//! `cargo bench` and compare numbers across changes.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::Instant;
+
+/// Prevent the optimizer from discarding a value (re-export of
+/// `std::hint::black_box` under criterion's historical name).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Throughput annotation for a benchmark (printed, not analysed).
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier for one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `name/parameter` identifier.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// Identifier that is just the parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Accepted by `bench_function`: either a string or a [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// Convert to the printable id.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters: u64,
+    mean_ns: f64,
+}
+
+impl Bencher {
+    /// Time `routine`, recording the mean time per call.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.mean_ns = start.elapsed().as_nanos() as f64 / self.iters as f64;
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    sample_size: usize,
+    throughput: Option<Throughput>,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of timed samples (used here as the iteration count).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Annotate subsequent benchmarks with a throughput.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into_id();
+        let mut b = Bencher {
+            iters: self.sample_size as u64,
+            mean_ns: 0.0,
+        };
+        f(&mut b);
+        let mut line = format!("{}/{id}: {}", self.name, fmt_ns(b.mean_ns));
+        match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let per_sec = n as f64 / (b.mean_ns / 1e9);
+                line.push_str(&format!("  ({per_sec:.0} elem/s)"));
+            }
+            Some(Throughput::Bytes(n)) => {
+                let per_sec = n as f64 / (b.mean_ns / 1e9);
+                line.push_str(&format!("  ({:.1} MB/s)", per_sec / 1e6));
+            }
+            None => {}
+        }
+        println!("{line}");
+        self
+    }
+
+    /// Run one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.bench_function(id, |b| f(b, input))
+    }
+
+    /// Finish the group (separator line).
+    pub fn finish(&mut self) {
+        println!();
+    }
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: 10,
+            throughput: None,
+            _criterion: self,
+        }
+    }
+
+    /// Run a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl IntoBenchmarkId, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.benchmark_group("bench").bench_function(id, f);
+        self
+    }
+}
+
+/// Group benchmark functions under one entry point.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emit `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("demo");
+        group.sample_size(3).throughput(Throughput::Elements(10));
+        let mut runs = 0u32;
+        group.bench_function("count", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("param", 7), &7u32, |b, &p| {
+            b.iter(|| black_box(p * 2))
+        });
+        group.finish();
+        assert_eq!(runs, 3);
+    }
+}

@@ -1,0 +1,149 @@
+//! Vendored ChaCha8 random generator (offline build).
+//!
+//! A genuine ChaCha stream cipher core with 8 double-rounds, exposed
+//! through the vendored `rand` traits. Deterministic and high-quality;
+//! not bit-compatible with the upstream `rand_chacha` stream (nothing in
+//! this repository depends on the upstream values, only on determinism).
+
+use rand::{RngCore, SeedableRng};
+
+/// The ChaCha8 generator.
+#[derive(Debug, Clone)]
+pub struct ChaCha8Rng {
+    /// Cipher input block: constants, 256-bit key, 64-bit counter, nonce.
+    state: [u32; 16],
+    /// Current keystream block.
+    buf: [u32; 16],
+    /// Next unread word in `buf` (16 = exhausted).
+    idx: usize,
+}
+
+#[inline(always)]
+fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(16);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(12);
+    s[a] = s[a].wrapping_add(s[b]);
+    s[d] = (s[d] ^ s[a]).rotate_left(8);
+    s[c] = s[c].wrapping_add(s[d]);
+    s[b] = (s[b] ^ s[c]).rotate_left(7);
+}
+
+impl ChaCha8Rng {
+    /// Build from a 256-bit key (eight little-endian words).
+    pub fn from_key(key: [u32; 8]) -> Self {
+        let mut state = [0u32; 16];
+        // "expand 32-byte k"
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        state[4..12].copy_from_slice(&key);
+        // Words 12..16: block counter + nonce, all zero at start.
+        Self {
+            state,
+            buf: [0; 16],
+            idx: 16,
+        }
+    }
+
+    fn refill(&mut self) {
+        let mut w = self.state;
+        for _ in 0..4 {
+            // ChaCha8 = 8 rounds = 4 double-rounds (column + diagonal).
+            quarter_round(&mut w, 0, 4, 8, 12);
+            quarter_round(&mut w, 1, 5, 9, 13);
+            quarter_round(&mut w, 2, 6, 10, 14);
+            quarter_round(&mut w, 3, 7, 11, 15);
+            quarter_round(&mut w, 0, 5, 10, 15);
+            quarter_round(&mut w, 1, 6, 11, 12);
+            quarter_round(&mut w, 2, 7, 8, 13);
+            quarter_round(&mut w, 3, 4, 9, 14);
+        }
+        for (o, s) in w.iter_mut().zip(self.state.iter()) {
+            *o = o.wrapping_add(*s);
+        }
+        self.buf = w;
+        self.idx = 0;
+        // 64-bit block counter in words 12–13.
+        let (lo, carry) = self.state[12].overflowing_add(1);
+        self.state[12] = lo;
+        if carry {
+            self.state[13] = self.state[13].wrapping_add(1);
+        }
+    }
+}
+
+impl RngCore for ChaCha8Rng {
+    fn next_u32(&mut self) -> u32 {
+        if self.idx >= 16 {
+            self.refill();
+        }
+        let v = self.buf[self.idx];
+        self.idx += 1;
+        v
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        let lo = self.next_u32() as u64;
+        let hi = self.next_u32() as u64;
+        lo | (hi << 32)
+    }
+}
+
+impl SeedableRng for ChaCha8Rng {
+    fn seed_from_u64(state: u64) -> Self {
+        // Expand the 64-bit seed into a 256-bit key with SplitMix64,
+        // the same expansion rand_core uses for seed_from_u64.
+        let mut s = state;
+        let mut next = || {
+            s = s.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = s;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        };
+        let mut key = [0u32; 8];
+        for pair in 0..4 {
+            let v = next();
+            key[2 * pair] = v as u32;
+            key[2 * pair + 1] = (v >> 32) as u32;
+        }
+        Self::from_key(key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = ChaCha8Rng::seed_from_u64(42);
+        let mut b = ChaCha8Rng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = ChaCha8Rng::seed_from_u64(43);
+        let same = (0..100).filter(|_| a.next_u64() == c.next_u64()).count();
+        assert!(same < 3);
+    }
+
+    #[test]
+    fn unit_f64_mean_is_half() {
+        let mut r = ChaCha8Rng::seed_from_u64(7);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| r.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean={mean}");
+    }
+
+    #[test]
+    fn bits_look_balanced() {
+        let mut r = ChaCha8Rng::seed_from_u64(1);
+        let ones: u32 = (0..1000).map(|_| r.next_u64().count_ones()).sum();
+        let expect = 1000 * 32;
+        assert!((ones as i64 - expect as i64).abs() < 2000, "ones={ones}");
+    }
+}

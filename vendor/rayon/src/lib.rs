@@ -1,0 +1,124 @@
+//! Vendored sequential stand-in for `rayon` (offline build).
+//!
+//! Mirrors the rayon combinator shapes this workspace uses —
+//! `into_par_iter()`, `map`, `fold(identity, f)`, `reduce(identity, op)`,
+//! `collect` — executing them sequentially on the calling thread. The
+//! rayon fold/reduce contract (fold yields per-split partial accumulators,
+//! reduce combines them) degenerates to a single partial accumulator,
+//! which `reduce` still combines with the identity, so call sites behave
+//! identically up to ordering (and rayon itself never guarantees split
+//! boundaries).
+
+/// A "parallel" iterator: a thin wrapper over a sequential iterator.
+pub struct ParIter<I> {
+    inner: I,
+}
+
+impl<I: Iterator> ParIter<I> {
+    /// Map each item.
+    pub fn map<F, T>(self, f: F) -> ParIter<std::iter::Map<I, F>>
+    where
+        F: FnMut(I::Item) -> T,
+    {
+        ParIter {
+            inner: self.inner.map(f),
+        }
+    }
+
+    /// Rayon-style fold: produce partial accumulators (here, exactly one).
+    pub fn fold<T, Id, F>(self, identity: Id, fold_op: F) -> ParIter<std::iter::Once<T>>
+    where
+        Id: Fn() -> T,
+        F: FnMut(T, I::Item) -> T,
+    {
+        let acc = self.inner.fold(identity(), fold_op);
+        ParIter {
+            inner: std::iter::once(acc),
+        }
+    }
+
+    /// Rayon-style reduce: combine all items starting from the identity.
+    pub fn reduce<Id, F>(self, identity: Id, op: F) -> I::Item
+    where
+        Id: Fn() -> I::Item,
+        F: FnMut(I::Item, I::Item) -> I::Item,
+    {
+        self.inner.fold(identity(), op)
+    }
+
+    /// Collect into any `FromIterator` container.
+    pub fn collect<C: FromIterator<I::Item>>(self) -> C {
+        self.inner.collect()
+    }
+
+    /// Filter items by a predicate.
+    pub fn filter<P>(self, predicate: P) -> ParIter<std::iter::Filter<I, P>>
+    where
+        P: FnMut(&I::Item) -> bool,
+    {
+        ParIter {
+            inner: self.inner.filter(predicate),
+        }
+    }
+
+    /// Sum the items.
+    pub fn sum<S: std::iter::Sum<I::Item>>(self) -> S {
+        self.inner.sum()
+    }
+
+    /// Run a side effect per item.
+    pub fn for_each<F: FnMut(I::Item)>(self, f: F) {
+        self.inner.for_each(f)
+    }
+}
+
+/// Conversion into a "parallel" iterator.
+pub trait IntoParallelIterator: IntoIterator + Sized {
+    /// Wrap this collection's iterator.
+    fn into_par_iter(self) -> ParIter<Self::IntoIter> {
+        ParIter {
+            inner: self.into_iter(),
+        }
+    }
+}
+
+impl<I: IntoIterator> IntoParallelIterator for I {}
+
+pub mod prelude {
+    //! Rayon-style prelude.
+    pub use crate::{IntoParallelIterator, ParIter};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn fold_reduce_matches_sequential() {
+        let buckets = (0u64..100)
+            .into_par_iter()
+            .fold(
+                || vec![0u64; 4],
+                |mut acc, i| {
+                    acc[(i % 4) as usize] += i;
+                    acc
+                },
+            )
+            .reduce(
+                || vec![0u64; 4],
+                |mut a, b| {
+                    for (x, y) in a.iter_mut().zip(b) {
+                        *x += y;
+                    }
+                    a
+                },
+            );
+        assert_eq!(buckets.iter().sum::<u64>(), 4950);
+    }
+
+    #[test]
+    fn map_collect() {
+        let v: Vec<u64> = vec![1u64, 2, 3].into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(v, vec![2, 4, 6]);
+    }
+}

@@ -1,0 +1,16 @@
+//! Vendored minimal stand-in for `serde` (offline build).
+//!
+//! Provides the `Serialize`/`Deserialize` trait names plus the matching
+//! no-op derive macros so `use serde::{Deserialize, Serialize}` and
+//! `#[derive(Serialize, Deserialize)]` compile unchanged. The repository
+//! never serializes anything, so the traits carry no methods.
+
+/// Marker trait mirroring `serde::Serialize` (no-op in the vendored stub).
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize` (no-op in the vendored stub).
+pub trait Deserialize<'de> {}
+
+// The derive macros share the trait names, exactly as in real serde:
+// `use serde::Serialize` imports both the trait and the derive.
+pub use serde_derive::{Deserialize, Serialize};

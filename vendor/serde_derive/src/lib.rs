@@ -1,0 +1,23 @@
+//! Vendored no-op stand-in for `serde_derive`.
+//!
+//! The workspace builds offline (no registry access), so the external
+//! crates it names are vendored as minimal in-repo implementations under
+//! `vendor/`. Nothing in this repository serializes data — the derives
+//! exist only so types can declare serializability for downstream users —
+//! so the derive macros here validly expand to nothing. If a future PR
+//! starts actually serializing, replace this with the real crate (or emit
+//! real impls here).
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
