@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/bfs_core-61159be0a4f4e8a1.d: crates/core/src/lib.rs crates/core/src/bfs1d.rs crates/core/src/bfs2d.rs crates/core/src/bidir.rs crates/core/src/config.rs crates/core/src/memory.rs crates/core/src/path.rs crates/core/src/reference.rs crates/core/src/state.rs crates/core/src/stats.rs crates/core/src/theory.rs crates/core/src/threaded_run.rs crates/core/src/tree.rs
+
+/root/repo/target/release/deps/bfs_core-61159be0a4f4e8a1: crates/core/src/lib.rs crates/core/src/bfs1d.rs crates/core/src/bfs2d.rs crates/core/src/bidir.rs crates/core/src/config.rs crates/core/src/memory.rs crates/core/src/path.rs crates/core/src/reference.rs crates/core/src/state.rs crates/core/src/stats.rs crates/core/src/theory.rs crates/core/src/threaded_run.rs crates/core/src/tree.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bfs1d.rs:
+crates/core/src/bfs2d.rs:
+crates/core/src/bidir.rs:
+crates/core/src/config.rs:
+crates/core/src/memory.rs:
+crates/core/src/path.rs:
+crates/core/src/reference.rs:
+crates/core/src/state.rs:
+crates/core/src/stats.rs:
+crates/core/src/theory.rs:
+crates/core/src/threaded_run.rs:
+crates/core/src/tree.rs:

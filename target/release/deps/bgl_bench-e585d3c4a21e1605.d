@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bgl_bench-e585d3c4a21e1605.d: crates/bench/src/lib.rs crates/bench/src/exp.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/bgl_bench-e585d3c4a21e1605: crates/bench/src/lib.rs crates/bench/src/exp.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/exp.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bgl_bfs-3edacf4665af947f.d: src/lib.rs
+
+/root/repo/target/release/deps/bgl_bfs-3edacf4665af947f: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bgl_bfs-ab792d31eb8327a4.d: src/bin/cli.rs
+
+/root/repo/target/release/deps/bgl_bfs-ab792d31eb8327a4: src/bin/cli.rs
+
+src/bin/cli.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/bgl_comm-6d8cc16a6b120ae8.d: crates/comm/src/lib.rs crates/comm/src/buffer.rs crates/comm/src/collectives/mod.rs crates/comm/src/collectives/allgather.rs crates/comm/src/collectives/alltoall.rs crates/comm/src/collectives/reduce_scatter.rs crates/comm/src/collectives/two_phase.rs crates/comm/src/error.rs crates/comm/src/setops.rs crates/comm/src/sim.rs crates/comm/src/stats.rs crates/comm/src/threaded.rs crates/comm/src/topology.rs
+
+/root/repo/target/release/deps/bgl_comm-6d8cc16a6b120ae8: crates/comm/src/lib.rs crates/comm/src/buffer.rs crates/comm/src/collectives/mod.rs crates/comm/src/collectives/allgather.rs crates/comm/src/collectives/alltoall.rs crates/comm/src/collectives/reduce_scatter.rs crates/comm/src/collectives/two_phase.rs crates/comm/src/error.rs crates/comm/src/setops.rs crates/comm/src/sim.rs crates/comm/src/stats.rs crates/comm/src/threaded.rs crates/comm/src/topology.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/buffer.rs:
+crates/comm/src/collectives/mod.rs:
+crates/comm/src/collectives/allgather.rs:
+crates/comm/src/collectives/alltoall.rs:
+crates/comm/src/collectives/reduce_scatter.rs:
+crates/comm/src/collectives/two_phase.rs:
+crates/comm/src/error.rs:
+crates/comm/src/setops.rs:
+crates/comm/src/sim.rs:
+crates/comm/src/stats.rs:
+crates/comm/src/threaded.rs:
+crates/comm/src/topology.rs:

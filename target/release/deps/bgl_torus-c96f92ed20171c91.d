@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/bgl_torus-c96f92ed20171c91.d: crates/torus/src/lib.rs crates/torus/src/coord.rs crates/torus/src/cost.rs crates/torus/src/fault.rs crates/torus/src/machine.rs crates/torus/src/mapping.rs crates/torus/src/routing.rs
+
+/root/repo/target/release/deps/bgl_torus-c96f92ed20171c91: crates/torus/src/lib.rs crates/torus/src/coord.rs crates/torus/src/cost.rs crates/torus/src/fault.rs crates/torus/src/machine.rs crates/torus/src/mapping.rs crates/torus/src/routing.rs
+
+crates/torus/src/lib.rs:
+crates/torus/src/coord.rs:
+crates/torus/src/cost.rs:
+crates/torus/src/fault.rs:
+crates/torus/src/machine.rs:
+crates/torus/src/mapping.rs:
+crates/torus/src/routing.rs:

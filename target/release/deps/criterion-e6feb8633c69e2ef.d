@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/criterion-e6feb8633c69e2ef.d: vendor/criterion/src/lib.rs
+
+/root/repo/target/release/deps/criterion-e6feb8633c69e2ef: vendor/criterion/src/lib.rs
+
+vendor/criterion/src/lib.rs:

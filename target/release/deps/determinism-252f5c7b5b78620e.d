@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-252f5c7b5b78620e.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-252f5c7b5b78620e: tests/determinism.rs
+
+tests/determinism.rs:

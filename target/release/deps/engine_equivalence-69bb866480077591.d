@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine_equivalence-69bb866480077591.d: tests/engine_equivalence.rs
+
+/root/repo/target/release/deps/engine_equivalence-69bb866480077591: tests/engine_equivalence.rs
+
+tests/engine_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_tolerance-a79489bcf4ddfe35.d: tests/fault_tolerance.rs
+
+/root/repo/target/release/deps/fault_tolerance-a79489bcf4ddfe35: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

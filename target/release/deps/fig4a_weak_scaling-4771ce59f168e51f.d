@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4a_weak_scaling-4771ce59f168e51f.d: crates/bench/src/bin/fig4a_weak_scaling.rs
+
+/root/repo/target/release/deps/fig4a_weak_scaling-4771ce59f168e51f: crates/bench/src/bin/fig4a_weak_scaling.rs
+
+crates/bench/src/bin/fig4a_weak_scaling.rs:

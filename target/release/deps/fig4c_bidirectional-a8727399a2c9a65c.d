@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4c_bidirectional-a8727399a2c9a65c.d: crates/bench/src/bin/fig4c_bidirectional.rs
+
+/root/repo/target/release/deps/fig4c_bidirectional-a8727399a2c9a65c: crates/bench/src/bin/fig4c_bidirectional.rs
+
+crates/bench/src/bin/fig4c_bidirectional.rs:

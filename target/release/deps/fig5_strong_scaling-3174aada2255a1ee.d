@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_strong_scaling-3174aada2255a1ee.d: crates/bench/src/bin/fig5_strong_scaling.rs
+
+/root/repo/target/release/deps/fig5_strong_scaling-3174aada2255a1ee: crates/bench/src/bin/fig5_strong_scaling.rs
+
+crates/bench/src/bin/fig5_strong_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_partition_volume-9790244b28b5ca20.d: crates/bench/src/bin/fig6_partition_volume.rs
+
+/root/repo/target/release/deps/fig6_partition_volume-9790244b28b5ca20: crates/bench/src/bin/fig6_partition_volume.rs
+
+crates/bench/src/bin/fig6_partition_volume.rs:

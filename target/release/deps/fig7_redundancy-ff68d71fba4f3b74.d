@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_redundancy-ff68d71fba4f3b74.d: crates/bench/src/bin/fig7_redundancy.rs
+
+/root/repo/target/release/deps/fig7_redundancy-ff68d71fba4f3b74: crates/bench/src/bin/fig7_redundancy.rs
+
+crates/bench/src/bin/fig7_redundancy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/oracle_equivalence-8999c308f9c97ffb.d: tests/oracle_equivalence.rs
+
+/root/repo/target/release/deps/oracle_equivalence-8999c308f9c97ffb: tests/oracle_equivalence.rs
+
+tests/oracle_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_invariants-1a2f7721d8cf8d90.d: tests/paper_invariants.rs
+
+/root/repo/target/release/deps/paper_invariants-1a2f7721d8cf8d90: tests/paper_invariants.rs
+
+tests/paper_invariants.rs:

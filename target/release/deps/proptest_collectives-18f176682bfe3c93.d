@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_collectives-18f176682bfe3c93.d: crates/comm/tests/proptest_collectives.rs
+
+/root/repo/target/release/deps/proptest_collectives-18f176682bfe3c93: crates/comm/tests/proptest_collectives.rs
+
+crates/comm/tests/proptest_collectives.rs:

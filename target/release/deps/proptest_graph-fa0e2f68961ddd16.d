@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_graph-fa0e2f68961ddd16.d: crates/graph/tests/proptest_graph.rs
+
+/root/repo/target/release/deps/proptest_graph-fa0e2f68961ddd16: crates/graph/tests/proptest_graph.rs
+
+crates/graph/tests/proptest_graph.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_torus-2c85928f46a36526.d: crates/torus/tests/proptest_torus.rs
+
+/root/repo/target/release/deps/proptest_torus-2c85928f46a36526: crates/torus/tests/proptest_torus.rs
+
+crates/torus/tests/proptest_torus.rs:

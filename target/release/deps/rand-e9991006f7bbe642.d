@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand-e9991006f7bbe642.d: vendor/rand/src/lib.rs
+
+/root/repo/target/release/deps/rand-e9991006f7bbe642: vendor/rand/src/lib.rs
+
+vendor/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rand_chacha-ae50e15397afaca5.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/rand_chacha-ae50e15397afaca5: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

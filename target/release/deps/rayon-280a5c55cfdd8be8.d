@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rayon-280a5c55cfdd8be8.d: vendor/rayon/src/lib.rs
+
+/root/repo/target/release/deps/rayon-280a5c55cfdd8be8: vendor/rayon/src/lib.rs
+
+vendor/rayon/src/lib.rs:

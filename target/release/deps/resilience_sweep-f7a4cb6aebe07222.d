@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/resilience_sweep-f7a4cb6aebe07222.d: crates/bench/src/bin/resilience_sweep.rs
+
+/root/repo/target/release/deps/resilience_sweep-f7a4cb6aebe07222: crates/bench/src/bin/resilience_sweep.rs
+
+crates/bench/src/bin/resilience_sweep.rs:

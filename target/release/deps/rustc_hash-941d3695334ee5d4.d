@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/rustc_hash-941d3695334ee5d4.d: vendor/rustc-hash/src/lib.rs
+
+/root/repo/target/release/deps/rustc_hash-941d3695334ee5d4: vendor/rustc-hash/src/lib.rs
+
+vendor/rustc-hash/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde-4af2ca2b0e771af2.d: vendor/serde/src/lib.rs
+
+/root/repo/target/release/deps/serde-4af2ca2b0e771af2: vendor/serde/src/lib.rs
+
+vendor/serde/src/lib.rs:

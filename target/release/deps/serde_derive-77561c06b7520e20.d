@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serde_derive-77561c06b7520e20.d: vendor/serde_derive/src/lib.rs
+
+/root/repo/target/release/deps/serde_derive-77561c06b7520e20: vendor/serde_derive/src/lib.rs
+
+vendor/serde_derive/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_topologies-cfcfc364646d2df8.d: crates/bench/src/bin/table1_topologies.rs
+
+/root/repo/target/release/deps/table1_topologies-cfcfc364646d2df8: crates/bench/src/bin/table1_topologies.rs
+
+crates/bench/src/bin/table1_topologies.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/graph500_style-cf38cc57e8b90c8b.d: examples/graph500_style.rs
+
+/root/repo/target/release/examples/graph500_style-cf38cc57e8b90c8b: examples/graph500_style.rs
+
+examples/graph500_style.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-440ba21fe5e90feb.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-440ba21fe5e90feb: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/semantic_path-c587f5f8a6505f4d.d: examples/semantic_path.rs
+
+/root/repo/target/release/examples/semantic_path-c587f5f8a6505f4d: examples/semantic_path.rs
+
+examples/semantic_path.rs:

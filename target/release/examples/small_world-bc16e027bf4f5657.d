@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/small_world-bc16e027bf4f5657.d: examples/small_world.rs
+
+/root/repo/target/release/examples/small_world-bc16e027bf4f5657: examples/small_world.rs
+
+examples/small_world.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/threaded_vs_sim-310977515270416a.d: examples/threaded_vs_sim.rs
+
+/root/repo/target/release/examples/threaded_vs_sim-310977515270416a: examples/threaded_vs_sim.rs
+
+examples/threaded_vs_sim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/topology_sweep-8d6fb0a7192b5fb7.d: examples/topology_sweep.rs
+
+/root/repo/target/release/examples/topology_sweep-8d6fb0a7192b5fb7: examples/topology_sweep.rs
+
+examples/topology_sweep.rs:

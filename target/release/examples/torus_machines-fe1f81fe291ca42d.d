@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/torus_machines-fe1f81fe291ca42d.d: examples/torus_machines.rs
+
+/root/repo/target/release/examples/torus_machines-fe1f81fe291ca42d: examples/torus_machines.rs
+
+examples/torus_machines.rs:
