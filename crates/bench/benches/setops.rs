@@ -1,0 +1,93 @@
+//! Criterion micro-benchmarks of the hybrid vertex-set kernels: sorted
+//! list merges vs word-wise bitmap ORs on dense union-fold payloads —
+//! the compute inner loop of the reduce-scatter and two-phase folds.
+
+use bgl_comm::vset::or_words;
+use bgl_comm::{Vert, VertSet, VsetPolicy};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use std::hint::black_box;
+
+/// Synthetic fold payloads: `blocks` sorted vertex lists over a common
+/// `span`-slot range with heavy cross-block overlap (each block takes
+/// every `stride`-th slot at a different phase), mimicking the dense
+/// mid-BFS levels where most ranks rediscover the same neighbors.
+fn dense_blocks(blocks: usize, span: u64, stride: u64) -> Vec<Vec<Vert>> {
+    (0..blocks as u64)
+        .map(|b| (0..span).filter(|v| (v + b) % stride == 0).collect())
+        .collect()
+}
+
+/// Accumulate every block into one set under `policy`; returns the
+/// final cardinality so the optimizer keeps the work.
+fn accumulate(blocks: &[Vec<Vert>], policy: &VsetPolicy) -> usize {
+    let mut acc = VertSet::new();
+    for b in blocks {
+        acc.union_in(b, policy);
+    }
+    acc.len()
+}
+
+fn bench_union_accumulate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("union_accumulate_dense");
+    for &span in &[1u64 << 13, 1 << 16] {
+        let blocks = dense_blocks(16, span, 3);
+        let elems: u64 = blocks.iter().map(|b| b.len() as u64).sum();
+        group.throughput(Throughput::Elements(elems));
+        group.bench_with_input(BenchmarkId::new("list", span), &blocks, |b, blocks| {
+            b.iter(|| black_box(accumulate(blocks, &VsetPolicy::list_only())))
+        });
+        group.bench_with_input(BenchmarkId::new("bitmap", span), &blocks, |b, blocks| {
+            b.iter(|| black_box(accumulate(blocks, &VsetPolicy::hybrid())))
+        });
+    }
+    group.finish();
+}
+
+fn bench_union_set_kernels(c: &mut Criterion) {
+    // Set-to-set union of two pre-built dense sets: the list path walks
+    // both element lists; the bitmap path is `or_words` over the span.
+    let mut group = c.benchmark_group("union_set_dense_pair");
+    let span = 1u64 << 16;
+    let a: Vec<Vert> = (0..span).filter(|v| v % 3 == 0).collect();
+    let b: Vec<Vert> = (0..span).filter(|v| v % 3 != 2).collect();
+    group.throughput(Throughput::Elements((a.len() + b.len()) as u64));
+
+    let policy = VsetPolicy::hybrid();
+    let (la, lb) = (
+        VertSet::from_sorted(a.clone()),
+        VertSet::from_sorted(b.clone()),
+    );
+    let mut ba = la.clone();
+    let mut bb = lb.clone();
+    ba.maybe_densify(&policy);
+    bb.maybe_densify(&policy);
+    assert!(ba.is_bitmap() && bb.is_bitmap());
+
+    group.bench_function("list_list", |bch| {
+        bch.iter(|| {
+            let mut acc = la.clone();
+            black_box(acc.union_set(&lb, &VsetPolicy::list_only()))
+        })
+    });
+    group.bench_function("bitmap_bitmap", |bch| {
+        bch.iter(|| {
+            let mut acc = ba.clone();
+            black_box(acc.union_set(&bb, &policy))
+        })
+    });
+    group.finish();
+
+    // The raw word kernel in isolation.
+    let mut group = c.benchmark_group("or_words_raw");
+    let words = (span >> 6) as usize;
+    let src: Vec<u64> = (0..words as u64).map(|i| i.wrapping_mul(0x9e37)).collect();
+    group.throughput(Throughput::Bytes((words * 8) as u64));
+    group.bench_function(BenchmarkId::from_parameter(words), |bch| {
+        let mut dst = vec![0u64; words];
+        bch.iter(|| black_box(or_words(&mut dst, &src)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_union_accumulate, bench_union_set_kernels);
+criterion_main!(benches);

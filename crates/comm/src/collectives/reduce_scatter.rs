@@ -16,7 +16,11 @@
 //! Unions cost real work: the simulator is charged memcpy time for the
 //! merge traffic, reflecting the paper's note that "the proposed union
 //! operation requires copying of received messages incurring additional
-//! overhead".
+//! overhead". Accumulators are hybrid [`VertSet`]s: once a block crosses
+//! the world's [`crate::vset::VsetPolicy`] density threshold it unions
+//! as a bitmap in `O(span/64)` word ORs. All modelled time charges are
+//! functions of set *cardinalities*, which are representation-invariant,
+//! so the clocks are bit-identical to the sorted-list implementation.
 
 // Parallel index loops over per-rank arrays are intentional here.
 #![allow(clippy::needless_range_loop)]
@@ -26,6 +30,7 @@ use crate::error::CommError;
 use crate::setops;
 use crate::sim::SimWorld;
 use crate::stats::OpClass;
+use crate::vset::VertSet;
 use crate::{Vert, VERT_BYTES};
 
 /// Run a union reduce-scatter in every group simultaneously.
@@ -39,7 +44,7 @@ pub fn reduce_scatter_union_ring(
     class: OpClass,
     groups: &Groups,
     blocks: Vec<Vec<Vec<Vert>>>,
-) -> Result<Vec<Vec<Vert>>, CommError> {
+) -> Result<Vec<VertSet>, CommError> {
     debug_assert_eq!(blocks.len(), world.p());
     let p = world.p();
     for rank in 0..p {
@@ -54,7 +59,11 @@ pub fn reduce_scatter_union_ring(
         );
     }
 
-    let mut blocks = blocks;
+    let policy = world.vset_policy();
+    let mut blocks: Vec<Vec<VertSet>> = blocks
+        .into_iter()
+        .map(|bs| bs.into_iter().map(VertSet::from_sorted).collect())
+        .collect();
     let steps = groups.max_group_len().saturating_sub(1);
     for s in 0..steps {
         let mut sends = Vec::with_capacity(p);
@@ -66,7 +75,15 @@ pub fn reduce_scatter_union_ring(
             for (pos, &rank) in g.iter().enumerate() {
                 let succ = g[(pos + 1) % glen];
                 let block_idx = (pos + 2 * glen - s - 1) % glen;
-                let payload = std::mem::take(&mut blocks[rank][block_idx]);
+                let set = std::mem::take(&mut blocks[rank][block_idx]);
+                let payload = match set {
+                    VertSet::List(v) => v,
+                    bm => {
+                        let mut buf = world.scratch_take();
+                        bm.append_to(&mut buf);
+                        buf
+                    }
+                };
                 sends.push((rank, succ, payload));
             }
         }
@@ -83,8 +100,15 @@ pub fn reduce_scatter_union_ring(
                 merge_bytes[rank] =
                     (piece.len() + blocks[rank][block_idx].len()) as u64 * VERT_BYTES;
                 let own = &mut blocks[rank][block_idx];
-                let dups = setops::union_into(own, &piece);
+                let was_bitmap = own.is_bitmap();
+                let dups = own.union_in(&piece, &policy);
+                let is_bitmap = own.is_bitmap();
                 world.note_dups(rank, dups);
+                world.stats.note_union(is_bitmap);
+                if is_bitmap && !was_bitmap {
+                    world.stats.note_densify();
+                }
+                world.scratch_put(piece);
             }
         }
         world.memcpy_phase(&merge_bytes);
@@ -103,6 +127,7 @@ pub fn reduce_scatter_union_ring(
 mod tests {
     use super::*;
     use crate::topology::ProcessorGrid;
+    use crate::vset::VsetPolicy;
 
     /// Reference: direct union of everyone's block for each destination.
     fn reference(groups: &Groups, blocks: &[Vec<Vec<Vert>>]) -> Vec<Vec<Vert>> {
@@ -120,6 +145,7 @@ mod tests {
         let mut w = SimWorld::bluegene(grid);
         let expect = reference(groups, &blocks);
         let got = reduce_scatter_union_ring(&mut w, OpClass::Fold, groups, blocks).unwrap();
+        let got: Vec<Vec<Vert>> = got.into_iter().map(VertSet::into_vec).collect();
         assert_eq!(got, expect);
     }
 
@@ -170,7 +196,7 @@ mod tests {
             vec![vec![42], vec![], vec![]],
         ];
         let got = reduce_scatter_union_ring(&mut w, OpClass::Fold, &groups, blocks).unwrap();
-        assert_eq!(got[0], vec![42]);
+        assert_eq!(got[0].to_vec(), vec![42]);
         assert_eq!(w.stats.total_dups_eliminated(), 2);
     }
 
@@ -203,7 +229,53 @@ mod tests {
         let mut w = SimWorld::bluegene(grid);
         let blocks = vec![vec![vec![1, 2, 3]], vec![vec![4]]];
         let got = reduce_scatter_union_ring(&mut w, OpClass::Fold, &groups, blocks).unwrap();
+        let got: Vec<Vec<Vert>> = got.into_iter().map(VertSet::into_vec).collect();
         assert_eq!(got, vec![vec![1, 2, 3], vec![4]]);
         assert_eq!(w.time(), 0.0);
+    }
+
+    #[test]
+    fn hybrid_policy_matches_list_only_bit_for_bit() {
+        // A/B determinism: dense blocks densify to bitmaps under the
+        // hybrid policy, yet results, duplicate counts, and simulated
+        // clocks stay bit-identical to the list-only run.
+        let grid = ProcessorGrid::new(1, 6);
+        let groups = Groups::rows_of(grid);
+        let mk_blocks = || -> Vec<Vec<Vec<Vert>>> {
+            (0..6)
+                .map(|r| {
+                    (0..6)
+                        .map(|d| {
+                            // Dense overlapping ranges: ripe for bitmaps.
+                            ((r * 40) as Vert..(r * 40 + 400 + d as u64)).collect()
+                        })
+                        .collect()
+                })
+                .collect()
+        };
+        let mut hybrid = SimWorld::bluegene(grid);
+        let got_h =
+            reduce_scatter_union_ring(&mut hybrid, OpClass::Fold, &groups, mk_blocks()).unwrap();
+        let mut listy = SimWorld::bluegene(grid).with_vset_policy(VsetPolicy::list_only());
+        let got_l =
+            reduce_scatter_union_ring(&mut listy, OpClass::Fold, &groups, mk_blocks()).unwrap();
+        assert!(
+            hybrid.stats.setops.bitmap_unions > 0,
+            "dense blocks must actually exercise the bitmap path"
+        );
+        assert_eq!(listy.stats.setops.bitmap_unions, 0);
+        assert!(got_h.iter().any(VertSet::is_bitmap));
+        for (h, l) in got_h.iter().zip(&got_l) {
+            assert_eq!(h.to_vec(), l.to_vec());
+        }
+        assert_eq!(hybrid.time().to_bits(), listy.time().to_bits());
+        assert_eq!(
+            hybrid.memcpy_time().to_bits(),
+            listy.memcpy_time().to_bits()
+        );
+        assert_eq!(
+            hybrid.stats.total_dups_eliminated(),
+            listy.stats.total_dups_eliminated()
+        );
     }
 }

@@ -34,20 +34,28 @@ use crate::error::CommError;
 use crate::setops;
 use crate::sim::{Inbox, SimWorld};
 use crate::stats::OpClass;
+use crate::vset::VertSet;
 use crate::{Vert, VERT_BYTES};
 
-/// A fold bundle in flight: per-destination normalized sets for the
-/// members of one target subgrid column.
+/// A fold bundle in flight: per-destination sets for the members of one
+/// target subgrid column, held as hybrid [`VertSet`]s so dense bundles
+/// union word-wise.
 #[derive(Debug, Clone, Default)]
 struct FoldBundle {
     /// `sets[r]` is destined to the member at subgrid position
     /// `(r, target_col)`.
-    sets: Vec<Vec<Vert>>,
+    sets: Vec<VertSet>,
 }
 
 impl FoldBundle {
-    fn wire_payload(&self) -> Vec<Vert> {
-        self.sets.concat()
+    /// Concatenated payload, built into a pooled scratch buffer. Only
+    /// its *length* feeds the cost model, so the per-set order is free.
+    fn wire_payload(&self, world: &mut SimWorld) -> Vec<Vert> {
+        let mut out = world.scratch_take();
+        for s in &self.sets {
+            s.append_to(&mut out);
+        }
+        out
     }
 }
 
@@ -61,7 +69,7 @@ pub fn two_phase_fold(
     class: OpClass,
     groups: &Groups,
     blocks: Vec<Vec<Vec<Vert>>>,
-) -> Result<Vec<Vec<Vert>>, CommError> {
+) -> Result<Vec<VertSet>, CommError> {
     debug_assert_eq!(blocks.len(), world.p());
     let p = world.p();
     for rank in 0..p {
@@ -90,7 +98,7 @@ pub fn two_phase_fold(
         let tc = (sc + n - 1) % n;
         held_target[rank] = tc;
         let mut bundle = FoldBundle {
-            sets: vec![Vec::new(); m],
+            sets: vec![VertSet::new(); m],
         };
         seed_own(
             &mut bundle,
@@ -117,7 +125,8 @@ pub fn two_phase_fold(
             for (pos, &rank) in g.iter().enumerate() {
                 let (sr, sc) = (pos / n, pos % n);
                 let succ = g[sr * n + (sc + 1) % n];
-                sends.push((rank, succ, held[rank].wire_payload()));
+                let payload = held[rank].wire_payload(world);
+                sends.push((rank, succ, payload));
             }
         }
         let inboxes = world.exchange(class, sends)?;
@@ -126,9 +135,14 @@ pub fn two_phase_fold(
         let prev_held = held.clone();
         let prev_target = held_target.clone();
         let mut merge_bytes = vec![0u64; p];
-        for (rank, inbox) in inboxes.into_iter().enumerate() {
+        for (rank, mut inbox) in inboxes.into_iter().enumerate() {
             if inbox.is_empty() {
                 continue;
+            }
+            // The wire copy of the bundle is recycled; the authoritative
+            // bundle moves out-of-band below.
+            while let Some((_, wire)) = inbox.pop() {
+                world.scratch_put(wire);
             }
             let (gi, pos) = groups.locate(rank);
             let (m, n) = shapes[gi];
@@ -160,7 +174,7 @@ pub fn two_phase_fold(
     // Every member (sr, tc) now holds the bundle for its own column tc.
     // ---- Phase 2: point-to-point scatter down each target column. ----
     let mut sends = Vec::new();
-    let mut keep: Vec<Vec<Vert>> = vec![Vec::new(); p];
+    let mut keep: Vec<VertSet> = vec![VertSet::new(); p];
     for (gi, g) in groups.groups().iter().enumerate() {
         let (m, n) = shapes[gi];
         for (pos, &rank) in g.iter().enumerate() {
@@ -172,7 +186,15 @@ pub fn two_phase_fold(
                 if dst == rank {
                     keep[rank] = set;
                 } else if !set.is_empty() {
-                    sends.push((rank, dst, set));
+                    let payload = match set {
+                        VertSet::List(v) => v,
+                        bm => {
+                            let mut buf = world.scratch_take();
+                            bm.append_to(&mut buf);
+                            buf
+                        }
+                    };
+                    sends.push((rank, dst, payload));
                 }
             }
             let _ = m;
@@ -181,14 +203,21 @@ pub fn two_phase_fold(
     let inboxes = world.exchange(class, sends)?;
 
     // Final union at each destination.
+    let policy = world.vset_policy();
     let mut merge_bytes = vec![0u64; p];
-    let mut out: Vec<Vec<Vert>> = vec![Vec::new(); p];
-    for rank in 0..p {
+    let mut out: Vec<VertSet> = vec![VertSet::new(); p];
+    for (rank, inbox) in inboxes.into_iter().enumerate() {
         let mut acc = std::mem::take(&mut keep[rank]);
-        for (_, set) in &inboxes[rank] {
+        for (_, set) in inbox {
             merge_bytes[rank] += (acc.len() + set.len()) as u64 * VERT_BYTES;
-            let dups = setops::union_into(&mut acc, set);
+            let was_bitmap = acc.is_bitmap();
+            let dups = acc.union_in(&set, &policy);
             world.note_dups(rank, dups);
+            world.stats.note_union(acc.is_bitmap());
+            if acc.is_bitmap() && !was_bitmap {
+                world.stats.note_densify();
+            }
+            world.scratch_put(set);
         }
         out[rank] = acc;
     }
@@ -210,6 +239,7 @@ fn seed_own(
     merge_bytes: &mut u64,
 ) {
     debug_assert_eq!(bundle.sets.len(), m);
+    let policy = world.vset_policy();
     for r_dst in 0..m {
         let dest_pos = r_dst * n + tc;
         let own = &own_blocks[dest_pos];
@@ -217,8 +247,14 @@ fn seed_own(
             continue;
         }
         *merge_bytes += (bundle.sets[r_dst].len() + own.len()) as u64 * VERT_BYTES;
-        let dups = setops::union_into(&mut bundle.sets[r_dst], own);
+        let set = &mut bundle.sets[r_dst];
+        let was_bitmap = set.is_bitmap();
+        let dups = set.union_in(own, &policy);
         world.note_dups(rank, dups);
+        world.stats.note_union(set.is_bitmap());
+        if set.is_bitmap() && !was_bitmap {
+            world.stats.note_densify();
+        }
     }
 }
 
@@ -386,6 +422,7 @@ mod tests {
             let expect = fold_reference(&groups, &blocks);
             let mut w = SimWorld::bluegene(grid);
             let got = two_phase_fold(&mut w, OpClass::Fold, &groups, blocks).unwrap();
+            let got: Vec<Vec<Vert>> = got.into_iter().map(VertSet::into_vec).collect();
             assert_eq!(got, expect, "group size {g}");
         }
     }
@@ -411,6 +448,7 @@ mod tests {
         let expect = fold_reference(&groups, &blocks);
         let mut w = SimWorld::bluegene(grid);
         let got = two_phase_fold(&mut w, OpClass::Fold, &groups, blocks).unwrap();
+        let got: Vec<Vec<Vert>> = got.into_iter().map(VertSet::into_vec).collect();
         assert_eq!(got, expect);
     }
 
@@ -430,7 +468,7 @@ mod tests {
             .collect();
         let mut w = SimWorld::bluegene(grid);
         let got = two_phase_fold(&mut w, OpClass::Fold, &groups, blocks).unwrap();
-        assert_eq!(got[0], common);
+        assert_eq!(got[0].to_vec(), common);
         // 6 copies collapse to 1: five eliminated, each of 50 vertices.
         assert_eq!(w.stats.total_dups_eliminated(), 250);
         // And the wire never carried anywhere near 6x50 to one dest:

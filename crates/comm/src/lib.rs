@@ -46,13 +46,15 @@ pub mod sim;
 pub mod stats;
 pub mod threaded;
 pub mod topology;
+pub mod vset;
 
-pub use buffer::ChunkPolicy;
+pub use buffer::{ChunkPolicy, ScratchPool};
 pub use error::CommError;
 pub use sim::SimWorld;
-pub use stats::{CommStats, FaultStats, OpClass};
+pub use stats::{CommStats, FaultStats, OpClass, SetOpStats};
 pub use threaded::ThreadedWorld;
 pub use topology::ProcessorGrid;
+pub use vset::{VertSet, VsetPolicy};
 
 // Fault plans are authored against the torus model; re-export so BFS
 // layers need not depend on `bgl_torus` directly to configure faults.

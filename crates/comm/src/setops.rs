@@ -54,9 +54,11 @@ pub fn union(a: &[Vert], b: &[Vert]) -> (Vec<Vert>, usize) {
     (out, dups)
 }
 
-/// Union `b` into the accumulator `a` (both normalized), reusing `a`'s
-/// allocation when possible. Returns the number of duplicates eliminated.
+/// Union `b` into the accumulator `a` (both normalized), merging in
+/// place from the tail — no fresh vector is allocated even when the
+/// ranges overlap. Returns the number of duplicates eliminated.
 pub fn union_into(a: &mut Vec<Vert>, b: &[Vert]) -> usize {
+    debug_assert!(is_normalized(a) && is_normalized(b));
     if b.is_empty() {
         return 0;
     }
@@ -64,13 +66,48 @@ pub fn union_into(a: &mut Vec<Vert>, b: &[Vert]) -> usize {
         a.extend_from_slice(b);
         return 0;
     }
-    // Fast path: disjoint ranges append/prepend without a merge pass.
+    // Fast path: disjoint ranges append without a merge pass.
     if *a.last().unwrap() < b[0] {
         a.extend_from_slice(b);
         return 0;
     }
-    let (merged, dups) = union(a, b);
-    *a = merged;
+    // Backward merge: grow `a` to the worst-case length and merge from
+    // the tails toward the front. Writes never overtake the unread part
+    // of `a` because `w` stays at least `j` slots ahead of `i`.
+    let old_len = a.len();
+    a.resize(old_len + b.len(), 0);
+    let (mut i, mut j, mut w) = (old_len, b.len(), old_len + b.len());
+    let mut dups = 0;
+    while i > 0 && j > 0 {
+        w -= 1;
+        let (x, y) = (a[i - 1], b[j - 1]);
+        match x.cmp(&y) {
+            std::cmp::Ordering::Greater => {
+                a[w] = x;
+                i -= 1;
+            }
+            std::cmp::Ordering::Less => {
+                a[w] = y;
+                j -= 1;
+            }
+            std::cmp::Ordering::Equal => {
+                a[w] = x;
+                i -= 1;
+                j -= 1;
+                dups += 1;
+            }
+        }
+    }
+    while j > 0 {
+        w -= 1;
+        j -= 1;
+        a[w] = b[j];
+    }
+    // `a[..i]` is already in place; duplicates left a gap before `w`.
+    if i < w {
+        a.copy_within(w.., i);
+    }
+    a.truncate(old_len + b.len() - dups);
     dups
 }
 
@@ -146,6 +183,52 @@ mod tests {
         let d = union_into(&mut a, &[4, 5, 9]);
         assert_eq!(a, vec![1, 4, 5, 9]);
         assert_eq!(d, 2);
+    }
+
+    #[test]
+    fn union_into_prepend_and_interleave() {
+        // b entirely below a: every element lands before the old prefix.
+        let mut a = vec![10, 20, 30];
+        let d = union_into(&mut a, &[1, 2, 3]);
+        assert_eq!(a, vec![1, 2, 3, 10, 20, 30]);
+        assert_eq!(d, 0);
+        // Full interleave with duplicates at both ends.
+        let mut a = vec![1, 3, 5, 7];
+        let d = union_into(&mut a, &[1, 2, 6, 7, 8]);
+        assert_eq!(a, vec![1, 2, 3, 5, 6, 7, 8]);
+        assert_eq!(d, 2);
+    }
+
+    #[test]
+    fn union_into_matches_union_on_random_sets() {
+        // Deterministic pseudo-random cross-check of the in-place tail
+        // merge against the allocating reference merge.
+        let mut x = 0x9e3779b97f4a7c15u64;
+        let mut step = || {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            x
+        };
+        for case in 0..200 {
+            let mut a: Vec<Vert> = (0..(case % 17)).map(|_| step() % 100).collect();
+            let mut b: Vec<Vert> = (0..(case % 23)).map(|_| step() % 100).collect();
+            normalize(&mut a);
+            normalize(&mut b);
+            let (expect, expect_dups) = union(&a, &b);
+            let mut got = a.clone();
+            let got_dups = union_into(&mut got, &b);
+            assert_eq!(got, expect, "a={a:?} b={b:?}");
+            assert_eq!(got_dups, expect_dups);
+        }
+    }
+
+    #[test]
+    fn union_into_is_subset_absorbing() {
+        let mut a = vec![1, 2, 3, 4, 5];
+        let d = union_into(&mut a, &[2, 3, 4]);
+        assert_eq!(a, vec![1, 2, 3, 4, 5]);
+        assert_eq!(d, 3);
     }
 
     #[test]

@@ -19,15 +19,17 @@
 //! [`LinkTraffic`] accumulator for congestion analysis.
 
 use crate::buffer::ChunkPolicy;
+use crate::buffer::ScratchPool;
 use crate::error::CommError;
 use crate::stats::{CommStats, OpClass};
 use crate::topology::ProcessorGrid;
+use crate::vset::VsetPolicy;
 use crate::{Vert, VERT_BYTES};
 use bgl_torus::{
     detour_hops, route_with_faults, CostModel, FaultPlan, LinkTraffic, MachineConfig, MachineKind,
     RouteStep, TaskMapping, TaskMappingKind,
 };
-use std::collections::HashMap;
+use rustc_hash::FxHashMap;
 
 /// One point-to-point message in a round: `(from, to, payload)`.
 pub type Send = (usize, usize, Vec<Vert>);
@@ -84,7 +86,14 @@ pub struct SimWorld {
     /// expand/fold rounds identically.
     data_round: u64,
     /// Fault-aware routes per rank pair (static for a fixed plan).
-    route_cache: HashMap<(usize, usize), FaultRoute>,
+    /// FxHashMap: route lookups sit on every faulty-world send, and the
+    /// keys are small integer pairs — SipHash is pure overhead here.
+    route_cache: FxHashMap<(usize, usize), FaultRoute>,
+    /// When hybrid vertex sets switch representation (see
+    /// [`crate::vset`]).
+    vset_policy: VsetPolicy,
+    /// Reusable merge/inbox scratch buffers for the collectives.
+    scratch: ScratchPool,
 }
 
 impl SimWorld {
@@ -115,7 +124,12 @@ impl SimWorld {
             plan: FaultPlan::none(),
             dead: vec![false; grid.len()],
             data_round: 0,
-            route_cache: HashMap::new(),
+            // Pre-size from the grid: routes are per ordered rank pair,
+            // but ring/tree traffic only ever touches O(1) neighbors per
+            // rank, so a small multiple of p covers steady state.
+            route_cache: FxHashMap::with_capacity_and_hasher(4 * grid.len(), Default::default()),
+            vset_policy: VsetPolicy::default(),
+            scratch: ScratchPool::new(),
         }
     }
 
@@ -287,6 +301,43 @@ impl SimWorld {
         self.memcpy_time = 0.0;
         self.dead = vec![false; self.grid.len()];
         self.data_round = 0;
+        self.scratch.reset();
+    }
+
+    /// The hybrid vertex-set representation policy collectives consult.
+    pub fn vset_policy(&self) -> VsetPolicy {
+        self.vset_policy
+    }
+
+    /// Override the hybrid vertex-set policy (e.g.
+    /// [`VsetPolicy::list_only`] for A/B determinism checks).
+    pub fn set_vset_policy(&mut self, policy: VsetPolicy) {
+        self.vset_policy = policy;
+    }
+
+    /// Builder-style [`SimWorld::set_vset_policy`].
+    pub fn with_vset_policy(mut self, policy: VsetPolicy) -> Self {
+        self.vset_policy = policy;
+        self
+    }
+
+    /// Take a scratch buffer from the per-world pool (cleared, capacity
+    /// retained from earlier supersteps).
+    pub fn scratch_take(&mut self) -> Vec<Vert> {
+        let v = self.scratch.take();
+        self.stats.setops.pool_reuses = self.scratch.reuses();
+        v
+    }
+
+    /// Return a scratch buffer to the pool and refresh the high-water
+    /// statistic.
+    pub fn scratch_put(&mut self, v: Vec<Vert>) {
+        self.scratch.put(v);
+        self.stats.setops.pool_high_water_verts = self
+            .stats
+            .setops
+            .pool_high_water_verts
+            .max(self.scratch.high_water_verts());
     }
 
     /// Fault-aware route lookup for `(from, to)`: `(hops, bandwidth

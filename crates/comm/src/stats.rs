@@ -120,6 +120,47 @@ impl FaultStats {
     }
 }
 
+/// Counters for the hybrid vertex-set kernels and the scratch-buffer
+/// pool (host-side representation choices; all zero when the hybrid
+/// layer is disabled).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SetOpStats {
+    /// Union operations executed on the sorted-list representation.
+    pub list_unions: u64,
+    /// Union operations executed on the bitmap representation
+    /// (word-wise OR).
+    pub bitmap_unions: u64,
+    /// List → bitmap representation switches (density threshold
+    /// crossings).
+    pub densify_switches: u64,
+    /// Peak total capacity (vertices) retained by the scratch-buffer
+    /// pool.
+    pub pool_high_water_verts: u64,
+    /// Times a pooled scratch buffer was reused instead of allocated.
+    pub pool_reuses: u64,
+}
+
+impl SetOpStats {
+    fn merge(&mut self, o: &SetOpStats) {
+        self.list_unions += o.list_unions;
+        self.bitmap_unions += o.bitmap_unions;
+        self.densify_switches += o.densify_switches;
+        self.pool_high_water_verts = self.pool_high_water_verts.max(o.pool_high_water_verts);
+        self.pool_reuses += o.pool_reuses;
+    }
+
+    fn minus(&self, o: &SetOpStats) -> SetOpStats {
+        SetOpStats {
+            list_unions: self.list_unions - o.list_unions,
+            bitmap_unions: self.bitmap_unions - o.bitmap_unions,
+            densify_switches: self.densify_switches - o.densify_switches,
+            // High-water is a running max, not a counter.
+            pool_high_water_verts: self.pool_high_water_verts,
+            pool_reuses: self.pool_reuses - o.pool_reuses,
+        }
+    }
+}
+
 /// Cumulative communication statistics for a world of `p` ranks.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CommStats {
@@ -134,6 +175,9 @@ pub struct CommStats {
     pub peak_buffer_verts: usize,
     /// Injected-fault counters (all zero on fault-free runs).
     pub faults: FaultStats,
+    /// Hybrid set-kernel and scratch-pool counters.
+    #[serde(default)]
+    pub setops: SetOpStats,
 }
 
 impl CommStats {
@@ -145,6 +189,7 @@ impl CommStats {
             dups_eliminated_per_rank: vec![0; p],
             peak_buffer_verts: 0,
             faults: FaultStats::default(),
+            setops: SetOpStats::default(),
         }
     }
 
@@ -176,6 +221,20 @@ impl CommStats {
     /// Record `n` duplicates eliminated by a union performed at `rank`.
     pub fn note_dups(&mut self, rank: usize, n: usize) {
         self.dups_eliminated_per_rank[rank] += n as u64;
+    }
+
+    /// Record one union, tagged with the representation that served it.
+    pub fn note_union(&mut self, bitmap: bool) {
+        if bitmap {
+            self.setops.bitmap_unions += 1;
+        } else {
+            self.setops.list_unions += 1;
+        }
+    }
+
+    /// Record a list → bitmap representation switch.
+    pub fn note_densify(&mut self) {
+        self.setops.densify_switches += 1;
     }
 
     /// Total vertices received across all ranks.
@@ -220,6 +279,7 @@ impl CommStats {
         }
         self.peak_buffer_verts = self.peak_buffer_verts.max(o.peak_buffer_verts);
         self.faults.merge(&o.faults);
+        self.setops.merge(&o.setops);
     }
 
     /// Counter-wise difference `self - earlier` (both cumulative
@@ -246,6 +306,7 @@ impl CommStats {
                 .collect(),
             peak_buffer_verts: self.peak_buffer_verts,
             faults: self.faults.minus(&earlier.faults),
+            setops: self.setops.minus(&earlier.setops),
         }
     }
 }

@@ -26,6 +26,7 @@
 // Parallel index loops over per-rank arrays are intentional here.
 #![allow(clippy::needless_range_loop)]
 
+use crate::buffer::ScratchPool;
 use crate::error::CommError;
 use crate::stats::{FaultStats, OpClass};
 use crate::topology::ProcessorGrid;
@@ -74,6 +75,10 @@ pub struct RankCtx {
     /// Faults this rank injected on its sends (sender-side accounting;
     /// summing over ranks matches the simulator's world totals).
     pub faults: FaultStats,
+    /// Per-rank reusable wire-buffer arena: received payloads recycled
+    /// by the rank body come back out of [`RankCtx::scratch_take`]
+    /// instead of fresh allocations.
+    scratch: ScratchPool,
 }
 
 impl RankCtx {
@@ -90,6 +95,22 @@ impl RankCtx {
     /// The fault plan in effect.
     pub fn fault_plan(&self) -> &FaultPlan {
         &self.plan
+    }
+
+    /// Take a cleared payload buffer from this rank's scratch pool (a
+    /// fresh allocation when the pool is empty).
+    pub fn scratch_take(&mut self) -> Vec<Vert> {
+        self.scratch.take()
+    }
+
+    /// Return a no-longer-needed payload buffer to the pool for reuse.
+    pub fn scratch_put(&mut self, buf: Vec<Vert>) {
+        self.scratch.put(buf);
+    }
+
+    /// How many buffer allocations the scratch pool has saved so far.
+    pub fn scratch_reuses(&self) -> u64 {
+        self.scratch.reuses()
     }
 
     /// Mark this rank dead (peers stop waiting for it) and return `e`.
@@ -265,13 +286,18 @@ impl RankCtx {
         let p = self.grid.len();
         let sends: Vec<(usize, Vec<Vert>)> = (0..p)
             .filter(|&d| d != self.rank)
-            .map(|d| (d, vec![value + 1]))
+            .map(|d| {
+                let mut buf = self.scratch.take();
+                buf.push(value + 1);
+                (d, buf)
+            })
             .collect();
         let got = self.exchange(OpClass::Control, sends)?;
         // +1 shift lets zero values survive the empty-payload filter.
         let mut total = value;
         for (_, payload) in got {
             total += payload[0] - 1;
+            self.scratch.put(payload);
         }
         Ok(total)
     }
@@ -334,6 +360,7 @@ impl ThreadedWorld {
                         alive,
                         data_round: 0,
                         faults: FaultStats::default(),
+                        scratch: ScratchPool::new(),
                     };
                     body(&mut ctx)
                 }));

@@ -8,7 +8,7 @@ use bgl_comm::collectives::{
     two_phase::{two_phase_expand, two_phase_fold},
     Groups,
 };
-use bgl_comm::{setops, OpClass, ProcessorGrid, SimWorld, Vert};
+use bgl_comm::{setops, OpClass, ProcessorGrid, SimWorld, Vert, VertSet};
 use proptest::prelude::*;
 
 /// A random partition of `0..p` into contiguous groups.
@@ -101,10 +101,12 @@ proptest! {
         let mut w1 = SimWorld::bluegene(grid);
         let ring =
             reduce_scatter_union_ring(&mut w1, OpClass::Fold, &groups, blocks.clone()).unwrap();
+        let ring: Vec<Vec<Vert>> = ring.into_iter().map(VertSet::into_vec).collect();
         prop_assert_eq!(&ring, &expect);
 
         let mut w2 = SimWorld::bluegene(grid);
         let two = two_phase_fold(&mut w2, OpClass::Fold, &groups, blocks).unwrap();
+        let two: Vec<Vec<Vert>> = two.into_iter().map(VertSet::into_vec).collect();
         prop_assert_eq!(&two, &expect);
     }
 

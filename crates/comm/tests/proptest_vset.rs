@@ -1,0 +1,104 @@
+//! Property-based equivalence of the two [`VertSet`] representations:
+//! whatever mix of sorted-list and bitmap operands the density policy
+//! produces, every operation must agree element-for-element (and
+//! duplicate-count-for-duplicate-count) with the plain sorted-list
+//! reference in `setops`.
+
+use bgl_comm::{setops, Vert, VertSet, VsetPolicy};
+use proptest::prelude::*;
+
+/// A random normalized (sorted, deduplicated) vertex set. Small value
+/// range forces overlaps; the occasional large offset exercises wide
+/// bitmap spans.
+fn sorted_set() -> impl Strategy<Value = Vec<Vert>> {
+    (prop::collection::vec(0u64..400, 0..160), any::<bool>()).prop_map(|(mut v, offset)| {
+        if offset {
+            for x in v.iter_mut() {
+                *x += 10_000;
+            }
+        }
+        setops::normalize(&mut v);
+        v
+    })
+}
+
+/// Every (representation × policy) starting point for a value set.
+fn variants(v: &[Vert]) -> Vec<VertSet> {
+    let mut list = VertSet::from_sorted(v.to_vec());
+    let densified = {
+        let mut s = VertSet::from_sorted(v.to_vec());
+        s.maybe_densify(&VsetPolicy::hybrid());
+        s
+    };
+    list.maybe_densify(&VsetPolicy::list_only());
+    vec![list, densified]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn union_in_matches_list_reference(a in sorted_set(), b in sorted_set()) {
+        let (expect, expect_dups) = setops::union(&a, &b);
+        for policy in [VsetPolicy::list_only(), VsetPolicy::hybrid()] {
+            for mut acc in variants(&a) {
+                let dups = acc.union_in(&b, &policy);
+                prop_assert_eq!(dups, expect_dups);
+                prop_assert_eq!(acc.len(), expect.len());
+                prop_assert_eq!(acc.into_vec(), expect.clone());
+            }
+        }
+    }
+
+    #[test]
+    fn union_set_matches_list_reference(a in sorted_set(), b in sorted_set()) {
+        let (expect, expect_dups) = setops::union(&a, &b);
+        let policy = VsetPolicy::hybrid();
+        for mut acc in variants(&a) {
+            for other in variants(&b) {
+                let dups = acc.union_set(&other, &policy);
+                prop_assert_eq!(dups, expect_dups);
+                prop_assert_eq!(acc.to_vec(), expect.clone());
+                // Re-union is fully absorbed: every element is a dup.
+                let again = acc.union_set(&other, &policy);
+                prop_assert_eq!(again, b.len());
+                prop_assert_eq!(acc.to_vec(), expect.clone());
+                acc = VertSet::from_sorted(a.clone());
+            }
+        }
+    }
+
+    #[test]
+    fn intersect_matches_list_reference(a in sorted_set(), b in sorted_set()) {
+        let expect: Vec<Vert> = a.iter().copied().filter(|v| b.binary_search(v).is_ok()).collect();
+        for sa in variants(&a) {
+            for sb in variants(&b) {
+                prop_assert_eq!(sa.intersect_to_vec(&sb), expect.clone());
+            }
+        }
+    }
+
+    #[test]
+    fn membership_iteration_and_equality_agree(a in sorted_set()) {
+        let reps = variants(&a);
+        for s in &reps {
+            prop_assert_eq!(s.len(), a.len());
+            prop_assert_eq!(s.iter().collect::<Vec<_>>(), a.clone());
+            prop_assert_eq!(s.to_vec(), a.clone());
+            for &v in &a {
+                prop_assert!(s.contains(v));
+            }
+            prop_assert!(!s.contains(50_000));
+        }
+        // Semantic equality crosses representations.
+        prop_assert_eq!(&reps[0], &reps[1]);
+    }
+
+    #[test]
+    fn densify_roundtrip_preserves_value(a in sorted_set()) {
+        let mut s = VertSet::from_sorted(a.clone());
+        s.maybe_densify(&VsetPolicy::hybrid());
+        let back = s.into_vec();
+        prop_assert_eq!(back, a);
+    }
+}

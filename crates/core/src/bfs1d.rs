@@ -13,7 +13,7 @@
 //! `R = 1`, and the test suite *proves* our two implementations agree on
 //! labels and on fold wire volume, which cross-validates both.
 
-use crate::bfs2d::BfsResult;
+use crate::bfs2d::{BfsResult, FoldOut};
 use crate::config::{BfsConfig, FoldStrategy};
 use crate::state::{gather_levels, RankState};
 use crate::stats::{LevelStats, RunStats};
@@ -72,18 +72,15 @@ pub fn run(
 
         // Local discovery straight from the frontier: N ← neighbors of F
         // (Algorithm 1 step 7). Edge lists are complete at the owner.
-        let blocks: Vec<Vec<Vec<Vert>>> = states
-            .iter_mut()
-            .map(|s| {
-                let f = std::mem::take(&mut s.frontier);
-                let out = s.discover(&[&f]);
-                s.frontier = f;
-                out
-            })
-            .collect();
+        let blocks: Vec<Vec<Vec<Vert>>> = config.engine.map_mut(&mut states, |s| {
+            let f = std::mem::take(&mut s.frontier);
+            let out = s.discover(&[&f]);
+            s.frontier = f;
+            out
+        });
 
         // Steps 8–13: send N_q to owner q.
-        let nbar: Vec<Vec<Vec<Vert>>> = match config.fold {
+        let nbar: FoldOut = match config.fold {
             FoldStrategy::DirectAllToAll => {
                 let sends: Vec<Vec<(usize, Vec<Vert>)>> = blocks
                     .into_iter()
@@ -94,31 +91,39 @@ pub fn run(
                             .collect()
                     })
                     .collect();
-                alltoallv(world, OpClass::Fold, &row_groups, sends)
-                    .expect("1D BFS runs fault-free")
-                    .into_iter()
-                    .map(|inbox| inbox.into_iter().map(|(_, pl)| pl).collect())
-                    .collect()
+                FoldOut::PerSender(
+                    alltoallv(world, OpClass::Fold, &row_groups, sends)
+                        .expect("1D BFS runs fault-free")
+                        .into_iter()
+                        .map(|inbox| inbox.into_iter().map(|(_, pl)| pl).collect())
+                        .collect(),
+                )
             }
-            FoldStrategy::ReduceScatterUnion => {
+            FoldStrategy::ReduceScatterUnion => FoldOut::Union(
                 reduce_scatter_union_ring(world, OpClass::Fold, &row_groups, blocks)
-                    .expect("1D BFS runs fault-free")
-                    .into_iter()
-                    .map(|set| vec![set])
-                    .collect()
-            }
-            FoldStrategy::TwoPhaseRing => two_phase_fold(world, OpClass::Fold, &row_groups, blocks)
-                .expect("1D BFS runs fault-free")
-                .into_iter()
-                .map(|set| vec![set])
-                .collect(),
+                    .expect("1D BFS runs fault-free"),
+            ),
+            FoldStrategy::TwoPhaseRing => FoldOut::Union(
+                two_phase_fold(world, OpClass::Fold, &row_groups, blocks)
+                    .expect("1D BFS runs fault-free"),
+            ),
         };
 
         // Steps 14–16: label new vertices.
-        for (s, lists) in states.iter_mut().zip(&nbar) {
-            let refs: Vec<&[Vert]> = lists.iter().map(Vec::as_slice).collect();
-            s.absorb(&refs, level + 1);
+        match &nbar {
+            FoldOut::PerSender(lists) => {
+                let _: Vec<u64> = config.engine.zip_map(&mut states, lists, |s, lists| {
+                    let refs: Vec<&[Vert]> = lists.iter().map(Vec::as_slice).collect();
+                    s.absorb(&refs, level + 1)
+                });
+            }
+            FoldOut::Union(sets) => {
+                let _: Vec<u64> = config
+                    .engine
+                    .zip_map(&mut states, sets, |s, set| s.absorb_set(set, level + 1));
+            }
         }
+        drop(nbar);
         let probes: Vec<u64> = states.iter_mut().map(RankState::take_probes).collect();
         world.hash_phase(&probes);
 
@@ -138,6 +143,9 @@ pub fn run(
             dups_eliminated: delta.total_dups_eliminated(),
             sim_time: world.time() - time_at_start,
             comm_time: world.comm_time() - comm_at_start,
+            list_unions: delta.setops.list_unions,
+            bitmap_unions: delta.setops.bitmap_unions,
+            densify_switches: delta.setops.densify_switches,
         });
 
         if target_level.is_some() {

@@ -45,7 +45,7 @@ use bgl_comm::collectives::{
     two_phase::{two_phase_expand, two_phase_fold},
     Groups,
 };
-use bgl_comm::{CommError, OpClass, SimWorld, Vert};
+use bgl_comm::{CommError, OpClass, SimWorld, Vert, VertSet};
 use bgl_graph::{DistGraph, Vertex};
 
 /// The outcome of one distributed BFS run.
@@ -94,6 +94,17 @@ pub struct ResilientBfsResult {
     /// handoff + mirrored-label transfer); the replayed levels show up
     /// in the ordinary sim time instead.
     pub recovery_time: f64,
+}
+
+/// Per-rank fold output: either one payload list per sender (direct
+/// all-to-all — duplicate elimination happens at the receiver, one probe
+/// per *occurrence*) or a single union set per rank (the union-fold
+/// collectives, one probe per *element*).
+pub(crate) enum FoldOut {
+    /// One received list per sending row peer.
+    PerSender(Vec<Vec<Vec<Vert>>>),
+    /// One deduplicated union set per rank.
+    Union(Vec<VertSet>),
 }
 
 /// What one level of the main loop decided.
@@ -176,10 +187,9 @@ fn level_pass(
     // -- 2. expand.
     let fbar: Vec<Vec<Vec<Vert>>> = match config.expand {
         ExpandStrategy::Targeted => {
-            let sends: Vec<Vec<(usize, Vec<Vert>)>> = states
-                .iter_mut()
-                .map(|s| s.expand_sends_targeted())
-                .collect();
+            let sends: Vec<Vec<(usize, Vec<Vert>)>> = config
+                .engine
+                .map_mut(states, RankState::expand_sends_targeted);
             alltoallv(world, OpClass::Expand, col_groups, sends)?
                 .into_iter()
                 .map(|inbox| inbox.into_iter().map(|(_, pl)| pl).collect())
@@ -202,18 +212,14 @@ fn level_pass(
     };
 
     // -- 3. local discovery.
-    let blocks: Vec<Vec<Vec<Vert>>> = states
-        .iter_mut()
-        .zip(&fbar)
-        .map(|(s, lists)| {
-            let refs: Vec<&[Vert]> = lists.iter().map(Vec::as_slice).collect();
-            s.discover(&refs)
-        })
-        .collect();
+    let blocks: Vec<Vec<Vec<Vert>>> = config.engine.zip_map(states, &fbar, |s, lists| {
+        let refs: Vec<&[Vert]> = lists.iter().map(Vec::as_slice).collect();
+        s.discover(&refs)
+    });
     drop(fbar);
 
     // -- 4. fold.
-    let nbar: Vec<Vec<Vec<Vert>>> = match config.fold {
+    let nbar: FoldOut = match config.fold {
         FoldStrategy::DirectAllToAll => {
             let sends: Vec<Vec<(usize, Vec<Vert>)>> = blocks
                 .into_iter()
@@ -227,28 +233,39 @@ fn level_pass(
                         .collect()
                 })
                 .collect();
-            alltoallv(world, OpClass::Fold, row_groups, sends)?
-                .into_iter()
-                .map(|inbox| inbox.into_iter().map(|(_, pl)| pl).collect())
-                .collect()
+            FoldOut::PerSender(
+                alltoallv(world, OpClass::Fold, row_groups, sends)?
+                    .into_iter()
+                    .map(|inbox| inbox.into_iter().map(|(_, pl)| pl).collect())
+                    .collect(),
+            )
         }
-        FoldStrategy::ReduceScatterUnion => {
-            reduce_scatter_union_ring(world, OpClass::Fold, row_groups, blocks)?
-                .into_iter()
-                .map(|set| vec![set])
-                .collect()
+        FoldStrategy::ReduceScatterUnion => FoldOut::Union(reduce_scatter_union_ring(
+            world,
+            OpClass::Fold,
+            row_groups,
+            blocks,
+        )?),
+        FoldStrategy::TwoPhaseRing => {
+            FoldOut::Union(two_phase_fold(world, OpClass::Fold, row_groups, blocks)?)
         }
-        FoldStrategy::TwoPhaseRing => two_phase_fold(world, OpClass::Fold, row_groups, blocks)?
-            .into_iter()
-            .map(|set| vec![set])
-            .collect(),
     };
 
     // -- 5. absorb + compute charge.
-    for (s, lists) in states.iter_mut().zip(&nbar) {
-        let refs: Vec<&[Vert]> = lists.iter().map(Vec::as_slice).collect();
-        s.absorb(&refs, level + 1);
+    match &nbar {
+        FoldOut::PerSender(lists) => {
+            let _: Vec<u64> = config.engine.zip_map(states, lists, |s, lists| {
+                let refs: Vec<&[Vert]> = lists.iter().map(Vec::as_slice).collect();
+                s.absorb(&refs, level + 1)
+            });
+        }
+        FoldOut::Union(sets) => {
+            let _: Vec<u64> = config
+                .engine
+                .zip_map(states, sets, |s, set| s.absorb_set(set, level + 1));
+        }
     }
+    drop(nbar);
     let probes: Vec<u64> = states.iter_mut().map(RankState::take_probes).collect();
     world.hash_phase(&probes);
 
@@ -269,6 +286,9 @@ fn level_pass(
         dups_eliminated: delta.total_dups_eliminated(),
         sim_time: world.time() - time_at_start,
         comm_time: world.comm_time() - comm_at_start,
+        list_unions: delta.setops.list_unions,
+        bitmap_unions: delta.setops.bitmap_unions,
+        densify_switches: delta.setops.densify_switches,
     });
 
     if target_level.is_some() {

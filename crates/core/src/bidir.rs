@@ -16,6 +16,7 @@
 //! distance is exact (any shorter path would contain a doubly-labeled
 //! vertex with a smaller sum).
 
+use crate::bfs2d::FoldOut;
 use crate::config::{BfsConfig, ExpandStrategy, FoldStrategy};
 use crate::state::RankState;
 use crate::stats::{LevelStats, RunStats};
@@ -132,10 +133,9 @@ pub fn run(
         // --- one full level of the chosen side (expand/discover/fold).
         let fbar: Vec<Vec<Vec<Vert>>> = match config.expand {
             ExpandStrategy::Targeted => {
-                let sends: Vec<Vec<(usize, Vec<Vert>)>> = states
-                    .iter_mut()
-                    .map(|s| s.expand_sends_targeted())
-                    .collect();
+                let sends: Vec<Vec<(usize, Vec<Vert>)>> = config
+                    .engine
+                    .map_mut(states, RankState::expand_sends_targeted);
                 alltoallv(world, OpClass::Expand, &col_groups, sends)
                     .expect("bidirectional search runs fault-free")
                     .into_iter()
@@ -161,16 +161,12 @@ pub fn run(
                     .collect()
             }
         };
-        let blocks: Vec<Vec<Vec<Vert>>> = states
-            .iter_mut()
-            .zip(&fbar)
-            .map(|(s, lists)| {
-                let refs: Vec<&[Vert]> = lists.iter().map(Vec::as_slice).collect();
-                s.discover(&refs)
-            })
-            .collect();
+        let blocks: Vec<Vec<Vec<Vert>>> = config.engine.zip_map(states, &fbar, |s, lists| {
+            let refs: Vec<&[Vert]> = lists.iter().map(Vec::as_slice).collect();
+            s.discover(&refs)
+        });
         drop(fbar);
-        let nbar: Vec<Vec<Vec<Vert>>> = match config.fold {
+        let nbar: FoldOut = match config.fold {
             FoldStrategy::DirectAllToAll => {
                 let sends: Vec<Vec<(usize, Vec<Vert>)>> = blocks
                     .into_iter()
@@ -184,39 +180,53 @@ pub fn run(
                             .collect()
                     })
                     .collect();
-                alltoallv(world, OpClass::Fold, &row_groups, sends)
-                    .expect("bidirectional search runs fault-free")
-                    .into_iter()
-                    .map(|inbox| inbox.into_iter().map(|(_, pl)| pl).collect())
-                    .collect()
+                FoldOut::PerSender(
+                    alltoallv(world, OpClass::Fold, &row_groups, sends)
+                        .expect("bidirectional search runs fault-free")
+                        .into_iter()
+                        .map(|inbox| inbox.into_iter().map(|(_, pl)| pl).collect())
+                        .collect(),
+                )
             }
-            FoldStrategy::ReduceScatterUnion => {
+            FoldStrategy::ReduceScatterUnion => FoldOut::Union(
                 reduce_scatter_union_ring(world, OpClass::Fold, &row_groups, blocks)
-                    .expect("bidirectional search runs fault-free")
-                    .into_iter()
-                    .map(|set| vec![set])
-                    .collect()
-            }
-            FoldStrategy::TwoPhaseRing => two_phase_fold(world, OpClass::Fold, &row_groups, blocks)
-                .expect("bidirectional search runs fault-free")
-                .into_iter()
-                .map(|set| vec![set])
-                .collect(),
+                    .expect("bidirectional search runs fault-free"),
+            ),
+            FoldStrategy::TwoPhaseRing => FoldOut::Union(
+                two_phase_fold(world, OpClass::Fold, &row_groups, blocks)
+                    .expect("bidirectional search runs fault-free"),
+            ),
         };
-        for (s, lists) in states.iter_mut().zip(&nbar) {
-            let refs: Vec<&[Vert]> = lists.iter().map(Vec::as_slice).collect();
-            s.absorb(&refs, next_level);
+        match &nbar {
+            FoldOut::PerSender(lists) => {
+                let _: Vec<u64> = config.engine.zip_map(states, lists, |s, lists| {
+                    let refs: Vec<&[Vert]> = lists.iter().map(Vec::as_slice).collect();
+                    s.absorb(&refs, next_level)
+                });
+            }
+            FoldOut::Union(sets) => {
+                let _: Vec<u64> = config
+                    .engine
+                    .zip_map(states, sets, |s, set| s.absorb_set(set, next_level));
+            }
         }
+        drop(nbar);
 
-        // --- meet detection on the newly labeled frontier.
-        for (rank, s) in states.iter_mut().enumerate() {
+        // --- meet detection on the newly labeled frontier (each rank
+        // probes its fresh labels against the other side's labels; the
+        // per-rank minima merge into `best_local` in rank order).
+        let meets: Vec<u64> = config.engine.zip_map(states, other, |s, o| {
+            let mut best = u64::MAX;
             for &v in &s.frontier {
                 s.probes += 1;
-                if let Some(l_other) = other[rank].level_of(v) {
-                    let sum = next_level as u64 + l_other as u64;
-                    best_local[rank] = best_local[rank].min(sum);
+                if let Some(l_other) = o.level_of(v) {
+                    best = best.min(next_level as u64 + l_other as u64);
                 }
             }
+            best
+        });
+        for (slot, m) in best_local.iter_mut().zip(&meets) {
+            *slot = (*slot).min(*m);
         }
         let probes: Vec<u64> = states.iter_mut().map(RankState::take_probes).collect();
         world.hash_phase(&probes);
@@ -232,6 +242,9 @@ pub fn run(
             dups_eliminated: delta.total_dups_eliminated(),
             sim_time: world.time() - time_at_start,
             comm_time: world.comm_time() - comm_at_start,
+            list_unions: delta.setops.list_unions,
+            bitmap_unions: delta.setops.bitmap_unions,
+            densify_switches: delta.setops.densify_switches,
         });
         iter += 1;
     }

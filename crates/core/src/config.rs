@@ -1,5 +1,6 @@
 //! BFS run configuration: which of the paper's strategies to use.
 
+use crate::engine::ComputeEngine;
 use bgl_graph::Vertex;
 use serde::{Deserialize, Serialize};
 
@@ -50,6 +51,10 @@ pub struct BfsConfig {
     pub target: Option<Vertex>,
     /// Safety cap on levels (0 disables the cap).
     pub max_levels: u32,
+    /// How per-rank compute closures execute on the host (serial or
+    /// rayon worker threads); never affects results or simulated time.
+    #[serde(default)]
+    pub engine: ComputeEngine,
 }
 
 impl BfsConfig {
@@ -62,6 +67,7 @@ impl BfsConfig {
             sent_neighbors: true,
             target: None,
             max_levels: 0,
+            engine: ComputeEngine::Auto,
         }
     }
 
@@ -74,12 +80,19 @@ impl BfsConfig {
             sent_neighbors: true,
             target: None,
             max_levels: 0,
+            engine: ComputeEngine::Auto,
         }
     }
 
     /// Set a search target.
     pub fn with_target(mut self, target: Vertex) -> Self {
         self.target = Some(target);
+        self
+    }
+
+    /// Set the host-side compute engine.
+    pub fn with_engine(mut self, engine: ComputeEngine) -> Self {
+        self.engine = engine;
         self
     }
 }

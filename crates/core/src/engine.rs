@@ -1,0 +1,131 @@
+//! Per-rank compute execution engine for the superstep simulator.
+//!
+//! The simulator is *logically* serial — one address space executes
+//! every rank's compute phase between collectives — which makes large
+//! grids host-bound: an R×C sweep runs R·C expand/discover/absorb
+//! passes back to back. Those passes are independent (each touches only
+//! its own `RankState` plus shared read-only inputs), so
+//! [`ComputeEngine::Rayon`] fans them out across worker threads via the
+//! vendored rayon's order-preserving slice parallelism.
+//!
+//! **Determinism argument.** Results are collected positionally (chunk
+//! boundaries are fixed by index, chunk outputs concatenated in input
+//! order), every closure is a pure function of its own rank's state, and
+//! *all* simulated-time accounting stays in the serial collective layer
+//! as order-independent max/sum reductions over per-rank arrays.
+//! Nothing about thread scheduling can reorder, split, or re-associate
+//! any floating-point reduction, so level labels, statistics, and all
+//! three simulated clocks are bit-identical to [`ComputeEngine::Serial`]
+//! (asserted by `tests/engine_equivalence.rs`).
+
+use rayon::ParallelSliceMut;
+use serde::{Deserialize, Serialize};
+
+/// Ranks below which [`ComputeEngine::Auto`] stays serial: thread spawn
+/// overhead beats the win on small grids.
+const AUTO_PARALLEL_THRESHOLD: usize = 32;
+
+/// How per-rank compute closures are executed between collectives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ComputeEngine {
+    /// One rank after another on the calling thread (the seed
+    /// behaviour).
+    Serial,
+    /// Scoped worker threads over contiguous rank chunks (vendored
+    /// rayon); bit-identical results, lower host wall-clock.
+    Rayon,
+    /// [`ComputeEngine::Rayon`] for grids of at least 32 ranks,
+    /// [`ComputeEngine::Serial`] below.
+    #[default]
+    Auto,
+}
+
+impl ComputeEngine {
+    /// Whether `p` ranks should be fanned out across threads.
+    fn parallel(self, p: usize) -> bool {
+        match self {
+            ComputeEngine::Serial => false,
+            ComputeEngine::Rayon => p > 1,
+            ComputeEngine::Auto => p >= AUTO_PARALLEL_THRESHOLD,
+        }
+    }
+
+    /// Map `f` over every rank's state, returning results in rank
+    /// order.
+    pub fn map_mut<T, R, F>(self, items: &mut [T], f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(&mut T) -> R + Sync,
+    {
+        if self.parallel(items.len()) {
+            items.par_iter_mut().map(f).collect()
+        } else {
+            items.iter_mut().map(f).collect()
+        }
+    }
+
+    /// Map `f` over every `(rank state, per-rank context)` pair,
+    /// returning results in rank order. `items` and `ctx` must have the
+    /// same length.
+    pub fn zip_map<T, U, R, F>(self, items: &mut [T], ctx: &[U], f: F) -> Vec<R>
+    where
+        T: Send,
+        U: Sync,
+        R: Send,
+        F: Fn(&mut T, &U) -> R + Sync,
+    {
+        assert_eq!(items.len(), ctx.len());
+        if self.parallel(items.len()) {
+            items.par_iter_mut().zip(ctx).map_collect(f)
+        } else {
+            items.iter_mut().zip(ctx).map(|(t, u)| f(t, u)).collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_engines_agree_and_preserve_order() {
+        let mk = || (0u64..500).collect::<Vec<_>>();
+        let run = |e: ComputeEngine| {
+            let mut v = mk();
+            let out: Vec<u64> = e.map_mut(&mut v, |x| {
+                *x += 1;
+                *x * 3
+            });
+            (v, out)
+        };
+        let serial = run(ComputeEngine::Serial);
+        let rayon = run(ComputeEngine::Rayon);
+        let auto = run(ComputeEngine::Auto);
+        assert_eq!(serial, rayon);
+        assert_eq!(serial, auto);
+    }
+
+    #[test]
+    fn zip_map_agrees_across_engines() {
+        let ctx: Vec<u64> = (0..100).map(|i| i * 7).collect();
+        let run = |e: ComputeEngine| {
+            let mut v = vec![1u64; 100];
+            let out: Vec<u64> = e.zip_map(&mut v, &ctx, |x, c| {
+                *x += c;
+                *x
+            });
+            (v, out)
+        };
+        assert_eq!(run(ComputeEngine::Serial), run(ComputeEngine::Rayon));
+    }
+
+    #[test]
+    fn auto_threshold() {
+        assert!(!ComputeEngine::Auto.parallel(4));
+        assert!(ComputeEngine::Auto.parallel(64));
+        assert!(!ComputeEngine::Serial.parallel(1024));
+        assert!(ComputeEngine::Rayon.parallel(2));
+        assert!(!ComputeEngine::Rayon.parallel(1));
+    }
+}

@@ -54,6 +54,7 @@ pub mod bfs1d;
 pub mod bfs2d;
 pub mod bidir;
 pub mod config;
+pub mod engine;
 pub mod memory;
 pub mod path;
 pub mod reference;
@@ -66,5 +67,6 @@ pub mod tree;
 pub use bfs2d::{BfsResult, ResilientBfsResult, ResilientConfig};
 pub use bidir::BidirResult;
 pub use config::{BfsConfig, ExpandStrategy, FoldStrategy};
+pub use engine::ComputeEngine;
 pub use reference::UNREACHED;
 pub use stats::{LevelStats, RunStats};

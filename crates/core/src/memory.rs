@@ -44,6 +44,10 @@ pub struct MemoryEstimate {
     pub owned_bytes: f64,
     /// Bytes for communication buffers.
     pub buffer_bytes: f64,
+    /// Bytes for the dense-frontier bitmap accumulator the union-fold
+    /// switches to at high frontier density (one bit per owned vertex).
+    #[serde(default)]
+    pub bitmap_bytes: f64,
     /// Per-node capacity of the machine.
     pub capacity_bytes: f64,
 }
@@ -56,6 +60,7 @@ impl MemoryEstimate {
             + self.row_index_bytes
             + self.owned_bytes
             + self.buffer_bytes
+            + self.bitmap_bytes
     }
 
     /// Whether the configuration fits the machine's per-node memory
@@ -112,12 +117,19 @@ pub fn estimate(
         ChunkPolicy::Unbounded => 2.0 * (n / p * k) * w,
     };
 
+    // Dense-frontier bitmap accumulator: the union-fold densifies its
+    // per-rank accumulator to a fixed-range bitmap over the owned block,
+    // one bit per owned vertex (hysteresis in the policy bounds it to
+    // this span).
+    let bitmap_bytes = owned / 8.0;
+
     MemoryEstimate {
         edge_bytes,
         col_index_bytes,
         row_index_bytes,
         owned_bytes,
         buffer_bytes,
+        bitmap_bytes,
         capacity_bytes: machine.memory_per_node as f64,
     }
 }

@@ -16,7 +16,7 @@
 //!   algorithm as spending "most of its time in a hashing function").
 
 use crate::reference::UNREACHED;
-use bgl_comm::ProcessorGrid;
+use bgl_comm::{ProcessorGrid, VertSet};
 use bgl_graph::{RankGraph, TwoDPartition, Vertex};
 
 /// Mutable BFS state for one rank.
@@ -166,6 +166,30 @@ impl<'g> RankState<'g> {
         self.frontier.len() as u64
     }
 
+    /// [`RankState::absorb`] for a single already-deduplicated
+    /// [`VertSet`] (the output of a union-fold). Probe accounting is
+    /// identical — one probe per set element — and the set iterates in
+    /// ascending order, so the resulting frontier equals the one
+    /// `absorb(&[&set.to_vec()], ..)` would produce, without the
+    /// intermediate list materialization.
+    pub fn absorb_set(&mut self, nbar: &VertSet, next_level: u32) -> u64 {
+        let mut fresh: Vec<Vertex> = Vec::new();
+        for v in nbar.iter() {
+            self.probes += 1;
+            let off = self
+                .rg
+                .owned_local(v)
+                .expect("fold delivered a vertex to a non-owner");
+            if self.levels[off] == UNREACHED {
+                self.levels[off] = next_level;
+                fresh.push(v);
+            }
+        }
+        debug_assert!(fresh.windows(2).all(|w| w[0] < w[1]));
+        self.frontier = fresh;
+        self.frontier.len() as u64
+    }
+
     /// Take and reset the probe counter (charged to the cost model once
     /// per level).
     pub fn take_probes(&mut self) -> u64 {
@@ -298,6 +322,27 @@ mod tests {
         assert!(sts[0].frontier.is_empty());
         for &v in &vs {
             assert_eq!(sts[0].level_of(v), Some(3));
+        }
+    }
+
+    #[test]
+    fn absorb_set_matches_absorb_list() {
+        let g = setup(2, 2);
+        let range = g.ranks[0].owned.clone();
+        let vs: Vec<Vertex> = range.clone().step_by(2).collect();
+        for set in [VertSet::from_sorted(vs.clone()), {
+            let mut s = VertSet::from_sorted(vs.clone());
+            s.maybe_densify(&bgl_comm::VsetPolicy::hybrid());
+            s
+        }] {
+            let mut by_list = states(&g, true);
+            let mut by_set = states(&g, true);
+            let a = by_list[0].absorb(&[&vs], 2);
+            let b = by_set[0].absorb_set(&set, 2);
+            assert_eq!(a, b);
+            assert_eq!(by_list[0].levels, by_set[0].levels);
+            assert_eq!(by_list[0].frontier, by_set[0].frontier);
+            assert_eq!(by_list[0].probes, by_set[0].probes);
         }
     }
 

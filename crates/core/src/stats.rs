@@ -24,6 +24,18 @@ pub struct LevelStats {
     pub sim_time: f64,
     /// Communication component of `sim_time`.
     pub comm_time: f64,
+    /// Union-fold merges this level that ran on the sorted-list
+    /// representation.
+    #[serde(default)]
+    pub list_unions: u64,
+    /// Union-fold merges this level that ran on the bitmap
+    /// representation (word-wise OR).
+    #[serde(default)]
+    pub bitmap_unions: u64,
+    /// List→bitmap densification switches this level (the accumulator
+    /// crossed the density threshold).
+    #[serde(default)]
+    pub densify_switches: u64,
 }
 
 /// Statistics for one whole BFS run.
@@ -75,6 +87,19 @@ impl RunStats {
         self.comm.redundancy_ratio_percent()
     }
 
+    /// Fraction of union-fold merges that ran on the bitmap
+    /// representation (0 when no unions ran — e.g. direct all-to-all
+    /// folds).
+    pub fn bitmap_union_fraction(&self) -> f64 {
+        let s = self.comm.setops;
+        let total = s.list_unions + s.bitmap_unions;
+        if total == 0 {
+            0.0
+        } else {
+            s.bitmap_unions as f64 / total as f64
+        }
+    }
+
     /// Total message volume received (all classes), in vertices.
     pub fn total_received(&self) -> u64 {
         self.comm.total_received()
@@ -114,6 +139,9 @@ mod tests {
                     dups_eliminated: 0,
                     sim_time: 0.0,
                     comm_time: 0.0,
+                    list_unions: 0,
+                    bitmap_unions: 0,
+                    densify_switches: 0,
                 })
                 .collect(),
             sim_time: 0.0,

@@ -29,6 +29,8 @@ pub struct RankOutcome {
     pub levels: Vec<u32>,
     /// Faults this rank observed on its outgoing messages.
     pub faults: FaultStats,
+    /// Wire-buffer allocations saved by the rank's scratch pool.
+    pub scratch_reuses: u64,
 }
 
 /// Run a BFS from `source` using one thread per rank. Returns the global
@@ -73,6 +75,10 @@ pub fn run_threaded_with_faults(
             let fbar_refs: Vec<&[Vert]> = fbar.iter().map(|(_, pl)| pl.as_slice()).collect();
             // Discover + fold (direct all-to-all) — one world round.
             let blocks = st.discover(&fbar_refs);
+            drop(fbar_refs);
+            for (_, pl) in fbar {
+                ctx.scratch_put(pl);
+            }
             let i = grid.row_of(rank);
             let sends: Vec<(usize, Vec<Vert>)> = blocks
                 .into_iter()
@@ -83,11 +89,16 @@ pub fn run_threaded_with_faults(
             let nbar = ctx.exchange(OpClass::Fold, sends)?;
             let nbar_refs: Vec<&[Vert]> = nbar.iter().map(|(_, pl)| pl.as_slice()).collect();
             st.absorb(&nbar_refs, level + 1);
+            drop(nbar_refs);
+            for (_, pl) in nbar {
+                ctx.scratch_put(pl);
+            }
             level += 1;
         }
         Ok(RankOutcome {
             owned_start: st.rank_graph().owned.start,
             levels: st.levels,
+            scratch_reuses: ctx.scratch_reuses(),
             faults: ctx.faults,
         })
     })
@@ -124,6 +135,20 @@ mod tests {
         let mut world = SimWorld::bluegene(grid);
         let sim = crate::bfs2d::run(&graph, &mut world, &BfsConfig::baseline_alltoall(), 7);
         assert_eq!(threaded, sim.levels);
+    }
+
+    #[test]
+    fn threaded_ranks_reuse_scratch_buffers() {
+        // A multi-level run must recycle received wire buffers through
+        // the per-rank pool instead of allocating fresh ones each round.
+        let spec = GraphSpec::poisson(400, 6.0, 51);
+        let graph = DistGraph::build(spec, ProcessorGrid::new(2, 2));
+        let outs = run_threaded_with_faults(&graph, 0, true, FaultPlan::none());
+        let total: u64 = outs
+            .into_iter()
+            .map(|o| o.expect("fault-free").scratch_reuses)
+            .sum();
+        assert!(total > 0, "expected pooled buffer reuse across levels");
     }
 
     #[test]

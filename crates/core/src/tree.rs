@@ -250,6 +250,9 @@ pub fn run_tree(
             dups_eliminated: delta.total_dups_eliminated(),
             sim_time: world.time() - time_at_start,
             comm_time: world.comm_time() - comm_at_start,
+            list_unions: delta.setops.list_unions,
+            bitmap_unions: delta.setops.bitmap_unions,
+            densify_switches: delta.setops.densify_switches,
         });
         level += 1;
     }

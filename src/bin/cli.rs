@@ -10,7 +10,7 @@
 //! ```
 
 use bgl_bfs::comm::ChunkPolicy;
-use bgl_bfs::core::{bfs2d, bidir, memory, path, theory};
+use bgl_bfs::core::{bfs2d, bidir, memory, path, theory, ComputeEngine};
 use bgl_bfs::torus::MachineConfig;
 use bgl_bfs::{
     BfsConfig, DistGraph, FaultPlan, GraphSpec, ProcessorGrid, ResilientConfig, SimWorld,
@@ -24,6 +24,7 @@ USAGE: bgl-bfs <command> [--flag value]...
 
 COMMANDS
   search   run a BFS (flags: --n --k --seed --rows --cols --source [--target] [--bidir])
+           host execution: [--engine serial|rayon|auto] (bit-identical results either way)
            fault injection (non-bidir): [--drop-rate 0.1] [--dead-rank 3 [--dead-at 4]]
            [--fault-seed 7] — runs the checkpoint/recover engine and prints fault counters
   path     extract a shortest path (flags as search, --target required)
@@ -81,6 +82,15 @@ impl Flags {
     }
 }
 
+fn engine_from(flags: &Flags) -> ComputeEngine {
+    match flags.0.get("engine").map(String::as_str) {
+        Some("serial") => ComputeEngine::Serial,
+        Some("rayon") => ComputeEngine::Rayon,
+        Some("auto") | None => ComputeEngine::Auto,
+        Some(other) => panic!("--engine: {other:?} (expected serial, rayon, or auto)"),
+    }
+}
+
 fn grid_from(flags: &Flags) -> ProcessorGrid {
     ProcessorGrid::new(flags.u64("rows", 4) as usize, flags.u64("cols", 4) as usize)
 }
@@ -128,7 +138,7 @@ fn cmd_search(flags: &Flags) {
         let r = bidir::run(
             &graph,
             &mut world,
-            &BfsConfig::paper_optimized(),
+            &BfsConfig::paper_optimized().with_engine(engine_from(flags)),
             source,
             target,
         );
@@ -145,7 +155,7 @@ fn cmd_search(flags: &Flags) {
         return;
     }
 
-    let mut config = BfsConfig::paper_optimized();
+    let mut config = BfsConfig::paper_optimized().with_engine(engine_from(flags));
     if flags.has("target") {
         config = config.with_target(flags.u64("target", 0).min(spec.n - 1));
     }
@@ -195,6 +205,19 @@ fn cmd_search(flags: &Flags) {
         r.stats.avg_fold_len_per_level(),
         r.stats.redundancy_ratio_percent()
     );
+    let so = r.stats.comm.setops;
+    if so.list_unions + so.bitmap_unions > 0 {
+        println!(
+            "union-fold: {} list / {} bitmap merges ({:.0}% bitmap), {} densify switches; \
+             scratch pool: {} reuses, high water {} verts",
+            so.list_unions,
+            so.bitmap_unions,
+            r.stats.bitmap_union_fraction() * 100.0,
+            so.densify_switches,
+            so.pool_reuses,
+            so.pool_high_water_verts
+        );
+    }
     let f = &r.stats.comm.faults;
     if faulty || f.any() {
         println!(
@@ -287,6 +310,7 @@ fn cmd_memory(flags: &Flags) {
     println!("  row index    : {:>10.1} MB", est.row_index_bytes / 1e6);
     println!("  owned state  : {:>10.1} MB", est.owned_bytes / 1e6);
     println!("  buffers      : {:>10.1} MB", est.buffer_bytes / 1e6);
+    println!("  fold bitmap  : {:>10.1} MB", est.bitmap_bytes / 1e6);
     println!(
         "  total        : {:>10.1} MB of {:.0} MB/node ({:.1}%) => {}",
         est.total() / 1e6,

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bench_setops-f2d8697899b16e04.d: crates/bench/src/bin/bench_setops.rs
+
+/root/repo/target/debug/deps/bench_setops-f2d8697899b16e04: crates/bench/src/bin/bench_setops.rs
+
+crates/bench/src/bin/bench_setops.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/bfs_core-1a9c9c80b58e48e2.d: crates/core/src/lib.rs crates/core/src/bfs1d.rs crates/core/src/bfs2d.rs crates/core/src/bidir.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/memory.rs crates/core/src/path.rs crates/core/src/reference.rs crates/core/src/state.rs crates/core/src/stats.rs crates/core/src/theory.rs crates/core/src/threaded_run.rs crates/core/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbfs_core-1a9c9c80b58e48e2.rmeta: crates/core/src/lib.rs crates/core/src/bfs1d.rs crates/core/src/bfs2d.rs crates/core/src/bidir.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/memory.rs crates/core/src/path.rs crates/core/src/reference.rs crates/core/src/state.rs crates/core/src/stats.rs crates/core/src/theory.rs crates/core/src/threaded_run.rs crates/core/src/tree.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/bfs1d.rs:
+crates/core/src/bfs2d.rs:
+crates/core/src/bidir.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/memory.rs:
+crates/core/src/path.rs:
+crates/core/src/reference.rs:
+crates/core/src/state.rs:
+crates/core/src/stats.rs:
+crates/core/src/theory.rs:
+crates/core/src/threaded_run.rs:
+crates/core/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bgl_bench-1690f81876501975.d: crates/bench/src/lib.rs crates/bench/src/exp.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libbgl_bench-1690f81876501975.rlib: crates/bench/src/lib.rs crates/bench/src/exp.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libbgl_bench-1690f81876501975.rmeta: crates/bench/src/lib.rs crates/bench/src/exp.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/exp.rs:
+crates/bench/src/harness.rs:

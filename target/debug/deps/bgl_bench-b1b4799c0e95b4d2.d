@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bgl_bench-b1b4799c0e95b4d2.d: crates/bench/src/lib.rs crates/bench/src/exp.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/bgl_bench-b1b4799c0e95b4d2: crates/bench/src/lib.rs crates/bench/src/exp.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/exp.rs:
+crates/bench/src/harness.rs:

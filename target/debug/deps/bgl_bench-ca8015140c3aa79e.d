@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bgl_bench-ca8015140c3aa79e.d: crates/bench/src/lib.rs crates/bench/src/exp.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libbgl_bench-ca8015140c3aa79e.rlib: crates/bench/src/lib.rs crates/bench/src/exp.rs crates/bench/src/harness.rs
+
+/root/repo/target/debug/deps/libbgl_bench-ca8015140c3aa79e.rmeta: crates/bench/src/lib.rs crates/bench/src/exp.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/exp.rs:
+crates/bench/src/harness.rs:

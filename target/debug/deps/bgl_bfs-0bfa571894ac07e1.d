@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bgl_bfs-0bfa571894ac07e1.d: src/lib.rs
+
+/root/repo/target/debug/deps/libbgl_bfs-0bfa571894ac07e1.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libbgl_bfs-0bfa571894ac07e1.rmeta: src/lib.rs
+
+src/lib.rs:

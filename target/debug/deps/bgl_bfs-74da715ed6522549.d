@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bgl_bfs-74da715ed6522549.d: src/lib.rs
+
+/root/repo/target/debug/deps/bgl_bfs-74da715ed6522549: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bgl_bfs-8a5fa97fc8b3445d.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbgl_bfs-8a5fa97fc8b3445d.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

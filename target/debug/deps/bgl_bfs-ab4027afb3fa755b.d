@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bgl_bfs-ab4027afb3fa755b.d: src/bin/cli.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbgl_bfs-ab4027afb3fa755b.rmeta: src/bin/cli.rs Cargo.toml
+
+src/bin/cli.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/bgl_bfs-acfbb63eca35e956.d: src/lib.rs
+
+/root/repo/target/debug/deps/libbgl_bfs-acfbb63eca35e956.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libbgl_bfs-acfbb63eca35e956.rmeta: src/lib.rs
+
+src/lib.rs:

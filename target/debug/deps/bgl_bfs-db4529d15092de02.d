@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bgl_bfs-db4529d15092de02.d: src/bin/cli.rs
+
+/root/repo/target/debug/deps/bgl_bfs-db4529d15092de02: src/bin/cli.rs
+
+src/bin/cli.rs:

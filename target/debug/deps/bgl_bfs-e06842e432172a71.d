@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bgl_bfs-e06842e432172a71.d: src/bin/cli.rs
+
+/root/repo/target/debug/deps/bgl_bfs-e06842e432172a71: src/bin/cli.rs
+
+src/bin/cli.rs:

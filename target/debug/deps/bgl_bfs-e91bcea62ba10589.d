@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bgl_bfs-e91bcea62ba10589.d: src/bin/cli.rs
+
+/root/repo/target/debug/deps/bgl_bfs-e91bcea62ba10589: src/bin/cli.rs
+
+src/bin/cli.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/bgl_comm-20ff256c59482319.d: crates/comm/src/lib.rs crates/comm/src/buffer.rs crates/comm/src/collectives/mod.rs crates/comm/src/collectives/allgather.rs crates/comm/src/collectives/alltoall.rs crates/comm/src/collectives/reduce_scatter.rs crates/comm/src/collectives/two_phase.rs crates/comm/src/error.rs crates/comm/src/setops.rs crates/comm/src/sim.rs crates/comm/src/stats.rs crates/comm/src/threaded.rs crates/comm/src/topology.rs crates/comm/src/vset.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbgl_comm-20ff256c59482319.rmeta: crates/comm/src/lib.rs crates/comm/src/buffer.rs crates/comm/src/collectives/mod.rs crates/comm/src/collectives/allgather.rs crates/comm/src/collectives/alltoall.rs crates/comm/src/collectives/reduce_scatter.rs crates/comm/src/collectives/two_phase.rs crates/comm/src/error.rs crates/comm/src/setops.rs crates/comm/src/sim.rs crates/comm/src/stats.rs crates/comm/src/threaded.rs crates/comm/src/topology.rs crates/comm/src/vset.rs Cargo.toml
+
+crates/comm/src/lib.rs:
+crates/comm/src/buffer.rs:
+crates/comm/src/collectives/mod.rs:
+crates/comm/src/collectives/allgather.rs:
+crates/comm/src/collectives/alltoall.rs:
+crates/comm/src/collectives/reduce_scatter.rs:
+crates/comm/src/collectives/two_phase.rs:
+crates/comm/src/error.rs:
+crates/comm/src/setops.rs:
+crates/comm/src/sim.rs:
+crates/comm/src/stats.rs:
+crates/comm/src/threaded.rs:
+crates/comm/src/topology.rs:
+crates/comm/src/vset.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/bgl_comm-518e7a9126c44977.d: crates/comm/src/lib.rs crates/comm/src/buffer.rs crates/comm/src/collectives/mod.rs crates/comm/src/collectives/allgather.rs crates/comm/src/collectives/alltoall.rs crates/comm/src/collectives/reduce_scatter.rs crates/comm/src/collectives/two_phase.rs crates/comm/src/error.rs crates/comm/src/setops.rs crates/comm/src/sim.rs crates/comm/src/stats.rs crates/comm/src/threaded.rs crates/comm/src/topology.rs crates/comm/src/vset.rs
+
+/root/repo/target/debug/deps/libbgl_comm-518e7a9126c44977.rlib: crates/comm/src/lib.rs crates/comm/src/buffer.rs crates/comm/src/collectives/mod.rs crates/comm/src/collectives/allgather.rs crates/comm/src/collectives/alltoall.rs crates/comm/src/collectives/reduce_scatter.rs crates/comm/src/collectives/two_phase.rs crates/comm/src/error.rs crates/comm/src/setops.rs crates/comm/src/sim.rs crates/comm/src/stats.rs crates/comm/src/threaded.rs crates/comm/src/topology.rs crates/comm/src/vset.rs
+
+/root/repo/target/debug/deps/libbgl_comm-518e7a9126c44977.rmeta: crates/comm/src/lib.rs crates/comm/src/buffer.rs crates/comm/src/collectives/mod.rs crates/comm/src/collectives/allgather.rs crates/comm/src/collectives/alltoall.rs crates/comm/src/collectives/reduce_scatter.rs crates/comm/src/collectives/two_phase.rs crates/comm/src/error.rs crates/comm/src/setops.rs crates/comm/src/sim.rs crates/comm/src/stats.rs crates/comm/src/threaded.rs crates/comm/src/topology.rs crates/comm/src/vset.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/buffer.rs:
+crates/comm/src/collectives/mod.rs:
+crates/comm/src/collectives/allgather.rs:
+crates/comm/src/collectives/alltoall.rs:
+crates/comm/src/collectives/reduce_scatter.rs:
+crates/comm/src/collectives/two_phase.rs:
+crates/comm/src/error.rs:
+crates/comm/src/setops.rs:
+crates/comm/src/sim.rs:
+crates/comm/src/stats.rs:
+crates/comm/src/threaded.rs:
+crates/comm/src/topology.rs:
+crates/comm/src/vset.rs:

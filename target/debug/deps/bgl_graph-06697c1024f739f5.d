@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bgl_graph-06697c1024f739f5.d: crates/graph/src/lib.rs crates/graph/src/csr.rs crates/graph/src/dist.rs crates/graph/src/gen.rs crates/graph/src/partition.rs crates/graph/src/spec.rs crates/graph/src/stats.rs
+
+/root/repo/target/debug/deps/libbgl_graph-06697c1024f739f5.rlib: crates/graph/src/lib.rs crates/graph/src/csr.rs crates/graph/src/dist.rs crates/graph/src/gen.rs crates/graph/src/partition.rs crates/graph/src/spec.rs crates/graph/src/stats.rs
+
+/root/repo/target/debug/deps/libbgl_graph-06697c1024f739f5.rmeta: crates/graph/src/lib.rs crates/graph/src/csr.rs crates/graph/src/dist.rs crates/graph/src/gen.rs crates/graph/src/partition.rs crates/graph/src/spec.rs crates/graph/src/stats.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/dist.rs:
+crates/graph/src/gen.rs:
+crates/graph/src/partition.rs:
+crates/graph/src/spec.rs:
+crates/graph/src/stats.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/bgl_graph-247778e1c944d62f.d: crates/graph/src/lib.rs crates/graph/src/csr.rs crates/graph/src/dist.rs crates/graph/src/gen.rs crates/graph/src/partition.rs crates/graph/src/spec.rs crates/graph/src/stats.rs
+
+/root/repo/target/debug/deps/libbgl_graph-247778e1c944d62f.rlib: crates/graph/src/lib.rs crates/graph/src/csr.rs crates/graph/src/dist.rs crates/graph/src/gen.rs crates/graph/src/partition.rs crates/graph/src/spec.rs crates/graph/src/stats.rs
+
+/root/repo/target/debug/deps/libbgl_graph-247778e1c944d62f.rmeta: crates/graph/src/lib.rs crates/graph/src/csr.rs crates/graph/src/dist.rs crates/graph/src/gen.rs crates/graph/src/partition.rs crates/graph/src/spec.rs crates/graph/src/stats.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/dist.rs:
+crates/graph/src/gen.rs:
+crates/graph/src/partition.rs:
+crates/graph/src/spec.rs:
+crates/graph/src/stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-a94cafcbd7ff86af.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-a94cafcbd7ff86af: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_equivalence-f16f3c8bfc9a1f95.d: tests/engine_equivalence.rs
+
+/root/repo/target/debug/deps/engine_equivalence-f16f3c8bfc9a1f95: tests/engine_equivalence.rs
+
+tests/engine_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fault_tolerance-e2424d22a53df3d2.d: tests/fault_tolerance.rs
+
+/root/repo/target/debug/deps/fault_tolerance-e2424d22a53df3d2: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4a_weak_scaling-25b8665e63553f89.d: crates/bench/src/bin/fig4a_weak_scaling.rs
+
+/root/repo/target/debug/deps/fig4a_weak_scaling-25b8665e63553f89: crates/bench/src/bin/fig4a_weak_scaling.rs
+
+crates/bench/src/bin/fig4a_weak_scaling.rs:

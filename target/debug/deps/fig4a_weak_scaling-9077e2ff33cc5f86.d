@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4a_weak_scaling-9077e2ff33cc5f86.d: crates/bench/src/bin/fig4a_weak_scaling.rs
+
+/root/repo/target/debug/deps/fig4a_weak_scaling-9077e2ff33cc5f86: crates/bench/src/bin/fig4a_weak_scaling.rs
+
+crates/bench/src/bin/fig4a_weak_scaling.rs:

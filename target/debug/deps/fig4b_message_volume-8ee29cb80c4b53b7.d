@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4b_message_volume-8ee29cb80c4b53b7.d: crates/bench/src/bin/fig4b_message_volume.rs
+
+/root/repo/target/debug/deps/fig4b_message_volume-8ee29cb80c4b53b7: crates/bench/src/bin/fig4b_message_volume.rs
+
+crates/bench/src/bin/fig4b_message_volume.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4c_bidirectional-4e0c6d48574d10d6.d: crates/bench/src/bin/fig4c_bidirectional.rs
+
+/root/repo/target/debug/deps/fig4c_bidirectional-4e0c6d48574d10d6: crates/bench/src/bin/fig4c_bidirectional.rs
+
+crates/bench/src/bin/fig4c_bidirectional.rs:

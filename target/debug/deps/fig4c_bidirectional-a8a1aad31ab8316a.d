@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig4c_bidirectional-a8a1aad31ab8316a.d: crates/bench/src/bin/fig4c_bidirectional.rs
+
+/root/repo/target/debug/deps/fig4c_bidirectional-a8a1aad31ab8316a: crates/bench/src/bin/fig4c_bidirectional.rs
+
+crates/bench/src/bin/fig4c_bidirectional.rs:

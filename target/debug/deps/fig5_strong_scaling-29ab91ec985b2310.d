@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_strong_scaling-29ab91ec985b2310.d: crates/bench/src/bin/fig5_strong_scaling.rs
+
+/root/repo/target/debug/deps/fig5_strong_scaling-29ab91ec985b2310: crates/bench/src/bin/fig5_strong_scaling.rs
+
+crates/bench/src/bin/fig5_strong_scaling.rs:

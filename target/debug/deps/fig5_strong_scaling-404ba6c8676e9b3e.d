@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5_strong_scaling-404ba6c8676e9b3e.d: crates/bench/src/bin/fig5_strong_scaling.rs
+
+/root/repo/target/debug/deps/fig5_strong_scaling-404ba6c8676e9b3e: crates/bench/src/bin/fig5_strong_scaling.rs
+
+crates/bench/src/bin/fig5_strong_scaling.rs:

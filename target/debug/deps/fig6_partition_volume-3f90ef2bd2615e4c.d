@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_partition_volume-3f90ef2bd2615e4c.d: crates/bench/src/bin/fig6_partition_volume.rs
+
+/root/repo/target/debug/deps/fig6_partition_volume-3f90ef2bd2615e4c: crates/bench/src/bin/fig6_partition_volume.rs
+
+crates/bench/src/bin/fig6_partition_volume.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6_partition_volume-cbbfeb77901710e2.d: crates/bench/src/bin/fig6_partition_volume.rs
+
+/root/repo/target/debug/deps/fig6_partition_volume-cbbfeb77901710e2: crates/bench/src/bin/fig6_partition_volume.rs
+
+crates/bench/src/bin/fig6_partition_volume.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_redundancy-6d2b648176be72d5.d: crates/bench/src/bin/fig7_redundancy.rs
+
+/root/repo/target/debug/deps/fig7_redundancy-6d2b648176be72d5: crates/bench/src/bin/fig7_redundancy.rs
+
+crates/bench/src/bin/fig7_redundancy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7_redundancy-87b39d01a55f4c84.d: crates/bench/src/bin/fig7_redundancy.rs
+
+/root/repo/target/debug/deps/fig7_redundancy-87b39d01a55f4c84: crates/bench/src/bin/fig7_redundancy.rs
+
+crates/bench/src/bin/fig7_redundancy.rs:

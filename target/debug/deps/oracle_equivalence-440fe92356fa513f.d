@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/oracle_equivalence-440fe92356fa513f.d: tests/oracle_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/liboracle_equivalence-440fe92356fa513f.rmeta: tests/oracle_equivalence.rs Cargo.toml
+
+tests/oracle_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

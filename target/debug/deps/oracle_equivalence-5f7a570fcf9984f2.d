@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/oracle_equivalence-5f7a570fcf9984f2.d: tests/oracle_equivalence.rs
+
+/root/repo/target/debug/deps/oracle_equivalence-5f7a570fcf9984f2: tests/oracle_equivalence.rs
+
+tests/oracle_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_invariants-4fc71f73650cbeab.d: tests/paper_invariants.rs
+
+/root/repo/target/debug/deps/paper_invariants-4fc71f73650cbeab: tests/paper_invariants.rs
+
+tests/paper_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_collectives-0d8fff5aa3f22815.d: crates/comm/tests/proptest_collectives.rs
+
+/root/repo/target/debug/deps/proptest_collectives-0d8fff5aa3f22815: crates/comm/tests/proptest_collectives.rs
+
+crates/comm/tests/proptest_collectives.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_graph-7aaf21314389456f.d: crates/graph/tests/proptest_graph.rs
+
+/root/repo/target/debug/deps/proptest_graph-7aaf21314389456f: crates/graph/tests/proptest_graph.rs
+
+crates/graph/tests/proptest_graph.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_vset-391be0b2d8cde339.d: crates/comm/tests/proptest_vset.rs
+
+/root/repo/target/debug/deps/proptest_vset-391be0b2d8cde339: crates/comm/tests/proptest_vset.rs
+
+crates/comm/tests/proptest_vset.rs:

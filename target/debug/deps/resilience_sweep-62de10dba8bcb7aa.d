@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resilience_sweep-62de10dba8bcb7aa.d: crates/bench/src/bin/resilience_sweep.rs
+
+/root/repo/target/debug/deps/resilience_sweep-62de10dba8bcb7aa: crates/bench/src/bin/resilience_sweep.rs
+
+crates/bench/src/bin/resilience_sweep.rs:

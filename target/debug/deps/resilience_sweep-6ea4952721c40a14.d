@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/resilience_sweep-6ea4952721c40a14.d: crates/bench/src/bin/resilience_sweep.rs
+
+/root/repo/target/debug/deps/resilience_sweep-6ea4952721c40a14: crates/bench/src/bin/resilience_sweep.rs
+
+crates/bench/src/bin/resilience_sweep.rs:

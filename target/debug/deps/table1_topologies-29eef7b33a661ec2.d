@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_topologies-29eef7b33a661ec2.d: crates/bench/src/bin/table1_topologies.rs
+
+/root/repo/target/debug/deps/table1_topologies-29eef7b33a661ec2: crates/bench/src/bin/table1_topologies.rs
+
+crates/bench/src/bin/table1_topologies.rs:

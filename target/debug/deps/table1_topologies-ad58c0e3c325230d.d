@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1_topologies-ad58c0e3c325230d.d: crates/bench/src/bin/table1_topologies.rs
+
+/root/repo/target/debug/deps/table1_topologies-ad58c0e3c325230d: crates/bench/src/bin/table1_topologies.rs
+
+crates/bench/src/bin/table1_topologies.rs:

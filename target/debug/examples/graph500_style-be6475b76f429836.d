@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/graph500_style-be6475b76f429836.d: examples/graph500_style.rs
+
+/root/repo/target/debug/examples/graph500_style-be6475b76f429836: examples/graph500_style.rs
+
+examples/graph500_style.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/graph500_style-c0959bcd5677137c.d: examples/graph500_style.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgraph500_style-c0959bcd5677137c.rmeta: examples/graph500_style.rs Cargo.toml
+
+examples/graph500_style.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

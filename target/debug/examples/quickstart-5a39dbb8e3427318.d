@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-5a39dbb8e3427318.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-5a39dbb8e3427318: examples/quickstart.rs
+
+examples/quickstart.rs:

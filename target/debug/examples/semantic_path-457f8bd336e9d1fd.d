@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/semantic_path-457f8bd336e9d1fd.d: examples/semantic_path.rs
+
+/root/repo/target/debug/examples/semantic_path-457f8bd336e9d1fd: examples/semantic_path.rs
+
+examples/semantic_path.rs:

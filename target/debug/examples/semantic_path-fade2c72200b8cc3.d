@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/semantic_path-fade2c72200b8cc3.d: examples/semantic_path.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsemantic_path-fade2c72200b8cc3.rmeta: examples/semantic_path.rs Cargo.toml
+
+examples/semantic_path.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/small_world-9fb13f410b05df99.d: examples/small_world.rs
+
+/root/repo/target/debug/examples/small_world-9fb13f410b05df99: examples/small_world.rs
+
+examples/small_world.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/small_world-e9e5af5c24205360.d: examples/small_world.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsmall_world-e9e5af5c24205360.rmeta: examples/small_world.rs Cargo.toml
+
+examples/small_world.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

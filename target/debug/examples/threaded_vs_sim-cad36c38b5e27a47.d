@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/threaded_vs_sim-cad36c38b5e27a47.d: examples/threaded_vs_sim.rs
+
+/root/repo/target/debug/examples/threaded_vs_sim-cad36c38b5e27a47: examples/threaded_vs_sim.rs
+
+examples/threaded_vs_sim.rs:

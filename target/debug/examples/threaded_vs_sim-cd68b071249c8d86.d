@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/threaded_vs_sim-cd68b071249c8d86.d: examples/threaded_vs_sim.rs Cargo.toml
+
+/root/repo/target/debug/examples/libthreaded_vs_sim-cd68b071249c8d86.rmeta: examples/threaded_vs_sim.rs Cargo.toml
+
+examples/threaded_vs_sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

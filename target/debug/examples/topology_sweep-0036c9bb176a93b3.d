@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/topology_sweep-0036c9bb176a93b3.d: examples/topology_sweep.rs
+
+/root/repo/target/debug/examples/topology_sweep-0036c9bb176a93b3: examples/topology_sweep.rs
+
+examples/topology_sweep.rs:

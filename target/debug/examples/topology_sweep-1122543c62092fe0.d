@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/topology_sweep-1122543c62092fe0.d: examples/topology_sweep.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtopology_sweep-1122543c62092fe0.rmeta: examples/topology_sweep.rs Cargo.toml
+
+examples/topology_sweep.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

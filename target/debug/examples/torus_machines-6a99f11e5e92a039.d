@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/torus_machines-6a99f11e5e92a039.d: examples/torus_machines.rs
+
+/root/repo/target/debug/examples/torus_machines-6a99f11e5e92a039: examples/torus_machines.rs
+
+examples/torus_machines.rs:

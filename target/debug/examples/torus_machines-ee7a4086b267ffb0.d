@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/torus_machines-ee7a4086b267ffb0.d: examples/torus_machines.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtorus_machines-ee7a4086b267ffb0.rmeta: examples/torus_machines.rs Cargo.toml
+
+examples/torus_machines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

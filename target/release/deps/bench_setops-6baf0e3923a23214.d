@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_setops-6baf0e3923a23214.d: crates/bench/src/bin/bench_setops.rs
+
+/root/repo/target/release/deps/bench_setops-6baf0e3923a23214: crates/bench/src/bin/bench_setops.rs
+
+crates/bench/src/bin/bench_setops.rs:

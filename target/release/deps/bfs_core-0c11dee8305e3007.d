@@ -1,0 +1,20 @@
+/root/repo/target/release/deps/bfs_core-0c11dee8305e3007.d: crates/core/src/lib.rs crates/core/src/bfs1d.rs crates/core/src/bfs2d.rs crates/core/src/bidir.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/memory.rs crates/core/src/path.rs crates/core/src/reference.rs crates/core/src/state.rs crates/core/src/stats.rs crates/core/src/theory.rs crates/core/src/threaded_run.rs crates/core/src/tree.rs
+
+/root/repo/target/release/deps/libbfs_core-0c11dee8305e3007.rlib: crates/core/src/lib.rs crates/core/src/bfs1d.rs crates/core/src/bfs2d.rs crates/core/src/bidir.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/memory.rs crates/core/src/path.rs crates/core/src/reference.rs crates/core/src/state.rs crates/core/src/stats.rs crates/core/src/theory.rs crates/core/src/threaded_run.rs crates/core/src/tree.rs
+
+/root/repo/target/release/deps/libbfs_core-0c11dee8305e3007.rmeta: crates/core/src/lib.rs crates/core/src/bfs1d.rs crates/core/src/bfs2d.rs crates/core/src/bidir.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/memory.rs crates/core/src/path.rs crates/core/src/reference.rs crates/core/src/state.rs crates/core/src/stats.rs crates/core/src/theory.rs crates/core/src/threaded_run.rs crates/core/src/tree.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bfs1d.rs:
+crates/core/src/bfs2d.rs:
+crates/core/src/bidir.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/memory.rs:
+crates/core/src/path.rs:
+crates/core/src/reference.rs:
+crates/core/src/state.rs:
+crates/core/src/stats.rs:
+crates/core/src/theory.rs:
+crates/core/src/threaded_run.rs:
+crates/core/src/tree.rs:

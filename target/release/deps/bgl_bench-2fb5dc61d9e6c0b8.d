@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/bgl_bench-2fb5dc61d9e6c0b8.d: crates/bench/src/lib.rs crates/bench/src/exp.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libbgl_bench-2fb5dc61d9e6c0b8.rlib: crates/bench/src/lib.rs crates/bench/src/exp.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/libbgl_bench-2fb5dc61d9e6c0b8.rmeta: crates/bench/src/lib.rs crates/bench/src/exp.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/exp.rs:
+crates/bench/src/harness.rs:

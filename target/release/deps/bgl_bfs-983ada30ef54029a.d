@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bgl_bfs-983ada30ef54029a.d: src/lib.rs
+
+/root/repo/target/release/deps/libbgl_bfs-983ada30ef54029a.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libbgl_bfs-983ada30ef54029a.rmeta: src/lib.rs
+
+src/lib.rs:

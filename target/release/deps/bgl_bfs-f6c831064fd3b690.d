@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bgl_bfs-f6c831064fd3b690.d: src/bin/cli.rs
+
+/root/repo/target/release/deps/bgl_bfs-f6c831064fd3b690: src/bin/cli.rs
+
+src/bin/cli.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/bgl_graph-05f015b9ce043146.d: crates/graph/src/lib.rs crates/graph/src/csr.rs crates/graph/src/dist.rs crates/graph/src/gen.rs crates/graph/src/partition.rs crates/graph/src/spec.rs crates/graph/src/stats.rs
+
+/root/repo/target/release/deps/libbgl_graph-05f015b9ce043146.rlib: crates/graph/src/lib.rs crates/graph/src/csr.rs crates/graph/src/dist.rs crates/graph/src/gen.rs crates/graph/src/partition.rs crates/graph/src/spec.rs crates/graph/src/stats.rs
+
+/root/repo/target/release/deps/libbgl_graph-05f015b9ce043146.rmeta: crates/graph/src/lib.rs crates/graph/src/csr.rs crates/graph/src/dist.rs crates/graph/src/gen.rs crates/graph/src/partition.rs crates/graph/src/spec.rs crates/graph/src/stats.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/dist.rs:
+crates/graph/src/gen.rs:
+crates/graph/src/partition.rs:
+crates/graph/src/spec.rs:
+crates/graph/src/stats.rs:

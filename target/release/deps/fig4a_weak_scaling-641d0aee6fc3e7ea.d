@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4a_weak_scaling-641d0aee6fc3e7ea.d: crates/bench/src/bin/fig4a_weak_scaling.rs
+
+/root/repo/target/release/deps/fig4a_weak_scaling-641d0aee6fc3e7ea: crates/bench/src/bin/fig4a_weak_scaling.rs
+
+crates/bench/src/bin/fig4a_weak_scaling.rs:

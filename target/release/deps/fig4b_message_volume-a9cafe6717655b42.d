@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4b_message_volume-a9cafe6717655b42.d: crates/bench/src/bin/fig4b_message_volume.rs
+
+/root/repo/target/release/deps/fig4b_message_volume-a9cafe6717655b42: crates/bench/src/bin/fig4b_message_volume.rs
+
+crates/bench/src/bin/fig4b_message_volume.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_strong_scaling-28183ea32c84b1fb.d: crates/bench/src/bin/fig5_strong_scaling.rs
+
+/root/repo/target/release/deps/fig5_strong_scaling-28183ea32c84b1fb: crates/bench/src/bin/fig5_strong_scaling.rs
+
+crates/bench/src/bin/fig5_strong_scaling.rs:

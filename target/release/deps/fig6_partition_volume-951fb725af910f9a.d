@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_partition_volume-951fb725af910f9a.d: crates/bench/src/bin/fig6_partition_volume.rs
+
+/root/repo/target/release/deps/fig6_partition_volume-951fb725af910f9a: crates/bench/src/bin/fig6_partition_volume.rs
+
+crates/bench/src/bin/fig6_partition_volume.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_redundancy-37987509be8d5dfc.d: crates/bench/src/bin/fig7_redundancy.rs
+
+/root/repo/target/release/deps/fig7_redundancy-37987509be8d5dfc: crates/bench/src/bin/fig7_redundancy.rs
+
+crates/bench/src/bin/fig7_redundancy.rs:

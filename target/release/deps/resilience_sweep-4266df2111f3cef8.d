@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/resilience_sweep-4266df2111f3cef8.d: crates/bench/src/bin/resilience_sweep.rs
+
+/root/repo/target/release/deps/resilience_sweep-4266df2111f3cef8: crates/bench/src/bin/resilience_sweep.rs
+
+crates/bench/src/bin/resilience_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/setops-b6958205bb902cfc.d: crates/bench/benches/setops.rs
+
+/root/repo/target/release/deps/setops-b6958205bb902cfc: crates/bench/benches/setops.rs
+
+crates/bench/benches/setops.rs:

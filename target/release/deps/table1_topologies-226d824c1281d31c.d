@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_topologies-226d824c1281d31c.d: crates/bench/src/bin/table1_topologies.rs
+
+/root/repo/target/release/deps/table1_topologies-226d824c1281d31c: crates/bench/src/bin/table1_topologies.rs
+
+crates/bench/src/bin/table1_topologies.rs:

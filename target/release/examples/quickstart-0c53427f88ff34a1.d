@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-0c53427f88ff34a1.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-0c53427f88ff34a1: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -2,6 +2,7 @@
 //! (spec, grid, config, source) — the property the whole experiment
 //! harness rests on.
 
+use bgl_bfs::comm::VsetPolicy;
 use bgl_bfs::core::bfs2d;
 use bgl_bfs::{BfsConfig, DistGraph, GraphSpec, ProcessorGrid, SimWorld};
 
@@ -47,6 +48,55 @@ fn different_seeds_change_results_same_seed_does_not() {
     };
     assert_eq!(levels_for(7), levels_for(7));
     assert_ne!(levels_for(7), levels_for(8));
+}
+
+#[test]
+fn hybrid_frontier_representation_is_bit_identical_to_list_only() {
+    // The bitmap/list hybrid is a pure representation change: on a dense
+    // oracle-checked graph the hybrid run must produce the same labels
+    // AND the same clock bits as a list-only run, while actually taking
+    // the bitmap path.
+    let spec = GraphSpec::poisson(1_500, 16.0, 71);
+    let adj = bgl_bfs::graph::dist::adjacency(&spec);
+    let expect = bgl_bfs::core::reference::bfs_levels(&adj, 0);
+    let grid = ProcessorGrid::new(2, 4);
+    let graph = DistGraph::build(spec, grid);
+    let run = |policy: VsetPolicy| {
+        let mut world = SimWorld::bluegene(grid).with_vset_policy(policy);
+        bfs2d::run(&graph, &mut world, &BfsConfig::paper_optimized(), 0)
+    };
+    let hybrid = run(VsetPolicy::hybrid());
+    let listy = run(VsetPolicy::list_only());
+    assert_eq!(hybrid.levels, expect, "hybrid run matches the oracle");
+    assert_eq!(listy.levels, expect, "list-only run matches the oracle");
+    assert!(
+        hybrid.stats.comm.setops.bitmap_unions > 0,
+        "dense graph must exercise the bitmap representation"
+    );
+    assert_eq!(listy.stats.comm.setops.bitmap_unions, 0);
+    assert_eq!(
+        hybrid.stats.sim_time.to_bits(),
+        listy.stats.sim_time.to_bits(),
+        "representation change must not move the simulated clock"
+    );
+    assert_eq!(
+        hybrid.stats.comm_time.to_bits(),
+        listy.stats.comm_time.to_bits()
+    );
+    assert_eq!(
+        hybrid.stats.compute_time.to_bits(),
+        listy.stats.compute_time.to_bits()
+    );
+    // Logical message accounting identical too (unions differ only in
+    // representation counters).
+    assert_eq!(
+        hybrid.stats.comm.total_received(),
+        listy.stats.comm.total_received()
+    );
+    assert_eq!(
+        hybrid.stats.comm.total_dups_eliminated(),
+        listy.stats.comm.total_dups_eliminated()
+    );
 }
 
 #[test]

@@ -2,7 +2,7 @@
 //! one-thread-per-rank message-passing runtime must produce identical
 //! BFS labels — the evidence that simulated message routing is faithful.
 
-use bgl_bfs::core::{bfs2d, threaded_run};
+use bgl_bfs::core::{bfs2d, bidir, threaded_run, ComputeEngine};
 use bgl_bfs::{BfsConfig, DistGraph, GraphSpec, ProcessorGrid, SimWorld};
 use proptest::prelude::*;
 
@@ -43,6 +43,78 @@ fn engines_agree_on_wide_grid() {
     let mut world = SimWorld::bluegene(grid);
     let sim = bfs2d::run(&graph, &mut world, &BfsConfig::baseline_alltoall(), 19);
     assert_eq!(threaded, sim.levels);
+}
+
+#[test]
+fn rayon_compute_engine_is_bit_identical_to_serial() {
+    // The host-side rayon fan-out must never leak into results: labels,
+    // per-level stats, message counters, and all three simulated clocks
+    // are bit-for-bit those of the serial engine, for every strategy.
+    use bgl_bfs::core::{ExpandStrategy, FoldStrategy};
+    let spec = GraphSpec::poisson(1_200, 8.0, 29);
+    let grid = ProcessorGrid::new(3, 4);
+    let graph = DistGraph::build(spec, grid);
+    for fold in [
+        FoldStrategy::DirectAllToAll,
+        FoldStrategy::ReduceScatterUnion,
+        FoldStrategy::TwoPhaseRing,
+    ] {
+        let run = |engine: ComputeEngine| {
+            let config = BfsConfig {
+                expand: ExpandStrategy::Targeted,
+                fold,
+                ..BfsConfig::paper_optimized()
+            }
+            .with_engine(engine);
+            let mut world = SimWorld::bluegene(grid);
+            bfs2d::run(&graph, &mut world, &config, 0)
+        };
+        let serial = run(ComputeEngine::Serial);
+        let rayon = run(ComputeEngine::Rayon);
+        assert_eq!(serial.levels, rayon.levels, "{fold:?}");
+        assert_eq!(serial.stats.levels, rayon.stats.levels, "{fold:?}");
+        assert_eq!(serial.stats.comm, rayon.stats.comm, "{fold:?}");
+        assert_eq!(
+            serial.stats.sim_time.to_bits(),
+            rayon.stats.sim_time.to_bits(),
+            "{fold:?}"
+        );
+        assert_eq!(
+            serial.stats.comm_time.to_bits(),
+            rayon.stats.comm_time.to_bits(),
+            "{fold:?}"
+        );
+        assert_eq!(
+            serial.stats.compute_time.to_bits(),
+            rayon.stats.compute_time.to_bits(),
+            "{fold:?}"
+        );
+    }
+}
+
+#[test]
+fn rayon_engine_bit_identical_on_bidirectional_search() {
+    let spec = GraphSpec::poisson(900, 6.0, 47);
+    let grid = ProcessorGrid::new(2, 3);
+    let graph = DistGraph::build(spec, grid);
+    let run = |engine: ComputeEngine| {
+        let mut world = SimWorld::bluegene(grid);
+        bidir::run(
+            &graph,
+            &mut world,
+            &BfsConfig::paper_optimized().with_engine(engine),
+            0,
+            899,
+        )
+    };
+    let serial = run(ComputeEngine::Serial);
+    let rayon = run(ComputeEngine::Rayon);
+    assert_eq!(serial.distance, rayon.distance);
+    assert_eq!(serial.stats.levels, rayon.stats.levels);
+    assert_eq!(
+        serial.stats.sim_time.to_bits(),
+        rayon.stats.sim_time.to_bits()
+    );
 }
 
 #[test]

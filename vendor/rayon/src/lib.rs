@@ -86,7 +86,170 @@ impl<I: IntoIterator> IntoParallelIterator for I {}
 
 pub mod prelude {
     //! Rayon-style prelude.
-    pub use crate::{IntoParallelIterator, ParIter};
+    pub use crate::{IntoParallelIterator, ParIter, ParallelSliceMut};
+}
+
+/// Worker threads to use for slice parallelism (all available cores).
+fn thread_count() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Run `f` over every element of `slice`, splitting the slice into one
+/// contiguous chunk per worker thread (scoped threads; no pool). The
+/// result vector preserves input order: chunk boundaries are positional
+/// and chunk results are concatenated in order, so the output is
+/// *deterministic* — identical to the sequential map — regardless of
+/// thread scheduling.
+fn par_map_slices<T, U, R, F>(slice: &mut [T], ctx: &[U], f: &F) -> Vec<R>
+where
+    T: Send,
+    U: Sync,
+    R: Send,
+    F: Fn(&mut T, &U) -> R + Sync,
+{
+    assert_eq!(slice.len(), ctx.len());
+    let len = slice.len();
+    let workers = thread_count().min(len);
+    if workers <= 1 {
+        return slice.iter_mut().zip(ctx).map(|(t, u)| f(t, u)).collect();
+    }
+    let chunk = len.div_ceil(workers);
+    let mut out = Vec::with_capacity(len);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::with_capacity(workers);
+        for (ts, us) in slice.chunks_mut(chunk).zip(ctx.chunks(chunk)) {
+            handles.push(scope.spawn(move || {
+                ts.iter_mut()
+                    .zip(us)
+                    .map(|(t, u)| f(t, u))
+                    .collect::<Vec<R>>()
+            }));
+        }
+        for h in handles {
+            out.extend(h.join().expect("parallel slice worker panicked"));
+        }
+    });
+    out
+}
+
+/// Parallel mutable-slice iterator (order-preserving results).
+pub struct ParSliceMut<'a, T> {
+    slice: &'a mut [T],
+}
+
+impl<'a, T: Send> ParSliceMut<'a, T> {
+    /// Map every element through `f` in parallel; results come back in
+    /// input order.
+    pub fn map<R, F>(self, f: F) -> ParSliceMutMap<'a, T, F>
+    where
+        R: Send,
+        F: Fn(&mut T) -> R + Sync,
+    {
+        ParSliceMutMap {
+            slice: self.slice,
+            f,
+        }
+    }
+
+    /// Pair every element with the same-index element of a shared
+    /// slice (rayon's `zip` over an equal-length context).
+    pub fn zip<'b, U: Sync>(self, ctx: &'b [U]) -> ParSliceMutZip<'a, 'b, T, U> {
+        assert_eq!(self.slice.len(), ctx.len());
+        ParSliceMutZip {
+            slice: self.slice,
+            ctx,
+        }
+    }
+
+    /// Run `f` on every element in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T) + Sync,
+    {
+        let unit: Vec<()> = vec![(); self.slice.len()];
+        let _ = par_map_slices(self.slice, &unit, &|t, _u: &()| f(t));
+    }
+}
+
+/// A pending parallel map over a mutable slice.
+pub struct ParSliceMutMap<'a, T, F> {
+    slice: &'a mut [T],
+    f: F,
+}
+
+impl<T: Send, F> ParSliceMutMap<'_, T, F> {
+    /// Execute the map and collect results in input order.
+    pub fn collect<R, C>(self) -> C
+    where
+        R: Send,
+        F: Fn(&mut T) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        let unit: Vec<()> = vec![(); self.slice.len()];
+        let f = self.f;
+        par_map_slices(self.slice, &unit, &|t, _u: &()| f(t))
+            .into_iter()
+            .collect()
+    }
+}
+
+/// A pending parallel zip of a mutable slice with a shared slice.
+pub struct ParSliceMutZip<'a, 'b, T, U> {
+    slice: &'a mut [T],
+    ctx: &'b [U],
+}
+
+impl<T: Send, U: Sync> ParSliceMutZip<'_, '_, T, U> {
+    /// Map every `(mut element, context)` pair; results in input order.
+    pub fn map_collect<R, C, F>(self, f: F) -> C
+    where
+        R: Send,
+        F: Fn(&mut T, &U) -> R + Sync,
+        C: FromIterator<R>,
+    {
+        par_map_slices(self.slice, self.ctx, &f)
+            .into_iter()
+            .collect()
+    }
+
+    /// Run `f` on every `(mut element, context)` pair in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut T, &U) + Sync,
+    {
+        let _ = par_map_slices(self.slice, self.ctx, &|t, u| f(t, u));
+    }
+}
+
+/// Rayon's `par_iter_mut` entry point for slices (and, via deref,
+/// `Vec`).
+pub trait ParallelSliceMut<T: Send> {
+    /// A parallel iterator over mutable references.
+    fn par_iter_mut(&mut self) -> ParSliceMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_iter_mut(&mut self) -> ParSliceMut<'_, T> {
+        ParSliceMut { slice: self }
+    }
+}
+
+/// Run two closures, potentially in parallel, returning both results
+/// (rayon's `join`).
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    std::thread::scope(|scope| {
+        let hb = scope.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("join worker panicked"))
+    })
 }
 
 #[cfg(test)]
@@ -120,5 +283,46 @@ mod tests {
     fn map_collect() {
         let v: Vec<u64> = vec![1u64, 2, 3].into_par_iter().map(|x| x * 2).collect();
         assert_eq!(v, vec![2, 4, 6]);
+    }
+
+    #[test]
+    fn par_iter_mut_map_preserves_order() {
+        let mut v: Vec<u64> = (0..1000).collect();
+        let doubled: Vec<u64> = v.par_iter_mut().map(|x| *x * 2).collect();
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_mut_for_each_mutates_in_place() {
+        let mut v: Vec<u64> = (0..257).collect();
+        v.par_iter_mut().for_each(|x| *x += 1);
+        assert_eq!(v, (1..258).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zip_pairs_by_index() {
+        let mut v: Vec<u64> = vec![10, 20, 30, 40, 50];
+        let ctx: Vec<u64> = vec![1, 2, 3, 4, 5];
+        let sums: Vec<u64> = v.par_iter_mut().zip(&ctx).map_collect(|a, b| {
+            *a += *b;
+            *a
+        });
+        assert_eq!(sums, vec![11, 22, 33, 44, 55]);
+        assert_eq!(v, vec![11, 22, 33, 44, 55]);
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = crate::join(|| 6 * 7, || "ok");
+        assert_eq!(a, 42);
+        assert_eq!(b, "ok");
+    }
+
+    #[test]
+    fn empty_slice_is_fine() {
+        let mut v: Vec<u64> = Vec::new();
+        let out: Vec<u64> = v.par_iter_mut().map(|x| *x).collect();
+        assert!(out.is_empty());
+        v.par_iter_mut().for_each(|x| *x += 1);
     }
 }
