@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bench_setops-9e4b6e72ca8044c8.d: crates/bench/src/bin/bench_setops.rs
+
+/root/repo/target/release/deps/bench_setops-9e4b6e72ca8044c8: crates/bench/src/bin/bench_setops.rs
+
+crates/bench/src/bin/bench_setops.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/bfs_core-9bd282b38125db5d.d: crates/core/src/lib.rs crates/core/src/bfs1d.rs crates/core/src/bfs2d.rs crates/core/src/bidir.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/memory.rs crates/core/src/path.rs crates/core/src/reference.rs crates/core/src/state.rs crates/core/src/stats.rs crates/core/src/theory.rs crates/core/src/threaded_run.rs crates/core/src/tree.rs
+
+/root/repo/target/release/deps/bfs_core-9bd282b38125db5d: crates/core/src/lib.rs crates/core/src/bfs1d.rs crates/core/src/bfs2d.rs crates/core/src/bidir.rs crates/core/src/config.rs crates/core/src/engine.rs crates/core/src/memory.rs crates/core/src/path.rs crates/core/src/reference.rs crates/core/src/state.rs crates/core/src/stats.rs crates/core/src/theory.rs crates/core/src/threaded_run.rs crates/core/src/tree.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bfs1d.rs:
+crates/core/src/bfs2d.rs:
+crates/core/src/bidir.rs:
+crates/core/src/config.rs:
+crates/core/src/engine.rs:
+crates/core/src/memory.rs:
+crates/core/src/path.rs:
+crates/core/src/reference.rs:
+crates/core/src/state.rs:
+crates/core/src/stats.rs:
+crates/core/src/theory.rs:
+crates/core/src/threaded_run.rs:
+crates/core/src/tree.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bgl_bench-03a587dde3e3ab8e.d: crates/bench/src/lib.rs crates/bench/src/exp.rs crates/bench/src/harness.rs
+
+/root/repo/target/release/deps/bgl_bench-03a587dde3e3ab8e: crates/bench/src/lib.rs crates/bench/src/exp.rs crates/bench/src/harness.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/exp.rs:
+crates/bench/src/harness.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bgl_bfs-57412a0f51d67bb5.d: src/bin/cli.rs
+
+/root/repo/target/release/deps/bgl_bfs-57412a0f51d67bb5: src/bin/cli.rs
+
+src/bin/cli.rs:

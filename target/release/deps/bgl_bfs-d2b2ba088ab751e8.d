@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/bgl_bfs-d2b2ba088ab751e8.d: src/lib.rs
+
+/root/repo/target/release/deps/bgl_bfs-d2b2ba088ab751e8: src/lib.rs
+
+src/lib.rs:

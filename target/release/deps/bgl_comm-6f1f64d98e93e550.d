@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/bgl_comm-6f1f64d98e93e550.d: crates/comm/src/lib.rs crates/comm/src/buffer.rs crates/comm/src/collectives/mod.rs crates/comm/src/collectives/allgather.rs crates/comm/src/collectives/alltoall.rs crates/comm/src/collectives/reduce_scatter.rs crates/comm/src/collectives/two_phase.rs crates/comm/src/error.rs crates/comm/src/setops.rs crates/comm/src/sim.rs crates/comm/src/stats.rs crates/comm/src/threaded.rs crates/comm/src/topology.rs crates/comm/src/vset.rs
+
+/root/repo/target/release/deps/bgl_comm-6f1f64d98e93e550: crates/comm/src/lib.rs crates/comm/src/buffer.rs crates/comm/src/collectives/mod.rs crates/comm/src/collectives/allgather.rs crates/comm/src/collectives/alltoall.rs crates/comm/src/collectives/reduce_scatter.rs crates/comm/src/collectives/two_phase.rs crates/comm/src/error.rs crates/comm/src/setops.rs crates/comm/src/sim.rs crates/comm/src/stats.rs crates/comm/src/threaded.rs crates/comm/src/topology.rs crates/comm/src/vset.rs
+
+crates/comm/src/lib.rs:
+crates/comm/src/buffer.rs:
+crates/comm/src/collectives/mod.rs:
+crates/comm/src/collectives/allgather.rs:
+crates/comm/src/collectives/alltoall.rs:
+crates/comm/src/collectives/reduce_scatter.rs:
+crates/comm/src/collectives/two_phase.rs:
+crates/comm/src/error.rs:
+crates/comm/src/setops.rs:
+crates/comm/src/sim.rs:
+crates/comm/src/stats.rs:
+crates/comm/src/threaded.rs:
+crates/comm/src/topology.rs:
+crates/comm/src/vset.rs:

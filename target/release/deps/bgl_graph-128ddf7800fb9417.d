@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/bgl_graph-128ddf7800fb9417.d: crates/graph/src/lib.rs crates/graph/src/csr.rs crates/graph/src/dist.rs crates/graph/src/gen.rs crates/graph/src/partition.rs crates/graph/src/spec.rs crates/graph/src/stats.rs
+
+/root/repo/target/release/deps/bgl_graph-128ddf7800fb9417: crates/graph/src/lib.rs crates/graph/src/csr.rs crates/graph/src/dist.rs crates/graph/src/gen.rs crates/graph/src/partition.rs crates/graph/src/spec.rs crates/graph/src/stats.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/dist.rs:
+crates/graph/src/gen.rs:
+crates/graph/src/partition.rs:
+crates/graph/src/spec.rs:
+crates/graph/src/stats.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-a66bfed50bb123eb.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-a66bfed50bb123eb: tests/determinism.rs
+
+tests/determinism.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/engine_equivalence-57f00bbd37c94e24.d: tests/engine_equivalence.rs
+
+/root/repo/target/release/deps/engine_equivalence-57f00bbd37c94e24: tests/engine_equivalence.rs
+
+tests/engine_equivalence.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fault_tolerance-f6df11f46324f7ea.d: tests/fault_tolerance.rs
+
+/root/repo/target/release/deps/fault_tolerance-f6df11f46324f7ea: tests/fault_tolerance.rs
+
+tests/fault_tolerance.rs:

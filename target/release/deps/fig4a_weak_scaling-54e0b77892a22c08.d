@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4a_weak_scaling-54e0b77892a22c08.d: crates/bench/src/bin/fig4a_weak_scaling.rs
+
+/root/repo/target/release/deps/fig4a_weak_scaling-54e0b77892a22c08: crates/bench/src/bin/fig4a_weak_scaling.rs
+
+crates/bench/src/bin/fig4a_weak_scaling.rs:

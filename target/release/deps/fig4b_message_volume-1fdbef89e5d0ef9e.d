@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4b_message_volume-1fdbef89e5d0ef9e.d: crates/bench/src/bin/fig4b_message_volume.rs
+
+/root/repo/target/release/deps/fig4b_message_volume-1fdbef89e5d0ef9e: crates/bench/src/bin/fig4b_message_volume.rs
+
+crates/bench/src/bin/fig4b_message_volume.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig4c_bidirectional-712730f247fb49a3.d: crates/bench/src/bin/fig4c_bidirectional.rs
+
+/root/repo/target/release/deps/fig4c_bidirectional-712730f247fb49a3: crates/bench/src/bin/fig4c_bidirectional.rs
+
+crates/bench/src/bin/fig4c_bidirectional.rs:

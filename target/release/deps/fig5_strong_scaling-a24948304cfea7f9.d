@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5_strong_scaling-a24948304cfea7f9.d: crates/bench/src/bin/fig5_strong_scaling.rs
+
+/root/repo/target/release/deps/fig5_strong_scaling-a24948304cfea7f9: crates/bench/src/bin/fig5_strong_scaling.rs
+
+crates/bench/src/bin/fig5_strong_scaling.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6_partition_volume-fa759174531cf7a0.d: crates/bench/src/bin/fig6_partition_volume.rs
+
+/root/repo/target/release/deps/fig6_partition_volume-fa759174531cf7a0: crates/bench/src/bin/fig6_partition_volume.rs
+
+crates/bench/src/bin/fig6_partition_volume.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7_redundancy-c5a7738f1a51956e.d: crates/bench/src/bin/fig7_redundancy.rs
+
+/root/repo/target/release/deps/fig7_redundancy-c5a7738f1a51956e: crates/bench/src/bin/fig7_redundancy.rs
+
+crates/bench/src/bin/fig7_redundancy.rs:

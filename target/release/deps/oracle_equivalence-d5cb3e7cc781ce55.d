@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/oracle_equivalence-d5cb3e7cc781ce55.d: tests/oracle_equivalence.rs
+
+/root/repo/target/release/deps/oracle_equivalence-d5cb3e7cc781ce55: tests/oracle_equivalence.rs
+
+tests/oracle_equivalence.rs:

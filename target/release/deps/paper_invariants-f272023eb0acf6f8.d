@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_invariants-f272023eb0acf6f8.d: tests/paper_invariants.rs
+
+/root/repo/target/release/deps/paper_invariants-f272023eb0acf6f8: tests/paper_invariants.rs
+
+tests/paper_invariants.rs:

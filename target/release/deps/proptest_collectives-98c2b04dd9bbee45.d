@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_collectives-98c2b04dd9bbee45.d: crates/comm/tests/proptest_collectives.rs
+
+/root/repo/target/release/deps/proptest_collectives-98c2b04dd9bbee45: crates/comm/tests/proptest_collectives.rs
+
+crates/comm/tests/proptest_collectives.rs:

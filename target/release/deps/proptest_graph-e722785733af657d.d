@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_graph-e722785733af657d.d: crates/graph/tests/proptest_graph.rs
+
+/root/repo/target/release/deps/proptest_graph-e722785733af657d: crates/graph/tests/proptest_graph.rs
+
+crates/graph/tests/proptest_graph.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/proptest_vset-31807b11cad7957c.d: crates/comm/tests/proptest_vset.rs
+
+/root/repo/target/release/deps/proptest_vset-31807b11cad7957c: crates/comm/tests/proptest_vset.rs
+
+crates/comm/tests/proptest_vset.rs:

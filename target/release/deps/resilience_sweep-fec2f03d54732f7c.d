@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/resilience_sweep-fec2f03d54732f7c.d: crates/bench/src/bin/resilience_sweep.rs
+
+/root/repo/target/release/deps/resilience_sweep-fec2f03d54732f7c: crates/bench/src/bin/resilience_sweep.rs
+
+crates/bench/src/bin/resilience_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1_topologies-a9b3d2e3be081f69.d: crates/bench/src/bin/table1_topologies.rs
+
+/root/repo/target/release/deps/table1_topologies-a9b3d2e3be081f69: crates/bench/src/bin/table1_topologies.rs
+
+crates/bench/src/bin/table1_topologies.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/graph500_style-608a5fe4f60acb37.d: examples/graph500_style.rs
+
+/root/repo/target/release/examples/graph500_style-608a5fe4f60acb37: examples/graph500_style.rs
+
+examples/graph500_style.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/semantic_path-0ab098403c9a2af6.d: examples/semantic_path.rs
+
+/root/repo/target/release/examples/semantic_path-0ab098403c9a2af6: examples/semantic_path.rs
+
+examples/semantic_path.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/small_world-413b3d2c4547ff5d.d: examples/small_world.rs
+
+/root/repo/target/release/examples/small_world-413b3d2c4547ff5d: examples/small_world.rs
+
+examples/small_world.rs:

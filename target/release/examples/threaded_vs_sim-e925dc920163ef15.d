@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/threaded_vs_sim-e925dc920163ef15.d: examples/threaded_vs_sim.rs
+
+/root/repo/target/release/examples/threaded_vs_sim-e925dc920163ef15: examples/threaded_vs_sim.rs
+
+examples/threaded_vs_sim.rs:

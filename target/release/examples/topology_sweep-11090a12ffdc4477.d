@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/topology_sweep-11090a12ffdc4477.d: examples/topology_sweep.rs
+
+/root/repo/target/release/examples/topology_sweep-11090a12ffdc4477: examples/topology_sweep.rs
+
+examples/topology_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/torus_machines-bcd75cb18eea1bbd.d: examples/torus_machines.rs
+
+/root/repo/target/release/examples/torus_machines-bcd75cb18eea1bbd: examples/torus_machines.rs
+
+examples/torus_machines.rs:
