@@ -26,6 +26,9 @@ fig4a_weak_scaling — reproduce paper Figure 4.a (weak scaling)
   --sources <n>   searches averaged per point (default 3)
   --seed <u64>    graph seed (default 42)
   --csv <path>    also write CSV
+  --trace-out <dir>  after the sweep, run one traced search at the largest
+                     P (k=10 series) and write TRACE_chrome.json +
+                     TRACE_summary.json there, printing the critical path
 ";
 
 /// The paper's four weak-scaling series: (per-rank |V| at scale 1, k).
@@ -110,5 +113,30 @@ fn main() {
              (per-rank compute grows ~linearly while per-message overhead is fixed).",
             comm_ratio_largest * 100.0
         );
+    }
+
+    if let Some(dir) = args.str("trace-out") {
+        let &p = ps.last().expect("at least one processor count");
+        let (v_full, k) = SERIES[0];
+        let per_rank = (v_full / scale).max(1);
+        let n = per_rank * p;
+        let grid = ProcessorGrid::square_ish(p as usize);
+        let spec = GraphSpec::poisson(n, k.min(n as f64 - 1.0), seed);
+        let (graph, mut world) = exp::build(spec, grid);
+        let source = exp::sources(n, 1)[0];
+        let report = exp::traced_search(
+            &graph,
+            &mut world,
+            &BfsConfig::paper_optimized(),
+            source,
+            std::path::Path::new(dir),
+        )
+        .unwrap_or_else(|e| panic!("--trace-out {dir:?}: {e}"));
+        println!(
+            "\ntraced search at P={p}: wrote {} and {}",
+            report.chrome_path.display(),
+            report.summary_path.display()
+        );
+        print!("{}", report.critical.render_table());
     }
 }

@@ -83,6 +83,25 @@ pub fn mean_bidir_search(
     }
 }
 
+/// Run one traced search and write the trace artifacts
+/// (`TRACE_chrome.json` + `TRACE_summary.json`) into `dir`. Returns the
+/// report so callers can print the critical path. The world's trace is
+/// drained afterwards, so subsequent measured runs are untraced.
+pub fn traced_search(
+    graph: &DistGraph,
+    world: &mut SimWorld,
+    config: &BfsConfig,
+    source: u64,
+    dir: &std::path::Path,
+) -> std::io::Result<bgl_trace::TraceReport> {
+    world.reset();
+    world.enable_trace(bgl_trace::TraceDetail::Event);
+    let _ = bfs2d::run(graph, world, config, source);
+    let buf = world.take_trace().expect("trace was just enabled");
+    let machine = *world.cost_model().machine();
+    bgl_trace::write_artifacts(&buf, world.mapping(), &machine, dir)
+}
+
 /// Fit `y ≈ a + b·log2(x)` by least squares and return `(a, b, r2)` —
 /// used to confirm the paper's "execution time increases in proportion
 /// to log P" regression claim.

@@ -60,6 +60,10 @@ pub use vset::{VertSet, VsetPolicy};
 // layers need not depend on `bgl_torus` directly to configure faults.
 pub use bgl_torus::{FaultPlan, RankDeath};
 
+// Trace types surface on both runtimes' handles; re-export so BFS
+// layers can emit spans without depending on `bgl_trace` directly.
+pub use bgl_trace::{EventKind, Phase, TraceBuffer, TraceDetail, TraceSink};
+
 /// Vertex index payload type used in all messages (matches the paper's
 /// global vertex indices; 64-bit so multi-billion-vertex configurations
 /// remain addressable).

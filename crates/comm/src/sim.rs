@@ -29,6 +29,7 @@ use bgl_torus::{
     detour_hops, route_with_faults, CostModel, FaultPlan, LinkTraffic, MachineConfig, MachineKind,
     RouteStep, TaskMapping, TaskMappingKind,
 };
+use bgl_trace::{ComputeKind, EventKind, OpKind, Phase, TraceBuffer, TraceDetail, TraceSink};
 use rustc_hash::FxHashMap;
 
 /// One point-to-point message in a round: `(from, to, payload)`.
@@ -94,6 +95,9 @@ pub struct SimWorld {
     vset_policy: VsetPolicy,
     /// Reusable merge/inbox scratch buffers for the collectives.
     scratch: ScratchPool,
+    /// Structured event recorder (disabled by default: a single `None`
+    /// word, no buffers — see [`SimWorld::enable_trace`]).
+    trace: TraceSink,
 }
 
 impl SimWorld {
@@ -130,6 +134,7 @@ impl SimWorld {
             route_cache: FxHashMap::with_capacity_and_hasher(4 * grid.len(), Default::default()),
             vset_policy: VsetPolicy::default(),
             scratch: ScratchPool::new(),
+            trace: TraceSink::disabled(),
         }
     }
 
@@ -287,12 +292,43 @@ impl SimWorld {
         self.memcpy_time
     }
 
-    /// Reset clocks and statistics (keeps topology and model).
+    /// Enable structured tracing at `detail`: per-rank ring recorders
+    /// plus a world track, keyed to the simulated clock. Replaces any
+    /// previously recorded trace.
+    pub fn enable_trace(&mut self, detail: TraceDetail) {
+        self.trace = TraceSink::enabled(self.p(), detail);
+    }
+
+    /// The trace sink (disabled unless [`SimWorld::enable_trace`] ran).
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// Mutable trace sink access (the BFS loops emit phase spans).
+    pub fn trace_mut(&mut self) -> &mut TraceSink {
+        &mut self.trace
+    }
+
+    /// Take the recorded trace buffer out, leaving tracing disabled.
+    pub fn take_trace(&mut self) -> Option<TraceBuffer> {
+        self.trace.take_buffer()
+    }
+
+    /// Record a phase span from `t0` (an earlier [`SimWorld::time`]
+    /// reading) to the current simulated time. No-op when disabled.
+    pub fn trace_span(&mut self, phase: Phase, level: u32, t0: f64) {
+        let t1 = self.sim_time;
+        self.trace.span(phase, level, t0, t1);
+    }
+
+    /// Reset clocks and statistics (keeps topology and model; an
+    /// enabled trace sink stays enabled but drops its recorded events).
     pub fn reset(&mut self) {
         self.stats = CommStats::new(self.grid.len());
         if let Some(t) = &mut self.traffic {
             t.clear();
         }
+        self.trace.clear_events();
         self.sim_time = 0.0;
         self.comm_time = 0.0;
         self.comm_time_by_class = [0.0; 3];
@@ -383,6 +419,9 @@ impl SimWorld {
     /// reliable tree network: never faulted, never advances the clock.
     pub fn exchange(&mut self, class: OpClass, sends: Vec<Send>) -> Result<Vec<Inbox>, CommError> {
         let p = self.p();
+        let t_round0 = self.sim_time;
+        let traced = self.trace.is_enabled();
+        let trace_sends = self.trace.wants_sends();
         let faultable = class != OpClass::Control && self.plan.is_active();
         let mut fault_round = 0u64;
         if faultable {
@@ -397,6 +436,14 @@ impl SimWorld {
                 }
             }
             if let Some(r) = self.dead.iter().position(|&d| d) {
+                self.trace.world_event(
+                    EventKind::RankDeath {
+                        rank: r as u32,
+                        round: fault_round,
+                    },
+                    t_round0,
+                    t_round0,
+                );
                 return Err(CommError::RankDead { rank: r });
             }
         }
@@ -444,6 +491,7 @@ impl SimWorld {
                 + hops as f64 * m.hop_latency
                 + bytes as f64 / (m.link_bandwidth * bw);
             let mut t = base;
+            let mut retries = 0u32;
             if msg_faults {
                 match self
                     .plan
@@ -469,8 +517,36 @@ impl SimWorld {
                         self.stats.faults.drops_injected += dropped as u64;
                         self.stats.faults.truncations_injected += d.truncated_attempts as u64;
                         self.stats.faults.retransmissions += failed as u64;
+                        retries = failed;
                     }
                     Err(attempts) => return Err(CommError::Unreachable { from, to, attempts }),
+                }
+            }
+            if traced {
+                if trace_sends {
+                    self.trace.rank_event(
+                        from,
+                        EventKind::Send {
+                            from: from as u32,
+                            to: to as u32,
+                            bytes,
+                            hops: hops as u32,
+                        },
+                        t_round0,
+                        t_round0 + t,
+                    );
+                }
+                if retries > 0 {
+                    self.trace.rank_event(
+                        from,
+                        EventKind::Retransmit {
+                            from: from as u32,
+                            to: to as u32,
+                            retries,
+                        },
+                        t_round0,
+                        t_round0 + t,
+                    );
                 }
             }
             out_time[from] += t;
@@ -513,6 +589,39 @@ impl SimWorld {
         self.comm_time += elapsed;
         self.comm_time_by_class[class.index()] += elapsed;
 
+        if traced {
+            let mut bottleneck = 0usize;
+            let mut messages = 0u32;
+            let mut verts = 0u64;
+            for r in 0..p {
+                if out_time[r].max(in_time[r]) > out_time[bottleneck].max(in_time[bottleneck]) {
+                    bottleneck = r;
+                }
+            }
+            for (r, inbox) in inboxes.iter().enumerate() {
+                for (from, payload) in inbox {
+                    if *from != r {
+                        messages += 1;
+                        verts += payload.len() as u64;
+                    }
+                }
+            }
+            // Skip the all-empty round (a free no-op, e.g. a barrier
+            // with nothing to say): it carries no information.
+            if messages > 0 || elapsed > 0.0 {
+                self.trace.world_event(
+                    EventKind::Round {
+                        op: OpKind::from_index(class.index()),
+                        messages,
+                        verts,
+                        bottleneck: bottleneck as u32,
+                    },
+                    t_round0,
+                    self.sim_time,
+                );
+            }
+        }
+
         for inbox in &mut inboxes {
             inbox.sort_by_key(|(from, _)| *from);
         }
@@ -532,6 +641,7 @@ impl SimWorld {
     /// paper's dominant compute cost).
     pub fn hash_phase(&mut self, probes_per_rank: &[u64]) {
         debug_assert_eq!(probes_per_rank.len(), self.p());
+        let t0 = self.sim_time;
         let elapsed = probes_per_rank
             .iter()
             .map(|&n| self.cost.hash_time(n))
@@ -539,12 +649,16 @@ impl SimWorld {
         self.sim_time += elapsed;
         self.compute_time += elapsed;
         self.hash_time += elapsed;
+        if self.trace.is_enabled() && elapsed > 0.0 {
+            self.trace_compute(ComputeKind::Hash, probes_per_rank, t0);
+        }
     }
 
     /// Charge a compute phase expressed in copied bytes per rank (buffer
     /// copying during union operations, §4.2).
     pub fn memcpy_phase(&mut self, bytes_per_rank: &[u64]) {
         debug_assert_eq!(bytes_per_rank.len(), self.p());
+        let t0 = self.sim_time;
         let elapsed = bytes_per_rank
             .iter()
             .map(|&b| self.cost.memcpy_time(b))
@@ -552,6 +666,29 @@ impl SimWorld {
         self.sim_time += elapsed;
         self.compute_time += elapsed;
         self.memcpy_time += elapsed;
+        if self.trace.is_enabled() && elapsed > 0.0 {
+            self.trace_compute(ComputeKind::Memcpy, bytes_per_rank, t0);
+        }
+    }
+
+    /// Emit a compute-pass event bounded by the argmax rank. Both
+    /// modelled compute costs are monotone in their per-rank unit
+    /// counts, so the largest count names the bottleneck.
+    fn trace_compute(&mut self, comp: ComputeKind, units_per_rank: &[u64], t0: f64) {
+        let mut bottleneck = 0usize;
+        for (r, &u) in units_per_rank.iter().enumerate() {
+            if u > units_per_rank[bottleneck] {
+                bottleneck = r;
+            }
+        }
+        self.trace.world_event(
+            EventKind::Compute {
+                comp,
+                bottleneck: bottleneck as u32,
+            },
+            t0,
+            self.sim_time,
+        );
     }
 
     /// Record duplicates eliminated by a union performed at `rank`.
@@ -591,9 +728,12 @@ impl SimWorld {
         let m = self.cost.machine();
         // Up-sweep + down-sweep of one-word messages.
         let elapsed = 2.0 * depth * (m.software_overhead + m.hop_latency + 8.0 / m.link_bandwidth);
+        let t0 = self.sim_time;
         self.sim_time += elapsed;
         self.comm_time += elapsed;
         self.comm_time_by_class[OpClass::Control.index()] += elapsed;
+        self.trace
+            .world_event(EventKind::TreeAllreduce, t0, self.sim_time);
     }
 }
 

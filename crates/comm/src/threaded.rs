@@ -30,8 +30,9 @@ use crate::buffer::ScratchPool;
 use crate::error::CommError;
 use crate::stats::{FaultStats, OpClass};
 use crate::topology::ProcessorGrid;
-use crate::Vert;
+use crate::{Vert, VERT_BYTES};
 use bgl_torus::FaultPlan;
+use bgl_trace::{EventKind, OpKind, Phase, TraceBuffer, TraceDetail, TraceSink};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
@@ -79,6 +80,12 @@ pub struct RankCtx {
     /// by the rank body come back out of [`RankCtx::scratch_take`]
     /// instead of fresh allocations.
     scratch: ScratchPool,
+    /// Per-rank trace recorder (disabled by default; one word, no heap).
+    trace: TraceSink,
+    /// Wall-clock origin for trace timestamps: every rank's events are
+    /// keyed to seconds since the world was spawned, so per-rank tracks
+    /// share one timeline.
+    epoch: Instant,
 }
 
 impl RankCtx {
@@ -111,6 +118,42 @@ impl RankCtx {
     /// How many buffer allocations the scratch pool has saved so far.
     pub fn scratch_reuses(&self) -> u64 {
         self.scratch.reuses()
+    }
+
+    /// Enable structured tracing on this rank. Events land in a
+    /// single-track buffer; the caller merges per-rank buffers (see
+    /// [`TraceBuffer::absorb_rank`]) after the world joins.
+    pub fn enable_trace(&mut self, detail: TraceDetail) {
+        self.trace = TraceSink::enabled(0, detail);
+    }
+
+    /// This rank's trace sink.
+    pub fn trace(&self) -> &TraceSink {
+        &self.trace
+    }
+
+    /// Seconds since the world was spawned (the trace clock). Only
+    /// meaningful while tracing; returns 0.0 when the sink is disabled
+    /// so disabled runs never touch the OS clock.
+    pub fn trace_now(&self) -> f64 {
+        if self.trace.is_enabled() {
+            self.epoch.elapsed().as_secs_f64()
+        } else {
+            0.0
+        }
+    }
+
+    /// Record a phase span `[t0, now]` on this rank's track.
+    pub fn trace_span(&mut self, phase: Phase, level: u32, t0: f64) {
+        if self.trace.is_enabled() {
+            let t1 = self.epoch.elapsed().as_secs_f64();
+            self.trace.span(phase, level, t0, t1);
+        }
+    }
+
+    /// Detach this rank's trace buffer (None when tracing is disabled).
+    pub fn take_trace(&mut self) -> Option<TraceBuffer> {
+        self.trace.take_buffer()
     }
 
     /// Mark this rank dead (peers stop waiting for it) and return `e`.
@@ -159,12 +202,33 @@ impl RankCtx {
                     }
                 }
                 if let Some(rank) = doomed {
+                    if self.trace.is_enabled() {
+                        let t = self.epoch.elapsed().as_secs_f64();
+                        self.trace.world_event(
+                            EventKind::RankDeath {
+                                rank: rank as u32,
+                                round: fault_round,
+                            },
+                            t,
+                            t,
+                        );
+                    }
                     return Err(self.fail(CommError::RankDead { rank }));
                 }
             }
         }
         let round = self.round;
         self.round += 1;
+
+        let traced = self.trace.is_enabled();
+        let trace_sends = self.trace.wants_sends();
+        let t_round0 = if traced {
+            self.epoch.elapsed().as_secs_f64()
+        } else {
+            0.0
+        };
+        let mut round_msgs = 0u64;
+        let mut round_verts = 0u64;
 
         // Aggregate per destination, injecting sender-side faults.
         let mut per_dest: Vec<Vec<Vec<Vert>>> = vec![Vec::new(); p];
@@ -180,6 +244,7 @@ impl RankCtx {
                 }
                 continue;
             }
+            let mut retries = 0u32;
             if msg_faults {
                 match self
                     .plan
@@ -196,6 +261,7 @@ impl RankCtx {
                             // duplicate; only the counter observes it.
                             self.faults.duplicates_injected += 1;
                         }
+                        retries = failed;
                     }
                     Err(attempts) => {
                         return Err(self.fail(CommError::Unreachable {
@@ -204,6 +270,39 @@ impl RankCtx {
                             attempts,
                         }))
                     }
+                }
+            }
+            if traced {
+                round_msgs += 1;
+                round_verts += payload.len() as u64;
+                let t = self.epoch.elapsed().as_secs_f64();
+                if trace_sends {
+                    // No cost model on real threads: sends are recorded
+                    // as instants; hop counts are the exporter's to
+                    // derive from the task mapping if it wants them.
+                    self.trace.rank_event(
+                        0,
+                        EventKind::Send {
+                            from: self.rank as u32,
+                            to: dest as u32,
+                            bytes: payload.len() as u64 * VERT_BYTES,
+                            hops: 0,
+                        },
+                        t,
+                        t,
+                    );
+                }
+                if retries > 0 {
+                    self.trace.rank_event(
+                        0,
+                        EventKind::Retransmit {
+                            from: self.rank as u32,
+                            to: dest as u32,
+                            retries,
+                        },
+                        t,
+                        t,
+                    );
                 }
             }
             per_dest[dest].push(payload);
@@ -273,6 +372,20 @@ impl RankCtx {
             }
         }
         out.sort_by_key(|a| a.0);
+        if traced && (round_msgs > 0 || class != OpClass::Control) {
+            // Sender-side accounting: each rank's track records its own
+            // outbound rounds (the world-total view comes from merging).
+            self.trace.world_event(
+                EventKind::Round {
+                    op: OpKind::from_index(class.index()),
+                    messages: round_msgs as u32,
+                    verts: round_verts,
+                    bottleneck: self.rank as u32,
+                },
+                t_round0,
+                self.epoch.elapsed().as_secs_f64(),
+            );
+        }
         Ok(out)
     }
 
@@ -339,6 +452,8 @@ impl ThreadedWorld {
         }
         let plan = Arc::new(plan);
         let alive: Arc<Vec<AtomicBool>> = Arc::new((0..p).map(|_| AtomicBool::new(true)).collect());
+        // One shared origin so all ranks' trace timestamps align.
+        let epoch = Instant::now();
 
         let body = &body;
         let senders_ref = &senders;
@@ -361,6 +476,8 @@ impl ThreadedWorld {
                         data_round: 0,
                         faults: FaultStats::default(),
                         scratch: ScratchPool::new(),
+                        trace: TraceSink::disabled(),
+                        epoch,
                     };
                     body(&mut ctx)
                 }));

@@ -21,7 +21,7 @@ use bgl_comm::collectives::{
     alltoall::alltoallv, reduce_scatter::reduce_scatter_union_ring, two_phase::two_phase_fold,
     Groups,
 };
-use bgl_comm::{OpClass, SimWorld, Vert};
+use bgl_comm::{OpClass, Phase, SimWorld, Vert};
 use bgl_graph::{DistGraph, Vertex};
 
 /// Run Algorithm 1 from `source`. The graph must be distributed on a
@@ -66,12 +66,14 @@ pub fn run(
 
         let frontier_sizes: Vec<u64> = states.iter().map(|s| s.frontier_len()).collect();
         let global_frontier = world.allreduce_sum(&frontier_sizes);
+        world.trace_span(Phase::Termination, level, time_at_start);
         if global_frontier == 0 {
             break;
         }
 
         // Local discovery straight from the frontier: N ← neighbors of F
         // (Algorithm 1 step 7). Edge lists are complete at the owner.
+        let t_discover = world.time();
         let blocks: Vec<Vec<Vec<Vert>>> = config.engine.map_mut(&mut states, |s| {
             let f = std::mem::take(&mut s.frontier);
             let out = s.discover(&[&f]);
@@ -79,7 +81,10 @@ pub fn run(
             out
         });
 
+        world.trace_span(Phase::Discover, level, t_discover);
+
         // Steps 8–13: send N_q to owner q.
+        let t_fold = world.time();
         let nbar: FoldOut = match config.fold {
             FoldStrategy::DirectAllToAll => {
                 let sends: Vec<Vec<(usize, Vec<Vert>)>> = blocks
@@ -109,7 +114,10 @@ pub fn run(
             ),
         };
 
+        world.trace_span(Phase::Fold, level, t_fold);
+
         // Steps 14–16: label new vertices.
+        let t_absorb = world.time();
         match &nbar {
             FoldOut::PerSender(lists) => {
                 let _: Vec<u64> = config.engine.zip_map(&mut states, lists, |s, lists| {
@@ -133,6 +141,8 @@ pub fn run(
                 target_level = Some(level + 1);
             }
         }
+        world.trace_span(Phase::Absorb, level, t_absorb);
+        world.trace_span(Phase::Level, level, time_at_start);
 
         let delta = world.stats.minus(&comm_snapshot);
         level_records.push(LevelStats {

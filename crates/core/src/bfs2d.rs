@@ -45,7 +45,7 @@ use bgl_comm::collectives::{
     two_phase::{two_phase_expand, two_phase_fold},
     Groups,
 };
-use bgl_comm::{CommError, OpClass, SimWorld, Vert, VertSet};
+use bgl_comm::{CommError, EventKind, OpClass, Phase, SimWorld, Vert, VertSet};
 use bgl_graph::{DistGraph, Vertex};
 
 /// The outcome of one distributed BFS run.
@@ -180,11 +180,13 @@ fn level_pass(
     // -- 1. termination check on global frontier size.
     let frontier_sizes: Vec<u64> = states.iter().map(|s| s.frontier_len()).collect();
     let global_frontier = world.allreduce_sum(&frontier_sizes);
+    world.trace_span(Phase::Termination, level, time_at_start);
     if global_frontier == 0 {
         return Ok(LevelOutcome::Exhausted);
     }
 
     // -- 2. expand.
+    let t_expand = world.time();
     let fbar: Vec<Vec<Vec<Vert>>> = match config.expand {
         ExpandStrategy::Targeted => {
             let sends: Vec<Vec<(usize, Vec<Vert>)>> = config
@@ -211,14 +213,20 @@ fn level_pass(
         }
     };
 
-    // -- 3. local discovery.
+    world.trace_span(Phase::Expand, level, t_expand);
+
+    // -- 3. local discovery. Zero-duration span in the simulator: the
+    // probe costs are charged in the absorb phase's hash pass.
+    let t_discover = world.time();
     let blocks: Vec<Vec<Vec<Vert>>> = config.engine.zip_map(states, &fbar, |s, lists| {
         let refs: Vec<&[Vert]> = lists.iter().map(Vec::as_slice).collect();
         s.discover(&refs)
     });
     drop(fbar);
+    world.trace_span(Phase::Discover, level, t_discover);
 
     // -- 4. fold.
+    let t_fold = world.time();
     let nbar: FoldOut = match config.fold {
         FoldStrategy::DirectAllToAll => {
             let sends: Vec<Vec<(usize, Vec<Vert>)>> = blocks
@@ -251,7 +259,10 @@ fn level_pass(
         }
     };
 
+    world.trace_span(Phase::Fold, level, t_fold);
+
     // -- 5. absorb + compute charge.
+    let t_absorb = world.time();
     match &nbar {
         FoldOut::PerSender(lists) => {
             let _: Vec<u64> = config.engine.zip_map(states, lists, |s, lists| {
@@ -276,6 +287,10 @@ fn level_pass(
             *target_level = Some(level + 1);
         }
     }
+    // The absorb span also covers the target-detection allreduce, so
+    // the level's phase spans partition its whole interval.
+    world.trace_span(Phase::Absorb, level, t_absorb);
+    world.trace_span(Phase::Level, level, time_at_start);
 
     let delta = world.stats.minus(&comm_snapshot);
     level_records.push(LevelStats {
@@ -405,6 +420,10 @@ fn engine(
             if level.is_multiple_of(rc.checkpoint_every.max(1)) {
                 snapshot = states.clone();
                 ckpt_level = level;
+                let t = world.time();
+                world
+                    .trace_mut()
+                    .world_event(EventKind::Checkpoint { level }, t, t);
             }
         }
 
@@ -486,6 +505,11 @@ fn engine(
                 }
                 target_level = None;
                 level = ckpt_level;
+                let t1 = world.time();
+                world
+                    .trace_mut()
+                    .world_event(EventKind::Recovery { rank: rank as u32 }, t0, t1);
+                world.trace_span(Phase::Recovery, ckpt_level, t0);
                 recovery_time += world.time() - t0;
             }
             Err(e) => return Err(e),

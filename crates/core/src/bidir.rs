@@ -27,7 +27,7 @@ use bgl_comm::collectives::{
     two_phase::{two_phase_expand, two_phase_fold},
     Groups,
 };
-use bgl_comm::{OpClass, SimWorld, Vert};
+use bgl_comm::{OpClass, Phase, SimWorld, Vert};
 use bgl_graph::{DistGraph, Vertex};
 
 /// Outcome of a bi-directional search.
@@ -131,6 +131,7 @@ pub fn run(
         let next_level = *depth as u32 + 1;
 
         // --- one full level of the chosen side (expand/discover/fold).
+        let t_expand = world.time();
         let fbar: Vec<Vec<Vec<Vert>>> = match config.expand {
             ExpandStrategy::Targeted => {
                 let sends: Vec<Vec<(usize, Vec<Vert>)>> = config
@@ -161,11 +162,15 @@ pub fn run(
                     .collect()
             }
         };
+        world.trace_span(Phase::Expand, iter, t_expand);
+        let t_discover = world.time();
         let blocks: Vec<Vec<Vec<Vert>>> = config.engine.zip_map(states, &fbar, |s, lists| {
             let refs: Vec<&[Vert]> = lists.iter().map(Vec::as_slice).collect();
             s.discover(&refs)
         });
         drop(fbar);
+        world.trace_span(Phase::Discover, iter, t_discover);
+        let t_fold = world.time();
         let nbar: FoldOut = match config.fold {
             FoldStrategy::DirectAllToAll => {
                 let sends: Vec<Vec<(usize, Vec<Vert>)>> = blocks
@@ -197,6 +202,8 @@ pub fn run(
                     .expect("bidirectional search runs fault-free"),
             ),
         };
+        world.trace_span(Phase::Fold, iter, t_fold);
+        let t_absorb = world.time();
         match &nbar {
             FoldOut::PerSender(lists) => {
                 let _: Vec<u64> = config.engine.zip_map(states, lists, |s, lists| {
@@ -231,6 +238,9 @@ pub fn run(
         let probes: Vec<u64> = states.iter_mut().map(RankState::take_probes).collect();
         world.hash_phase(&probes);
         candidate = candidate.min(world.allreduce_min(&best_local));
+        // Absorb also covers meet detection and the min-allreduce.
+        world.trace_span(Phase::Absorb, iter, t_absorb);
+        world.trace_span(Phase::Level, iter, time_at_start);
         *depth += 1;
 
         let delta = world.stats.minus(&comm_snapshot);

@@ -17,8 +17,9 @@
 use crate::reference::UNREACHED;
 use crate::state::RankState;
 use bgl_comm::threaded::ThreadedWorld;
-use bgl_comm::{CommError, FaultPlan, FaultStats, OpClass, Vert};
+use bgl_comm::{CommError, FaultPlan, FaultStats, OpClass, Phase, Vert};
 use bgl_graph::{DistGraph, Vertex};
+use bgl_trace::{TraceBuffer, TraceDetail, DEFAULT_RING_CAPACITY};
 
 /// What one rank of a faulty threaded run produced.
 #[derive(Debug, Clone)]
@@ -31,6 +32,18 @@ pub struct RankOutcome {
     pub faults: FaultStats,
     /// Wire-buffer allocations saved by the rank's scratch pool.
     pub scratch_reuses: u64,
+    /// This rank's trace recorder (only for traced runs).
+    pub trace: Option<TraceBuffer>,
+}
+
+/// A traced threaded run: the global level labels plus one merged trace
+/// buffer (every rank's recorder assembled onto its own track).
+#[derive(Debug, Clone)]
+pub struct TracedThreadedRun {
+    /// Global level labels, as [`run_threaded`] returns.
+    pub levels: Vec<u32>,
+    /// The merged trace: rank `r`'s events on track `r`.
+    pub buffer: TraceBuffer,
 }
 
 /// Run a BFS from `source` using one thread per rank. Returns the global
@@ -46,6 +59,32 @@ pub fn run_threaded(graph: &DistGraph, source: Vertex, use_sent: bool) -> Vec<u3
     levels
 }
 
+/// [`run_threaded`] with per-rank tracing enabled (fault-free). Each
+/// rank records wall-clock spans for the same collective phases the
+/// simulator traces — termination, expand, discover, fold, absorb and
+/// the whole level — so the two runtimes' traces are comparable span
+/// set against span set.
+pub fn run_threaded_traced(
+    graph: &DistGraph,
+    source: Vertex,
+    use_sent: bool,
+    detail: TraceDetail,
+) -> TracedThreadedRun {
+    let per_rank = run_threaded_inner(graph, source, use_sent, FaultPlan::none(), Some(detail));
+    let p = graph.grid().len();
+    let mut buffer = TraceBuffer::new(p, DEFAULT_RING_CAPACITY);
+    let mut levels = vec![UNREACHED; graph.spec.n as usize];
+    for (rank, out) in per_rank.into_iter().enumerate() {
+        let out = out.expect("fault-free threaded run cannot fail");
+        let s = out.owned_start as usize;
+        levels[s..s + out.levels.len()].copy_from_slice(&out.levels);
+        if let Some(buf) = &out.trace {
+            buffer.absorb_rank(rank, buf);
+        }
+    }
+    TracedThreadedRun { levels, buffer }
+}
+
 /// [`run_threaded`] under a deterministic [`FaultPlan`]. Each rank
 /// reports its own outcome: the labels it computed plus its fault
 /// counters, or the typed error that aborted it.
@@ -55,27 +94,47 @@ pub fn run_threaded_with_faults(
     use_sent: bool,
     plan: FaultPlan,
 ) -> Vec<Result<RankOutcome, CommError>> {
+    run_threaded_inner(graph, source, use_sent, plan, None)
+}
+
+fn run_threaded_inner(
+    graph: &DistGraph,
+    source: Vertex,
+    use_sent: bool,
+    plan: FaultPlan,
+    trace: Option<TraceDetail>,
+) -> Vec<Result<RankOutcome, CommError>> {
     let grid = graph.grid();
     assert!(source < graph.spec.n);
 
     ThreadedWorld::run_with(grid, plan, |ctx| -> Result<RankOutcome, CommError> {
         let rank = ctx.rank();
+        if let Some(detail) = trace {
+            ctx.enable_trace(detail);
+        }
         let mut st = RankState::new(&graph.ranks[rank], graph.partition, use_sent);
         st.init_source(source);
 
         let mut level: u32 = 0;
         loop {
+            let t_level = ctx.trace_now();
             let global_frontier = ctx.allreduce_sum(st.frontier_len())?;
+            ctx.trace_span(Phase::Termination, level, t_level);
             if global_frontier == 0 {
                 break;
             }
             // Expand (targeted) — one world round.
+            let t_expand = ctx.trace_now();
             let sends: Vec<(usize, Vec<Vert>)> = st.expand_sends_targeted();
             let fbar = ctx.exchange(OpClass::Expand, sends)?;
+            ctx.trace_span(Phase::Expand, level, t_expand);
+            let t_discover = ctx.trace_now();
             let fbar_refs: Vec<&[Vert]> = fbar.iter().map(|(_, pl)| pl.as_slice()).collect();
             // Discover + fold (direct all-to-all) — one world round.
             let blocks = st.discover(&fbar_refs);
             drop(fbar_refs);
+            ctx.trace_span(Phase::Discover, level, t_discover);
+            let t_fold = ctx.trace_now();
             for (_, pl) in fbar {
                 ctx.scratch_put(pl);
             }
@@ -87,12 +146,16 @@ pub fn run_threaded_with_faults(
                 .map(|(m, b)| (grid.rank_of(i, m), b))
                 .collect();
             let nbar = ctx.exchange(OpClass::Fold, sends)?;
+            ctx.trace_span(Phase::Fold, level, t_fold);
+            let t_absorb = ctx.trace_now();
             let nbar_refs: Vec<&[Vert]> = nbar.iter().map(|(_, pl)| pl.as_slice()).collect();
             st.absorb(&nbar_refs, level + 1);
             drop(nbar_refs);
             for (_, pl) in nbar {
                 ctx.scratch_put(pl);
             }
+            ctx.trace_span(Phase::Absorb, level, t_absorb);
+            ctx.trace_span(Phase::Level, level, t_level);
             level += 1;
         }
         Ok(RankOutcome {
@@ -100,6 +163,7 @@ pub fn run_threaded_with_faults(
             levels: st.levels,
             scratch_reuses: ctx.scratch_reuses(),
             faults: ctx.faults,
+            trace: ctx.take_trace(),
         })
     })
 }

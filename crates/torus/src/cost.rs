@@ -199,6 +199,14 @@ impl LinkTraffic {
         self.per_link.len()
     }
 
+    /// Total bytes summed over every directed link — i.e. Σ bytes × hops
+    /// across all routed transfers (each transfer's bytes land once per
+    /// link its route crosses). The trace subsystem's link heatmap must
+    /// reproduce this number exactly from recorded send events.
+    pub fn sum_link_bytes(&self) -> u64 {
+        self.per_link.values().sum()
+    }
+
     /// Contention-aware lower bound on drain time: the busiest link's
     /// bytes divided by link bandwidth.
     pub fn congestion_time(&self, machine: &MachineConfig) -> f64 {

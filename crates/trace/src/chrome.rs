@@ -1,0 +1,184 @@
+//! Chrome `trace_event` JSON exporter.
+//!
+//! Renders a [`TraceBuffer`] into the Trace Event Format consumed by
+//! `chrome://tracing` and Perfetto: one process (`pid 0`), one thread
+//! track per simulated rank, plus a "world" track carrying spans, rounds
+//! and compute passes (whose scope is the whole synchronous machine).
+//! Durations use complete events (`"ph":"X"`); instantaneous records
+//! (checkpoints, deaths) use instant events (`"ph":"i"`). Timestamps are
+//! microseconds on the run's clock.
+
+use crate::event::{EventKind, TraceEvent};
+use crate::json::{push_f64, push_str_lit};
+use crate::recorder::TraceBuffer;
+use std::fmt::Write as _;
+
+/// Render `buf` as a Chrome trace_event JSON document.
+pub fn chrome_trace(buf: &TraceBuffer) -> String {
+    let ranks = buf.ranks();
+    let mut out = String::with_capacity(256 + 160 * buf.len());
+    out.push_str("{\"displayTimeUnit\":\"ms\",\"traceEvents\":[");
+    out.push_str(
+        "{\"ph\":\"M\",\"pid\":0,\"name\":\"process_name\",\"args\":{\"name\":\"bgl-bfs\"}}",
+    );
+    for r in 0..ranks {
+        let _ = write!(
+            out,
+            ",{{\"ph\":\"M\",\"pid\":0,\"tid\":{r},\"name\":\"thread_name\",\
+             \"args\":{{\"name\":\"rank {r}\"}}}}"
+        );
+    }
+    let _ = write!(
+        out,
+        ",{{\"ph\":\"M\",\"pid\":0,\"tid\":{ranks},\"name\":\"thread_name\",\
+         \"args\":{{\"name\":\"world\"}}}}"
+    );
+    for (track, ev) in buf.events() {
+        out.push(',');
+        push_event(&mut out, track, &ev);
+    }
+    out.push_str("]}");
+    out
+}
+
+fn push_event(out: &mut String, tid: usize, ev: &TraceEvent) {
+    let (name, cat): (String, &str) = match ev.kind {
+        EventKind::Span { phase, level } => (format!("{} {level}", phase.name()), "span"),
+        EventKind::Round { op, .. } => (format!("{} round", op.name()), "round"),
+        EventKind::Send { from, to, .. } => (format!("send {from}->{to}"), "send"),
+        EventKind::Retransmit { from, to, .. } => (format!("retransmit {from}->{to}"), "fault"),
+        EventKind::Compute { comp, .. } => (format!("{} pass", comp.name()), "compute"),
+        EventKind::TreeAllreduce => ("tree allreduce".into(), "control"),
+        EventKind::Checkpoint { level } => (format!("checkpoint @{level}"), "resilience"),
+        EventKind::RankDeath { rank, .. } => (format!("rank {rank} died"), "fault"),
+        EventKind::Recovery { rank } => (format!("recover rank {rank}"), "resilience"),
+    };
+    let instant = matches!(
+        ev.kind,
+        EventKind::Checkpoint { .. } | EventKind::RankDeath { .. }
+    );
+    out.push_str("{\"name\":");
+    push_str_lit(out, &name);
+    let _ = write!(out, ",\"cat\":\"{cat}\",\"pid\":0,\"tid\":{tid},\"ts\":");
+    push_f64(out, ev.t0 * 1e6);
+    if instant {
+        out.push_str(",\"ph\":\"i\",\"s\":\"g\"");
+    } else {
+        out.push_str(",\"ph\":\"X\",\"dur\":");
+        push_f64(out, ev.duration() * 1e6);
+    }
+    out.push_str(",\"args\":{");
+    match ev.kind {
+        EventKind::Span { level, .. } => {
+            let _ = write!(out, "\"level\":{level}");
+        }
+        EventKind::Round {
+            messages,
+            verts,
+            bottleneck,
+            ..
+        } => {
+            let _ = write!(
+                out,
+                "\"messages\":{messages},\"verts\":{verts},\"bottleneck_rank\":{bottleneck}"
+            );
+        }
+        EventKind::Send { bytes, hops, .. } => {
+            let _ = write!(out, "\"bytes\":{bytes},\"hops\":{hops}");
+        }
+        EventKind::Retransmit { retries, .. } => {
+            let _ = write!(out, "\"retries\":{retries}");
+        }
+        EventKind::Compute { bottleneck, .. } => {
+            let _ = write!(out, "\"bottleneck_rank\":{bottleneck}");
+        }
+        EventKind::TreeAllreduce => {}
+        EventKind::Checkpoint { level } => {
+            let _ = write!(out, "\"level\":{level}");
+        }
+        EventKind::RankDeath { round, .. } => {
+            let _ = write!(out, "\"round\":{round}");
+        }
+        EventKind::Recovery { rank } => {
+            let _ = write!(out, "\"rank\":{rank}");
+        }
+    }
+    out.push_str("}}");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ComputeKind, OpKind, Phase};
+    use crate::json;
+
+    #[test]
+    fn exporter_output_is_valid_json_with_expected_tracks() {
+        let mut buf = TraceBuffer::new(2, 16);
+        buf.push_world(TraceEvent {
+            kind: EventKind::Span {
+                phase: Phase::Level,
+                level: 0,
+            },
+            t0: 0.0,
+            t1: 2e-3,
+        });
+        buf.push_world(TraceEvent {
+            kind: EventKind::Round {
+                op: OpKind::Expand,
+                messages: 3,
+                verts: 40,
+                bottleneck: 1,
+            },
+            t0: 1e-4,
+            t1: 9e-4,
+        });
+        buf.push_world(TraceEvent {
+            kind: EventKind::Compute {
+                comp: ComputeKind::Hash,
+                bottleneck: 0,
+            },
+            t0: 1e-3,
+            t1: 1.5e-3,
+        });
+        buf.push_rank(
+            1,
+            TraceEvent {
+                kind: EventKind::Send {
+                    from: 1,
+                    to: 0,
+                    bytes: 320,
+                    hops: 2,
+                },
+                t0: 1e-4,
+                t1: 5e-4,
+            },
+        );
+        buf.push_world(TraceEvent {
+            kind: EventKind::RankDeath { rank: 1, round: 4 },
+            t0: 2e-3,
+            t1: 2e-3,
+        });
+        let doc = chrome_trace(&buf);
+        let v = json::parse(&doc).expect("exporter must emit valid JSON");
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        // 3 metadata (process + 2 ranks... plus world) => 4 metadata + 5 events.
+        assert_eq!(events.len(), 4 + 5);
+        let names: Vec<&str> = events
+            .iter()
+            .filter_map(|e| e.get("name").and_then(|n| n.as_str()))
+            .collect();
+        assert!(names.contains(&"level 0"));
+        assert!(names.contains(&"send 1->0"));
+        assert!(names.contains(&"rank 1 died"));
+        // The world track id is ranks() == 2.
+        let world_span = events
+            .iter()
+            .find(|e| e.get("name").and_then(|n| n.as_str()) == Some("level 0"))
+            .unwrap();
+        assert_eq!(world_span.get("tid").unwrap().as_f64(), Some(2.0));
+        assert_eq!(world_span.get("ph").unwrap().as_str(), Some("X"));
+        // ts/dur are microseconds.
+        assert_eq!(world_span.get("dur").unwrap().as_f64(), Some(2e3));
+    }
+}

@@ -1,0 +1,39 @@
+//! # bgl-trace — structured tracing for the BFS reproduction
+//!
+//! A zero-cost-when-disabled event/span recorder keyed to the run's
+//! clock (the simulator's deterministic α–β–hop time, or wall-clock in
+//! the threaded runtime), with three consumers:
+//!
+//! * [`chrome::chrome_trace`] — Chrome `trace_event` JSON, one track per
+//!   simulated rank plus a world track (load in `chrome://tracing` or
+//!   Perfetto);
+//! * [`heatmap::LinkHeatmap`] — torus link-utilization heatmap (bytes ×
+//!   hops per physical link along dimension-ordered routes, top-k
+//!   hotspot table);
+//! * [`critical::CriticalPath`] — per-level critical-path analysis
+//!   naming the phase/rank bounding each level, exported as
+//!   `TRACE_summary.json`.
+//!
+//! The runtimes carry a [`TraceSink`]: disabled it is a single `None`
+//! word and every emit call is one predictable branch — no buffers, no
+//! heap traffic, bit-identical clocks. Enabled, events land in per-rank
+//! bounded [`recorder::Ring`]s that overwrite their oldest records (and
+//! count drops) instead of growing without bound.
+
+#![forbid(unsafe_code)]
+
+pub mod chrome;
+pub mod critical;
+pub mod event;
+pub mod heatmap;
+pub mod json;
+pub mod recorder;
+pub mod report;
+mod sink;
+
+pub use critical::{CriticalPath, LevelCritical, PhaseSlice};
+pub use event::{ComputeKind, EventKind, OpKind, Phase, TraceEvent};
+pub use heatmap::LinkHeatmap;
+pub use recorder::{Ring, TraceBuffer, DEFAULT_RING_CAPACITY};
+pub use report::{write_artifacts, TraceReport};
+pub use sink::{TraceDetail, TraceSink};

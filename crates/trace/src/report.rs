@@ -1,0 +1,55 @@
+//! One-call trace artifact emission.
+//!
+//! [`write_artifacts`] turns a recorded [`TraceBuffer`] into the two
+//! on-disk consumers — `TRACE_chrome.json` (load in `chrome://tracing`
+//! or Perfetto) and `TRACE_summary.json` (the critical-path analysis) —
+//! and returns the in-memory analyses for printing. Shared by the CLI,
+//! the bench harness and the examples.
+
+use crate::chrome::chrome_trace;
+use crate::critical::CriticalPath;
+use crate::heatmap::LinkHeatmap;
+use crate::recorder::TraceBuffer;
+use bgl_torus::{MachineConfig, TaskMapping};
+use std::path::{Path, PathBuf};
+
+/// What [`write_artifacts`] produced.
+#[derive(Debug)]
+pub struct TraceReport {
+    /// Per-level critical-path analysis.
+    pub critical: CriticalPath,
+    /// Link-utilization heatmap (empty at span-level detail — sends are
+    /// only recorded at event detail).
+    pub heatmap: LinkHeatmap,
+    /// Where the Chrome trace was written.
+    pub chrome_path: PathBuf,
+    /// Where the summary JSON was written.
+    pub summary_path: PathBuf,
+    /// Events overwritten by full rings (0 means the trace is complete).
+    pub dropped_events: u64,
+}
+
+/// Analyze `buf` and write `TRACE_chrome.json` + `TRACE_summary.json`
+/// into `dir` (created if missing).
+pub fn write_artifacts(
+    buf: &TraceBuffer,
+    mapping: &TaskMapping,
+    machine: &MachineConfig,
+    dir: &Path,
+) -> std::io::Result<TraceReport> {
+    std::fs::create_dir_all(dir)?;
+    let chrome_path = dir.join("TRACE_chrome.json");
+    std::fs::write(&chrome_path, chrome_trace(buf))?;
+    let critical = CriticalPath::analyze(buf);
+    let summary_path = dir.join("TRACE_summary.json");
+    std::fs::write(&summary_path, critical.to_summary_json())?;
+    let all_events: Vec<_> = buf.events().into_iter().map(|(_, ev)| ev).collect();
+    let heatmap = LinkHeatmap::from_events(all_events.iter(), mapping, machine);
+    Ok(TraceReport {
+        critical,
+        heatmap,
+        chrome_path,
+        summary_path,
+        dropped_events: buf.dropped(),
+    })
+}

@@ -12,10 +12,13 @@
 use bgl_bfs::comm::ChunkPolicy;
 use bgl_bfs::core::{bfs2d, bidir, memory, path, theory, ComputeEngine};
 use bgl_bfs::torus::MachineConfig;
+use bgl_bfs::trace::write_artifacts;
 use bgl_bfs::{
     BfsConfig, DistGraph, FaultPlan, GraphSpec, ProcessorGrid, ResilientConfig, SimWorld,
+    TraceDetail,
 };
 use std::collections::HashMap;
+use std::path::Path;
 
 const HELP: &str = "\
 bgl-bfs — scalable distributed-parallel BFS (Yoo et al., SC'05) on a simulated BlueGene/L
@@ -27,6 +30,9 @@ COMMANDS
            host execution: [--engine serial|rayon|auto] (bit-identical results either way)
            fault injection (non-bidir): [--drop-rate 0.1] [--dead-rank 3 [--dead-at 4]]
            [--fault-seed 7] — runs the checkpoint/recover engine and prints fault counters
+           tracing: [--trace] [--trace-out results/trace] [--trace-level span|event] —
+           writes TRACE_chrome.json + TRACE_summary.json and prints the per-level
+           critical path and the hottest torus links
   path     extract a shortest path (flags as search, --target required)
   theory   print the §3.1 message-length analysis (--n --p [--kmax])
   memory   per-node memory feasibility (--per-rank --k --rows --cols [--chunk])
@@ -91,6 +97,48 @@ fn engine_from(flags: &Flags) -> ComputeEngine {
     }
 }
 
+/// `--trace` / `--trace-out` / `--trace-level` imply tracing; the level
+/// defaults to full event detail.
+fn trace_detail_from(flags: &Flags) -> Option<TraceDetail> {
+    if !flags.has("trace") && !flags.has("trace-out") && !flags.has("trace-level") {
+        return None;
+    }
+    Some(match flags.0.get("trace-level") {
+        None => TraceDetail::default(),
+        Some(s) => TraceDetail::parse(s)
+            .unwrap_or_else(|| panic!("--trace-level: {s:?} (expected span or event)")),
+    })
+}
+
+/// Drain the world's trace, write the on-disk artifacts, and print the
+/// critical-path and link-hotspot tables.
+fn emit_trace_artifacts(world: &mut SimWorld, flags: &Flags) {
+    let Some(buf) = world.take_trace() else {
+        return;
+    };
+    let default_dir = "results/trace".to_string();
+    let dir = flags.0.get("trace-out").unwrap_or(&default_dir);
+    let machine = *world.cost_model().machine();
+    let report = write_artifacts(&buf, world.mapping(), &machine, Path::new(dir))
+        .unwrap_or_else(|e| panic!("--trace-out {dir:?}: {e}"));
+    println!(
+        "trace: wrote {} and {}",
+        report.chrome_path.display(),
+        report.summary_path.display()
+    );
+    print!("{}", report.critical.render_table());
+    if report.heatmap.sends() > 0 {
+        println!("hottest links (of {} used):", report.heatmap.links_used());
+        print!("{}", report.heatmap.render_table(5));
+    }
+    if report.dropped_events > 0 {
+        println!(
+            "trace: {} events overwritten by full rings (raise ring capacity for complete traces)",
+            report.dropped_events
+        );
+    }
+}
+
 fn grid_from(flags: &Flags) -> ProcessorGrid {
     ProcessorGrid::new(flags.u64("rows", 4) as usize, flags.u64("cols", 4) as usize)
 }
@@ -127,8 +175,12 @@ fn cmd_search(flags: &Flags) {
         );
     }
     let faulty = plan.is_active();
+    let trace = trace_detail_from(flags);
 
     let mut world = SimWorld::bluegene(grid);
+    if let Some(detail) = trace {
+        world.enable_trace(detail);
+    }
 
     if flags.has("bidir") {
         if faulty {
@@ -152,6 +204,7 @@ fn cmd_search(flags: &Flags) {
             r.stats.comm_time * 1e3,
             r.stats.total_received()
         );
+        emit_trace_artifacts(&mut world, flags);
         return;
     }
 
@@ -161,6 +214,9 @@ fn cmd_search(flags: &Flags) {
     }
     let r = if faulty {
         world = SimWorld::bluegene(grid).with_fault_plan(plan);
+        if let Some(detail) = trace {
+            world.enable_trace(detail);
+        }
         let res = bfs2d::run_resilient(
             &graph,
             &mut world,
@@ -231,6 +287,7 @@ fn cmd_search(flags: &Flags) {
             f.recoveries
         );
     }
+    emit_trace_artifacts(&mut world, flags);
 }
 
 fn cmd_path(flags: &Flags) {

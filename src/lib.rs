@@ -6,7 +6,9 @@
 //! * [`torus`] (`bgl-torus`) — the 3D torus machine model;
 //! * [`comm`] (`bgl-comm`) — rank runtimes and collectives;
 //! * [`graph`] (`bgl-graph`) — distributed Poisson/R-MAT graphs;
-//! * [`core`] (`bfs-core`) — the BFS algorithms and theory.
+//! * [`core`] (`bfs-core`) — the BFS algorithms and theory;
+//! * [`trace`] (`bgl-trace`) — structured tracing: Chrome trace export,
+//!   torus link heatmaps, critical-path analysis.
 //!
 //! See the workspace README for a tour and `examples/` for runnable
 //! entry points (`cargo run --release --example quickstart`).
@@ -17,9 +19,11 @@ pub use bfs_core as core;
 pub use bgl_comm as comm;
 pub use bgl_graph as graph;
 pub use bgl_torus as torus;
+pub use bgl_trace as trace;
 
 pub use bfs_core::{
     bfs1d, bfs2d, bidir, theory, BfsConfig, ExpandStrategy, FoldStrategy, ResilientConfig,
 };
 pub use bgl_comm::{CommError, FaultPlan, ProcessorGrid, SimWorld};
 pub use bgl_graph::{DistGraph, GraphSpec};
+pub use bgl_trace::{CriticalPath, LinkHeatmap, TraceDetail};
