@@ -12,6 +12,7 @@
 //! ```
 
 use bfs_core::{bfs2d, BfsConfig, ComputeEngine};
+use bgl_bench::exp;
 use bgl_bench::harness::Args;
 use bgl_comm::{ProcessorGrid, SimWorld, Vert, VertSet, VsetPolicy};
 use bgl_graph::{DistGraph, GraphSpec};
@@ -31,6 +32,7 @@ Flags:
   --degree K     mean degree of the engine benchmark graph (default 8)
   --rows R       processor grid rows (default 8)
   --cols C       processor grid cols (default 8)
+  --engine-threads N  rayon worker threads (default: max(4, host cores))
   --out PATH     output path (default BENCH_setops.json)
 ";
 
@@ -87,6 +89,17 @@ fn main() {
     let cols = args.u64("cols", 8) as usize;
     let out = args.str("out").unwrap_or("BENCH_setops.json").to_string();
 
+    // The engine benchmark needs real worker threads to mean anything:
+    // default to at least 4 even on skinny hosts (the JSON records the
+    // true core count separately so consumers can judge the speedup).
+    let host_threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    if args.str("engine-threads").is_some() {
+        exp::apply_engine_threads(&args);
+    } else {
+        rayon::set_worker_threads(host_threads.max(4));
+    }
+    let engine_threads = rayon::current_num_threads();
+
     // --- Union kernels: list vs bitmap accumulator. -------------------
     let payload = dense_blocks(blocks, span);
     let elems: u64 = payload.iter().map(|b| b.len() as u64).sum();
@@ -107,8 +120,8 @@ fn main() {
     let spec = GraphSpec::poisson(n, degree, 4242);
     let graph = DistGraph::build(spec, grid);
     eprintln!(
-        "engine: n={n} degree={degree} grid {rows}x{cols} ({} host threads)",
-        std::thread::available_parallelism().map_or(1, |p| p.get())
+        "engine: n={n} degree={degree} grid {rows}x{cols} \
+         ({host_threads} host cores, {engine_threads} worker threads)"
     );
     let serial_s = time_engine(&graph, ComputeEngine::Serial, reps);
     let rayon_s = time_engine(&graph, ComputeEngine::Rayon, reps);
@@ -133,11 +146,8 @@ fn main() {
     let _ = writeln!(json, "    \"n\": {n},");
     let _ = writeln!(json, "    \"degree\": {degree},");
     let _ = writeln!(json, "    \"grid\": \"{rows}x{cols}\",");
-    let _ = writeln!(
-        json,
-        "    \"host_threads\": {},",
-        std::thread::available_parallelism().map_or(1, |p| p.get())
-    );
+    let _ = writeln!(json, "    \"host_threads\": {host_threads},");
+    let _ = writeln!(json, "    \"engine_threads\": {engine_threads},");
     let _ = writeln!(json, "    \"serial_ms\": {:.3},", serial_s * 1e3);
     let _ = writeln!(json, "    \"rayon_ms\": {:.3},", rayon_s * 1e3);
     let _ = writeln!(json, "    \"rayon_speedup\": {engine_speedup:.3}");

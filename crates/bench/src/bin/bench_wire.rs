@@ -1,0 +1,203 @@
+//! Host-side evidence for the wire-codec PR: measures how many bytes
+//! the adaptive codec takes off the simulated torus links, what that
+//! does to simulated BFS time, and what the rayon-parallel superstep
+//! scheduler does to host wall-clock. Writes `BENCH_wire.json`.
+//!
+//! With `--check` the binary exits non-zero when the numbers miss the
+//! PR's acceptance floors (CI smoke):
+//!
+//! * wire compression ratio on the default Poisson graph ≥ 1.5× —
+//!   deterministic, checked unconditionally;
+//! * rayon superstep speedup ≥ 1.2× — wall-clock, only checked when
+//!   the host really has ≥ 4 cores (a 1-core runner cannot speed up).
+//!
+//! ```text
+//! cargo run --release -p bgl-bench --bin bench_wire [-- --check]
+//! ```
+
+use bfs_core::{bfs2d, BfsConfig, ComputeEngine};
+use bgl_bench::exp;
+use bgl_bench::harness::Args;
+use bgl_comm::{ProcessorGrid, SimWorld, WireMode, WirePolicy};
+use bgl_graph::{DistGraph, GraphSpec};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+const HELP: &str = "\
+bench_wire — wire-codec compression and parallel-superstep benchmark
+
+Writes BENCH_wire.json (override with --out).
+
+Flags:
+  --n N          vertices in the benchmark graph (default 60000)
+  --degree K     mean degree (default 10)
+  --rows R       processor grid rows (default 8)
+  --cols C       processor grid cols (default 8)
+  --reps N       wall-clock timing repetitions, best-of (default 5)
+  --engine-threads N  rayon worker threads (default: max(4, host cores))
+  --out PATH     output path (default BENCH_wire.json)
+  --check        exit non-zero if acceptance floors are missed (CI)
+";
+
+/// Compression floor checked unconditionally (deterministic).
+const MIN_COMPRESSION: f64 = 1.5;
+/// Speedup floor checked only on hosts with at least this many cores.
+const MIN_SPEEDUP: f64 = 1.2;
+const SPEEDUP_MIN_CORES: usize = 4;
+
+/// One simulated run under `mode`; returns (logical, wire, sim_time,
+/// codec_time).
+fn coded_run(graph: &DistGraph, mode: WireMode) -> (u64, u64, f64, f64) {
+    let mut world = SimWorld::bluegene(graph.grid()).with_wire_policy(WirePolicy::with_mode(mode));
+    let r = bfs2d::run(graph, &mut world, &BfsConfig::paper_optimized(), 0);
+    (
+        r.stats.comm.total_logical_bytes(),
+        r.stats.comm.total_wire_bytes(),
+        r.stats.sim_time,
+        r.stats.codec_time,
+    )
+}
+
+/// Best-of-`reps` host wall-clock seconds for a full coded run under
+/// `engine`.
+fn time_engine(graph: &DistGraph, engine: ComputeEngine, reps: u64) -> f64 {
+    let config = BfsConfig::paper_optimized().with_engine(engine);
+    let mut best = f64::INFINITY;
+    for _ in 0..reps {
+        let mut world = SimWorld::bluegene(graph.grid()).with_wire_policy(WirePolicy::auto());
+        let start = Instant::now();
+        let r = bfs2d::run(graph, &mut world, &config, 0);
+        best = best.min(start.elapsed().as_secs_f64());
+        std::hint::black_box(r.stats.sim_time);
+    }
+    best
+}
+
+fn main() {
+    let args = Args::parse();
+    if args.wants_help() {
+        print!("{HELP}");
+        return;
+    }
+    let n = args.u64("n", 60_000);
+    let degree = args.f64("degree", 10.0);
+    let rows = args.u64("rows", 8) as usize;
+    let cols = args.u64("cols", 8) as usize;
+    let reps = args.u64("reps", 5).max(1);
+    let out = args.str("out").unwrap_or("BENCH_wire.json").to_string();
+    let check = args.bool("check", false);
+
+    let host_threads = std::thread::available_parallelism().map_or(1, |p| p.get());
+    if args.str("engine-threads").is_some() {
+        exp::apply_engine_threads(&args);
+    } else {
+        rayon::set_worker_threads(host_threads.max(4));
+    }
+    let engine_threads = rayon::current_num_threads();
+
+    let grid = ProcessorGrid::new(rows, cols);
+    let spec = GraphSpec::poisson(n, degree, 4242);
+    let graph = DistGraph::build(spec, grid);
+
+    // --- Compression: every codec mode over the same search. ----------
+    eprintln!("wire codec: n={n} degree={degree} grid {rows}x{cols}");
+    let modes = [
+        WireMode::Raw,
+        WireMode::Delta,
+        WireMode::Bitmap,
+        WireMode::Auto,
+    ];
+    let mut per_mode = Vec::new();
+    for mode in modes {
+        let (logical, wire, sim_s, codec_s) = coded_run(&graph, mode);
+        let ratio = if wire == 0 {
+            1.0
+        } else {
+            logical as f64 / wire as f64
+        };
+        eprintln!(
+            "  {:<6} {:>8.2} MB on the wire ({ratio:>5.2}x), sim {:>7.3} ms ({:.3} ms codec)",
+            mode.name(),
+            wire as f64 / 1e6,
+            sim_s * 1e3,
+            codec_s * 1e3
+        );
+        per_mode.push((mode, logical, wire, ratio, sim_s, codec_s));
+    }
+    let auto = per_mode[3];
+    let raw = per_mode[0];
+    let compression = auto.3;
+    let sim_speedup = raw.4 / auto.4;
+    eprintln!("  auto codec: {compression:.2}x fewer bytes, {sim_speedup:.2}x simulated speedup");
+
+    // --- Superstep scheduler: serial vs rayon host wall-clock. --------
+    eprintln!("engine: {host_threads} host cores, {engine_threads} worker threads");
+    let serial_s = time_engine(&graph, ComputeEngine::Serial, reps);
+    let rayon_s = time_engine(&graph, ComputeEngine::Rayon, reps);
+    let engine_speedup = serial_s / rayon_s;
+    eprintln!("  serial  {:>9.1} ms", serial_s * 1e3);
+    eprintln!(
+        "  rayon   {:>9.1} ms   ({engine_speedup:.2}x)",
+        rayon_s * 1e3
+    );
+
+    // --- Emit (hand-formatted: the bench crate carries no serde). -----
+    let mut json = String::from("{\n");
+    let _ = writeln!(json, "  \"graph\": {{");
+    let _ = writeln!(json, "    \"n\": {n},");
+    let _ = writeln!(json, "    \"degree\": {degree},");
+    let _ = writeln!(json, "    \"grid\": \"{rows}x{cols}\"");
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"wire\": {{");
+    for (i, (mode, logical, wire, ratio, sim_s, codec_s)) in per_mode.iter().enumerate() {
+        let comma = if i + 1 < per_mode.len() { "," } else { "" };
+        let _ = writeln!(
+            json,
+            "    \"{}\": {{ \"logical_bytes\": {logical}, \"wire_bytes\": {wire}, \
+             \"compression_ratio\": {ratio:.3}, \"sim_ms\": {:.3}, \"codec_ms\": {:.3} }}{comma}",
+            mode.name(),
+            sim_s * 1e3,
+            codec_s * 1e3
+        );
+    }
+    let _ = writeln!(json, "  }},");
+    let _ = writeln!(json, "  \"compression_ratio\": {compression:.3},");
+    let _ = writeln!(json, "  \"sim_speedup_auto_vs_raw\": {sim_speedup:.3},");
+    let _ = writeln!(json, "  \"superstep_engine\": {{");
+    let _ = writeln!(json, "    \"host_threads\": {host_threads},");
+    let _ = writeln!(json, "    \"engine_threads\": {engine_threads},");
+    let _ = writeln!(json, "    \"serial_ms\": {:.3},", serial_s * 1e3);
+    let _ = writeln!(json, "    \"rayon_ms\": {:.3},", rayon_s * 1e3);
+    let _ = writeln!(json, "    \"rayon_speedup\": {engine_speedup:.3}");
+    let _ = writeln!(json, "  }}");
+    json.push_str("}\n");
+    std::fs::write(&out, &json).unwrap_or_else(|e| panic!("writing {out}: {e}"));
+    println!("wrote {out}");
+
+    if check {
+        let mut failed = false;
+        if compression < MIN_COMPRESSION {
+            eprintln!(
+                "FAIL: wire compression {compression:.2}x below the {MIN_COMPRESSION}x floor"
+            );
+            failed = true;
+        }
+        if host_threads >= SPEEDUP_MIN_CORES {
+            if engine_speedup < MIN_SPEEDUP {
+                eprintln!(
+                    "FAIL: rayon speedup {engine_speedup:.2}x below the {MIN_SPEEDUP}x floor \
+                     on a {host_threads}-core host"
+                );
+                failed = true;
+            }
+        } else {
+            eprintln!(
+                "note: speedup gate skipped ({host_threads} host cores < {SPEEDUP_MIN_CORES})"
+            );
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        println!("check passed");
+    }
+}

@@ -1,7 +1,8 @@
 //! Shared experiment plumbing for the figure/table binaries.
 
+use crate::harness::Args;
 use bfs_core::{bfs2d, bidir, BfsConfig};
-use bgl_comm::{ProcessorGrid, SimWorld};
+use bgl_comm::{ProcessorGrid, SimWorld, WireMode, WirePolicy};
 use bgl_graph::{DistGraph, GraphSpec};
 
 /// Deterministic per-experiment source vertices: spread across the
@@ -18,6 +19,31 @@ pub fn build(spec: GraphSpec, grid: ProcessorGrid) -> (DistGraph, SimWorld) {
     let graph = DistGraph::build(spec, grid);
     let world = SimWorld::bluegene(grid);
     (graph, world)
+}
+
+/// Parse the shared `--wire auto|raw|delta|bitmap` flag: the wire-codec
+/// policy applied to every exchange (raw = codec off, the default, so
+/// existing experiment outputs are unchanged unless asked for).
+pub fn wire_policy(args: &Args) -> WirePolicy {
+    match args.str("wire") {
+        None => WirePolicy::raw(),
+        Some(s) => WirePolicy::with_mode(
+            WireMode::parse(s)
+                .unwrap_or_else(|| panic!("--wire expects auto, raw, delta, or bitmap; got {s:?}")),
+        ),
+    }
+}
+
+/// Apply the shared `--engine-threads N` flag: overrides how many host
+/// worker threads the rayon compute engine uses (0 or absent = one per
+/// available core). Call once at binary start, before any searches.
+pub fn apply_engine_threads(args: &Args) {
+    if let Some(n) = args.str("engine-threads") {
+        let n: usize = n
+            .parse()
+            .unwrap_or_else(|_| panic!("--engine-threads expects an integer, got {n:?}"));
+        rayon::set_worker_threads(n);
+    }
 }
 
 /// Outcome of averaging several searches.

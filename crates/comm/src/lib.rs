@@ -47,14 +47,16 @@ pub mod stats;
 pub mod threaded;
 pub mod topology;
 pub mod vset;
+pub mod wire;
 
 pub use buffer::{ChunkPolicy, ScratchPool};
 pub use error::CommError;
 pub use sim::SimWorld;
 pub use stats::{CommStats, FaultStats, OpClass, SetOpStats};
-pub use threaded::ThreadedWorld;
+pub use threaded::{ThreadedWorld, WireCount};
 pub use topology::ProcessorGrid;
 pub use vset::{VertSet, VsetPolicy};
+pub use wire::{WireFormat, WireMode, WirePolicy};
 
 // Fault plans are authored against the torus model; re-export so BFS
 // layers need not depend on `bgl_torus` directly to configure faults.

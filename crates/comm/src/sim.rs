@@ -24,12 +24,14 @@ use crate::error::CommError;
 use crate::stats::{CommStats, OpClass};
 use crate::topology::ProcessorGrid;
 use crate::vset::VsetPolicy;
-use crate::{Vert, VERT_BYTES};
+use crate::wire::{self, WirePolicy};
+use crate::Vert;
 use bgl_torus::{
     detour_hops, route_with_faults, CostModel, FaultPlan, LinkTraffic, MachineConfig, MachineKind,
     RouteStep, TaskMapping, TaskMappingKind,
 };
 use bgl_trace::{ComputeKind, EventKind, OpKind, Phase, TraceBuffer, TraceDetail, TraceSink};
+use rayon::prelude::*;
 use rustc_hash::FxHashMap;
 
 /// One point-to-point message in a round: `(from, to, payload)`.
@@ -46,6 +48,44 @@ struct FaultRoute {
     bw: f64,
     detour: usize,
     route: Vec<RouteStep>,
+}
+
+/// Fault counters one send contributes (applied during the merge).
+#[derive(Debug, Clone, Copy, Default)]
+struct FaultDelta {
+    dropped: u64,
+    truncated: u64,
+    duplicated: bool,
+    detour: u64,
+}
+
+/// Precomputed outcome of one send: everything
+/// [`SimWorld::exchange`]'s serial merge needs, derived purely from the
+/// immutable world state so the precompute can fan out over host
+/// threads without changing any result.
+enum SendMeta {
+    /// `from == to`: delivered locally, free, uncounted.
+    SelfSend,
+    /// A rank index outside the grid.
+    OutOfRange,
+    /// No fault-avoiding route exists between the pair.
+    NoRoute,
+    /// The fault schedule exhausted the retry budget.
+    Unreachable { attempts: u32, detour: u64 },
+    /// A normal wire transfer.
+    Wire(WireSendMeta),
+}
+
+/// Per-send precompute results for a delivered message.
+struct WireSendMeta {
+    verts: usize,
+    logical: u64,
+    wire_bytes: u64,
+    chunks: u64,
+    hops: usize,
+    t: f64,
+    retries: u32,
+    fault: FaultDelta,
 }
 
 /// Deterministic superstep simulation world for an `R × C` grid of ranks
@@ -75,6 +115,7 @@ pub struct SimWorld {
     compute_time: f64,
     hash_time: f64,
     memcpy_time: f64,
+    codec_time: f64,
     /// The fault plan in effect (`FaultPlan::none()` by default, in which
     /// case every fault path below is skipped entirely).
     plan: FaultPlan,
@@ -93,6 +134,13 @@ pub struct SimWorld {
     /// When hybrid vertex sets switch representation (see
     /// [`crate::vset`]).
     vset_policy: VsetPolicy,
+    /// Wire codec applied to exchange payloads (see [`crate::wire`];
+    /// [`WirePolicy::raw`] = codec off, the pre-codec behavior).
+    wire_policy: WirePolicy,
+    /// Run the per-send precompute of [`SimWorld::exchange`] on rayon
+    /// worker threads (host-side only; never affects results or the
+    /// simulated clock — the merge stays serial and ordered).
+    parallel_sends: bool,
     /// Reusable merge/inbox scratch buffers for the collectives.
     scratch: ScratchPool,
     /// Structured event recorder (disabled by default: a single `None`
@@ -125,6 +173,7 @@ impl SimWorld {
             compute_time: 0.0,
             hash_time: 0.0,
             memcpy_time: 0.0,
+            codec_time: 0.0,
             plan: FaultPlan::none(),
             dead: vec![false; grid.len()],
             data_round: 0,
@@ -133,6 +182,8 @@ impl SimWorld {
             // rank, so a small multiple of p covers steady state.
             route_cache: FxHashMap::with_capacity_and_hasher(4 * grid.len(), Default::default()),
             vset_policy: VsetPolicy::default(),
+            wire_policy: WirePolicy::default(),
+            parallel_sends: false,
             scratch: ScratchPool::new(),
             trace: TraceSink::disabled(),
         }
@@ -292,6 +343,12 @@ impl SimWorld {
         self.memcpy_time
     }
 
+    /// Compute time spent in modelled wire-codec encode/decode passes
+    /// (zero with the codec off).
+    pub fn codec_time(&self) -> f64 {
+        self.codec_time
+    }
+
     /// Enable structured tracing at `detail`: per-rank ring recorders
     /// plus a world track, keyed to the simulated clock. Replaces any
     /// previously recorded trace.
@@ -335,6 +392,7 @@ impl SimWorld {
         self.compute_time = 0.0;
         self.hash_time = 0.0;
         self.memcpy_time = 0.0;
+        self.codec_time = 0.0;
         self.dead = vec![false; self.grid.len()];
         self.data_round = 0;
         self.scratch.reset();
@@ -355,6 +413,37 @@ impl SimWorld {
     pub fn with_vset_policy(mut self, policy: VsetPolicy) -> Self {
         self.vset_policy = policy;
         self
+    }
+
+    /// The wire-codec policy exchanges apply to payloads.
+    pub fn wire_policy(&self) -> WirePolicy {
+        self.wire_policy
+    }
+
+    /// Set the wire-codec policy ([`WirePolicy::raw`] disables the
+    /// codec entirely; [`WirePolicy::auto`] picks per-message formats
+    /// by density).
+    pub fn set_wire_policy(&mut self, policy: WirePolicy) {
+        self.wire_policy = policy;
+    }
+
+    /// Builder-style [`SimWorld::set_wire_policy`].
+    pub fn with_wire_policy(mut self, policy: WirePolicy) -> Self {
+        self.wire_policy = policy;
+        self
+    }
+
+    /// Toggle host-parallel per-send precompute in
+    /// [`SimWorld::exchange`]. Purely a wall-clock knob: results,
+    /// statistics, traces and the simulated clock are bit-identical
+    /// either way (the merge is serial and ordered).
+    pub fn set_parallel_exchange(&mut self, on: bool) {
+        self.parallel_sends = on;
+    }
+
+    /// Whether the parallel per-send precompute is on.
+    pub fn parallel_exchange(&self) -> bool {
+        self.parallel_sends
     }
 
     /// Take a scratch buffer from the per-world pool (cleared, capacity
@@ -419,7 +508,6 @@ impl SimWorld {
     /// reliable tree network: never faulted, never advances the clock.
     pub fn exchange(&mut self, class: OpClass, sends: Vec<Send>) -> Result<Vec<Inbox>, CommError> {
         let p = self.p();
-        let t_round0 = self.sim_time;
         let traced = self.trace.is_enabled();
         let trace_sends = self.trace.wants_sends();
         let faultable = class != OpClass::Control && self.plan.is_active();
@@ -441,8 +529,8 @@ impl SimWorld {
                         rank: r as u32,
                         round: fault_round,
                     },
-                    t_round0,
-                    t_round0,
+                    self.sim_time,
+                    self.sim_time,
                 );
                 return Err(CommError::RankDead { rank: r });
             }
@@ -451,6 +539,129 @@ impl SimWorld {
         let topo_faults = faultable
             && self.plan.has_topology_faults()
             && self.cost.machine().kind == MachineKind::Torus3D;
+
+        // Warm the fault-aware route cache serially: it is the only
+        // `&mut` state the per-send precompute consults. A pair still
+        // missing after warming has no fault-avoiding route; the merge
+        // loop surfaces that error at the offending send, with the same
+        // partially accumulated statistics as the old fused loop.
+        if topo_faults {
+            for &(from, to, _) in &sends {
+                if from < p && to < p && from != to {
+                    let _ = self.route_info(from, to);
+                }
+            }
+        }
+
+        // --- Phase 1: per-send precompute. Wire measurement, routing,
+        // α–β–hop arithmetic and the fault schedule are pure functions
+        // of the immutable world state, so this is the part that fans
+        // out over rayon workers when the compute engine asks for it.
+        // Results are positional either way, so the serial merge below
+        // is bit-identical to the old fused loop.
+        let codec_on = !self.wire_policy.is_raw();
+        let mut sends = sends;
+        let metas: Vec<SendMeta> = {
+            let cost = &self.cost;
+            let mapping = &self.mapping;
+            let chunk = self.chunk;
+            let plan = &self.plan;
+            let routes = &self.route_cache;
+            let policy = self.wire_policy;
+            let machine = *self.cost.machine();
+            let pre = |s: &Send| -> SendMeta {
+                let (from, to, ref payload) = *s;
+                if from >= p || to >= p {
+                    return SendMeta::OutOfRange;
+                }
+                if from == to {
+                    return SendMeta::SelfSend;
+                }
+                let verts = payload.len();
+                let w = wire::measure(payload, &policy);
+                let chunks = chunk.message_count(verts) as u64;
+                let (hops, bw, detour) = if topo_faults {
+                    match routes.get(&(from, to)) {
+                        Some(fr) => (fr.hops, fr.bw, fr.detour as u64),
+                        None => return SendMeta::NoRoute,
+                    }
+                } else {
+                    (
+                        cost.hops(mapping.coord_of(from), mapping.coord_of(to)),
+                        1.0,
+                        0,
+                    )
+                };
+                let base = chunks as f64 * machine.software_overhead
+                    + hops as f64 * machine.hop_latency
+                    + w.wire_bytes as f64 / (machine.link_bandwidth * bw);
+                let mut t = base;
+                let mut retries = 0u32;
+                let mut fault = FaultDelta {
+                    detour,
+                    ..FaultDelta::default()
+                };
+                if msg_faults {
+                    match plan.delivery(class.index() as u8, fault_round, from, to) {
+                        Ok(d) => {
+                            let failed = d.attempts - 1;
+                            let dropped = failed - d.truncated_attempts;
+                            // A dropped attempt loses the payload in
+                            // transit: the header went out, the ack
+                            // timer expired.
+                            t += dropped as f64
+                                * (machine.software_overhead + hops as f64 * machine.hop_latency);
+                            // A truncated attempt transits fully before
+                            // the receiver rejects the short payload.
+                            t += d.truncated_attempts as f64 * base;
+                            // Bounded exponential backoff per retry.
+                            for k in 0..failed {
+                                t += machine.software_overhead * (1u64 << k.min(6)) as f64;
+                            }
+                            if d.duplicated {
+                                t += base;
+                                fault.duplicated = true;
+                            }
+                            fault.dropped = dropped as u64;
+                            fault.truncated = d.truncated_attempts as u64;
+                            retries = failed;
+                        }
+                        Err(attempts) => return SendMeta::Unreachable { attempts, detour },
+                    }
+                }
+                SendMeta::Wire(WireSendMeta {
+                    verts,
+                    logical: w.logical_bytes,
+                    wire_bytes: w.wire_bytes,
+                    chunks,
+                    hops,
+                    t,
+                    retries,
+                    fault,
+                })
+            };
+            if self.parallel_sends && sends.len() > 1 {
+                sends.par_iter_mut().map(|s| pre(s)).collect()
+            } else {
+                sends.iter().map(pre).collect()
+            }
+        };
+
+        // Encode phase: every rank packs its outgoing payloads before
+        // anything enters the wire (BSP rule: elapsed = max over ranks).
+        // Charged even if a later send errors out — the encode happened.
+        let mut dec_units = vec![0u64; p];
+        if codec_on {
+            let mut enc_units = vec![0u64; p];
+            for (s, meta) in sends.iter().zip(&metas) {
+                if let SendMeta::Wire(w) = meta {
+                    enc_units[s.0] += w.logical;
+                    dec_units[s.1] += w.logical;
+                }
+            }
+            self.codec_phase(&enc_units);
+        }
+        let t_round0 = self.sim_time;
 
         let mut out_time = vec![0.0f64; p];
         let mut in_time = vec![0.0f64; p];
@@ -461,67 +672,34 @@ impl SimWorld {
             None
         };
 
-        for (from, to, payload) in sends {
-            if from >= p || to >= p {
-                return Err(CommError::DestinationOutOfRange {
-                    dest: from.max(to),
-                    p,
-                });
-            }
-            if from == to {
-                inboxes[to].push((from, payload));
-                continue;
-            }
-            let verts = payload.len();
-            let bytes = verts as u64 * VERT_BYTES;
-            let chunks = self.chunk.message_count(verts) as u64;
-            let (hops, bw) = if topo_faults {
-                let (hops, bw, detour) = self.route_info(from, to)?;
-                self.stats.faults.detour_hops += detour as u64;
-                (hops, bw)
-            } else {
-                (
-                    self.cost
-                        .hops(self.mapping.coord_of(from), self.mapping.coord_of(to)),
-                    1.0,
-                )
-            };
-            let m = self.cost.machine();
-            let base = chunks as f64 * m.software_overhead
-                + hops as f64 * m.hop_latency
-                + bytes as f64 / (m.link_bandwidth * bw);
-            let mut t = base;
-            let mut retries = 0u32;
-            if msg_faults {
-                match self
-                    .plan
-                    .delivery(class.index() as u8, fault_round, from, to)
-                {
-                    Ok(d) => {
-                        let failed = d.attempts - 1;
-                        let dropped = failed - d.truncated_attempts;
-                        // A dropped attempt loses the payload in transit:
-                        // the header went out, the ack timer expired.
-                        t += dropped as f64 * (m.software_overhead + hops as f64 * m.hop_latency);
-                        // A truncated attempt transits fully before the
-                        // receiver rejects the short payload.
-                        t += d.truncated_attempts as f64 * base;
-                        // Bounded exponential backoff before each retry.
-                        for k in 0..failed {
-                            t += m.software_overhead * (1u64 << k.min(6)) as f64;
-                        }
-                        if d.duplicated {
-                            t += base;
-                            self.stats.faults.duplicates_injected += 1;
-                        }
-                        self.stats.faults.drops_injected += dropped as u64;
-                        self.stats.faults.truncations_injected += d.truncated_attempts as u64;
-                        self.stats.faults.retransmissions += failed as u64;
-                        retries = failed;
-                    }
-                    Err(attempts) => return Err(CommError::Unreachable { from, to, attempts }),
+        // --- Phase 2: serial in-order merge of the precomputed sends
+        // into clocks, statistics, traces, traffic and inboxes.
+        for ((from, to, payload), meta) in sends.into_iter().zip(metas) {
+            let w = match meta {
+                SendMeta::OutOfRange => {
+                    return Err(CommError::DestinationOutOfRange {
+                        dest: from.max(to),
+                        p,
+                    });
                 }
+                SendMeta::SelfSend => {
+                    inboxes[to].push((from, payload));
+                    continue;
+                }
+                SendMeta::NoRoute => return Err(CommError::NoRoute { from, to }),
+                SendMeta::Unreachable { attempts, detour } => {
+                    self.stats.faults.detour_hops += detour;
+                    return Err(CommError::Unreachable { from, to, attempts });
+                }
+                SendMeta::Wire(w) => w,
+            };
+            self.stats.faults.detour_hops += w.fault.detour;
+            if w.fault.duplicated {
+                self.stats.faults.duplicates_injected += 1;
             }
+            self.stats.faults.drops_injected += w.fault.dropped;
+            self.stats.faults.truncations_injected += w.fault.truncated;
+            self.stats.faults.retransmissions += u64::from(w.retries);
             if traced {
                 if trace_sends {
                     self.trace.rank_event(
@@ -529,32 +707,33 @@ impl SimWorld {
                         EventKind::Send {
                             from: from as u32,
                             to: to as u32,
-                            bytes,
-                            hops: hops as u32,
+                            bytes: w.wire_bytes,
+                            hops: w.hops as u32,
                         },
                         t_round0,
-                        t_round0 + t,
+                        t_round0 + w.t,
                     );
                 }
-                if retries > 0 {
+                if w.retries > 0 {
                     self.trace.rank_event(
                         from,
                         EventKind::Retransmit {
                             from: from as u32,
                             to: to as u32,
-                            retries,
+                            retries: w.retries,
                         },
                         t_round0,
-                        t_round0 + t,
+                        t_round0 + w.t,
                     );
                 }
             }
-            out_time[from] += t;
-            in_time[to] += t;
+            out_time[from] += w.t;
+            in_time[to] += w.t;
 
-            self.stats.note_message(class, to, verts, chunks);
+            self.stats.note_message(class, to, w.verts, w.chunks);
+            self.stats.note_wire_bytes(class, w.logical, w.wire_bytes);
             // Peak buffer is per wire message, i.e. per chunk.
-            self.stats.note_peak(self.chunk.peak_message_len(verts));
+            self.stats.note_peak(self.chunk.peak_message_len(w.verts));
             if self.traffic.is_some() || round_traffic.is_some() {
                 let detoured = if topo_faults {
                     self.route_cache.get(&(from, to))
@@ -566,12 +745,12 @@ impl SimWorld {
                     .flatten()
                 {
                     match detoured {
-                        Some(fr) => tr.record_route(&fr.route, bytes),
+                        Some(fr) => tr.record_route(&fr.route, w.wire_bytes),
                         None => tr.record(
                             self.cost.machine(),
                             self.mapping.coord_of(from),
                             self.mapping.coord_of(to),
-                            bytes,
+                            w.wire_bytes,
                         ),
                     }
                 }
@@ -622,10 +801,32 @@ impl SimWorld {
             }
         }
 
+        // Decode phase: receivers unpack after the round completes.
+        if codec_on {
+            self.codec_phase(&dec_units);
+        }
+
         for inbox in &mut inboxes {
             inbox.sort_by_key(|(from, _)| *from);
         }
         Ok(inboxes)
+    }
+
+    /// Charge a wire-codec pass (payload bytes pushed through the codec
+    /// per rank), following the same max-over-ranks BSP rule as the
+    /// other compute phases.
+    fn codec_phase(&mut self, bytes_per_rank: &[u64]) {
+        let t0 = self.sim_time;
+        let elapsed = bytes_per_rank
+            .iter()
+            .map(|&b| self.cost.codec_time(b))
+            .fold(0.0f64, f64::max);
+        self.sim_time += elapsed;
+        self.compute_time += elapsed;
+        self.codec_time += elapsed;
+        if self.trace.is_enabled() && elapsed > 0.0 {
+            self.trace_compute(ComputeKind::Codec, bytes_per_rank, t0);
+        }
     }
 
     /// Charge a synchronous compute phase: elapsed time is the maximum of
@@ -947,9 +1148,112 @@ mod tests {
             + w.comm_time_for(OpClass::Fold)
             + w.comm_time_for(OpClass::Control);
         assert!((by_class - w.comm_time()).abs() < 1e-15);
-        assert!((w.hash_time() + w.memcpy_time() - w.compute_time()).abs() < 1e-15);
+        assert!(
+            (w.hash_time() + w.memcpy_time() + w.codec_time() - w.compute_time()).abs() < 1e-15
+        );
         assert!((w.comm_time() + w.compute_time() - w.time()).abs() < 1e-15);
         assert!(w.comm_time_for(OpClass::Fold) > w.comm_time_for(OpClass::Expand));
+        assert_eq!(w.codec_time(), 0.0, "codec off by default");
+    }
+
+    #[test]
+    fn wire_codec_shrinks_rounds_and_charges_codec_time() {
+        // A dense sorted payload: delta/bitmap framing beats raw 8-byte
+        // words by far more than the encode/decode compute it costs.
+        let payload: Vec<Vert> = (10_000..20_000).collect();
+        let mut raw = world(4);
+        let mut coded = world(4).with_wire_policy(WirePolicy::auto());
+        raw.exchange(OpClass::Fold, vec![(0, 1, payload.clone())])
+            .unwrap();
+        coded
+            .exchange(OpClass::Fold, vec![(0, 1, payload.clone())])
+            .unwrap();
+        let rc = raw.stats.class(OpClass::Fold);
+        let cc = coded.stats.class(OpClass::Fold);
+        assert_eq!(rc.logical_bytes, payload.len() as u64 * 8);
+        assert_eq!(rc.wire_bytes, rc.logical_bytes, "codec off: wire = logical");
+        assert_eq!(cc.logical_bytes, rc.logical_bytes);
+        assert!(
+            cc.wire_bytes * 10 < cc.logical_bytes,
+            "a contiguous range must compress >=10x, got {} of {}",
+            cc.wire_bytes,
+            cc.logical_bytes
+        );
+        assert!(coded.codec_time() > 0.0);
+        assert!(
+            coded.time() < raw.time(),
+            "compressed round must be faster: {} vs {}",
+            coded.time(),
+            raw.time()
+        );
+        // Logical accounting (verts, messages) is codec-invariant.
+        assert_eq!(cc.messages, rc.messages);
+        assert_eq!(cc.received_verts, rc.received_verts);
+    }
+
+    #[test]
+    fn wire_codec_charges_compressed_bytes_to_links() {
+        let payload: Vec<Vert> = (0..4096).collect();
+        let mut w = world(4).with_wire_policy(WirePolicy::auto());
+        w.enable_traffic_accounting();
+        w.exchange(OpClass::Fold, vec![(0, 3, payload)]).unwrap();
+        let cc = w.stats.class(OpClass::Fold);
+        assert_eq!(
+            w.traffic().unwrap().total_bytes(),
+            cc.wire_bytes,
+            "link accounting must carry post-codec bytes"
+        );
+    }
+
+    #[test]
+    fn parallel_exchange_is_bit_identical_to_serial() {
+        let payloads: Vec<Send> = (0..16)
+            .flat_map(|i| {
+                (0..16).filter(move |&j| j != i).map(move |j| {
+                    let base = (i * 131 + j) as Vert * 1000;
+                    (i, j, (base..base + 200 + (i as Vert * 7)).collect())
+                })
+            })
+            .collect();
+        let run = |parallel: bool| {
+            let mut w =
+                SimWorld::bluegene(ProcessorGrid::new(4, 4)).with_wire_policy(WirePolicy::auto());
+            w.set_parallel_exchange(parallel);
+            w.enable_traffic_accounting();
+            let inboxes = w.exchange(OpClass::Expand, payloads.clone()).unwrap();
+            (
+                inboxes,
+                w.time().to_bits(),
+                w.codec_time().to_bits(),
+                w.stats.clone(),
+                w.traffic().unwrap().sum_link_bytes(),
+            )
+        };
+        let serial = run(false);
+        let parallel = run(true);
+        assert_eq!(serial.0, parallel.0);
+        assert_eq!(serial.1, parallel.1, "sim clock must be bit-identical");
+        assert_eq!(serial.2, parallel.2);
+        assert_eq!(serial.3, parallel.3);
+        assert_eq!(serial.4, parallel.4);
+    }
+
+    #[test]
+    fn parallel_exchange_preserves_fault_schedule() {
+        let plan = FaultPlan::seeded(11).with_drop_prob(0.3);
+        let sends: Vec<Send> = (1..4).map(|r| (0, r, vec![5; 500])).collect();
+        let run = |parallel: bool| {
+            let mut w = world(4).with_fault_plan(plan.clone());
+            w.set_parallel_exchange(parallel);
+            for _ in 0..6 {
+                w.exchange(OpClass::Fold, sends.clone()).unwrap();
+            }
+            (w.time().to_bits(), w.stats.clone())
+        };
+        let a = run(false);
+        let b = run(true);
+        assert_eq!(a, b);
+        assert!(b.1.faults.retransmissions > 0, "plan must actually fire");
     }
 
     #[test]

@@ -51,6 +51,14 @@ pub struct ClassStats {
     /// vertex forwarded through a ring counts once per reception, matching
     /// the paper's "total number of vertices received by a processor").
     pub received_verts: u64,
+    /// Uncompressed payload volume in bytes (`wire_verts × 8`,
+    /// excluding self-sends).
+    #[serde(default)]
+    pub logical_bytes: u64,
+    /// Bytes actually placed on the wire after the codec (equals
+    /// `logical_bytes` with the codec off).
+    #[serde(default)]
+    pub wire_bytes: u64,
 }
 
 impl ClassStats {
@@ -58,6 +66,8 @@ impl ClassStats {
         self.messages += o.messages;
         self.wire_verts += o.wire_verts;
         self.received_verts += o.received_verts;
+        self.logical_bytes += o.logical_bytes;
+        self.wire_bytes += o.wire_bytes;
     }
 
     fn minus(&self, o: &ClassStats) -> ClassStats {
@@ -65,6 +75,8 @@ impl ClassStats {
             messages: self.messages - o.messages,
             wire_verts: self.wire_verts - o.wire_verts,
             received_verts: self.received_verts - o.received_verts,
+            logical_bytes: self.logical_bytes - o.logical_bytes,
+            wire_bytes: self.wire_bytes - o.wire_bytes,
         }
     }
 }
@@ -210,6 +222,35 @@ impl CommStats {
         cs.wire_verts += verts as u64;
         cs.received_verts += verts as u64;
         self.received_per_rank[dst] += verts as u64;
+    }
+
+    /// Record one message's codec outcome: `logical` payload bytes
+    /// carried as `wire` bytes on the physical links.
+    pub fn note_wire_bytes(&mut self, class: OpClass, logical: u64, wire: u64) {
+        let cs = &mut self.per_class[class.index()];
+        cs.logical_bytes += logical;
+        cs.wire_bytes += wire;
+    }
+
+    /// Uncompressed payload bytes across all classes.
+    pub fn total_logical_bytes(&self) -> u64 {
+        self.per_class.iter().map(|c| c.logical_bytes).sum()
+    }
+
+    /// Post-codec bytes across all classes.
+    pub fn total_wire_bytes(&self) -> u64 {
+        self.per_class.iter().map(|c| c.wire_bytes).sum()
+    }
+
+    /// Compression ratio `logical / wire` (1.0 when nothing was sent or
+    /// the codec is off and sizes match).
+    pub fn compression_ratio(&self) -> f64 {
+        let wire = self.total_wire_bytes();
+        if wire == 0 {
+            1.0
+        } else {
+            self.total_logical_bytes() as f64 / wire as f64
+        }
     }
 
     /// Record the size of a single wire message (after chunking) so the
@@ -373,6 +414,25 @@ mod tests {
         a.merge(&s);
         assert_eq!(a.faults.drops_injected, 6);
         assert!(a.faults.any());
+    }
+
+    #[test]
+    fn wire_byte_counters_track_compression() {
+        let mut s = CommStats::new(2);
+        assert_eq!(s.compression_ratio(), 1.0);
+        s.note_wire_bytes(OpClass::Fold, 800, 200);
+        s.note_wire_bytes(OpClass::Expand, 200, 300);
+        assert_eq!(s.total_logical_bytes(), 1000);
+        assert_eq!(s.total_wire_bytes(), 500);
+        assert!((s.compression_ratio() - 2.0).abs() < 1e-12);
+        let snap = s.clone();
+        s.note_wire_bytes(OpClass::Fold, 100, 50);
+        let d = s.minus(&snap);
+        assert_eq!(d.class(OpClass::Fold).logical_bytes, 100);
+        assert_eq!(d.class(OpClass::Fold).wire_bytes, 50);
+        let mut m = CommStats::new(2);
+        m.merge(&s);
+        assert_eq!(m.total_wire_bytes(), 550);
     }
 
     #[test]

@@ -30,6 +30,7 @@ use crate::buffer::ScratchPool;
 use crate::error::CommError;
 use crate::stats::{FaultStats, OpClass};
 use crate::topology::ProcessorGrid;
+use crate::wire::{self, WirePolicy};
 use crate::{Vert, VERT_BYTES};
 use bgl_torus::FaultPlan;
 use bgl_trace::{EventKind, OpKind, Phase, TraceBuffer, TraceDetail, TraceSink};
@@ -52,7 +53,31 @@ const POLL_TICK: Duration = Duration::from_millis(2);
 struct Packet {
     round: u64,
     from: usize,
-    payloads: Vec<Vec<Vert>>,
+    body: Body,
+}
+
+/// What one packet carries. With the wire codec off (the default
+/// [`WirePolicy::raw`]) vertex lists travel untouched, byte-identical
+/// to a codec-free build. With a codec policy set, every payload is
+/// encoded to a wire frame on the sending rank and decoded on the
+/// receiving rank — the same frames the superstep simulator charges to
+/// its cost model, so wire-byte accounting agrees across runtimes.
+enum Body {
+    Verts(Vec<Vec<Vert>>),
+    Wire(Vec<Vec<u8>>),
+}
+
+/// Sender-side byte accounting for one op class on one rank: payload
+/// bytes before the codec and frame bytes actually shipped. Summing
+/// either counter over all ranks reproduces the simulator's per-class
+/// world totals (self-sends are excluded on both sides).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct WireCount {
+    /// Uncompressed payload bytes (vertex count × 8).
+    pub logical_bytes: u64,
+    /// Bytes placed on the wire (equals `logical_bytes` with the codec
+    /// off).
+    pub wire_bytes: u64,
 }
 
 /// Handle used inside a rank's closure to communicate.
@@ -80,6 +105,11 @@ pub struct RankCtx {
     /// by the rank body come back out of [`RankCtx::scratch_take`]
     /// instead of fresh allocations.
     scratch: ScratchPool,
+    /// Wire-codec policy for outbound payloads (raw = codec off).
+    wire_policy: WirePolicy,
+    /// Per-class sender-side logical/wire byte counters, indexed by
+    /// [`OpClass::index`].
+    wire_counts: [WireCount; 3],
     /// Per-rank trace recorder (disabled by default; one word, no heap).
     trace: TraceSink,
     /// Wall-clock origin for trace timestamps: every rank's events are
@@ -118,6 +148,23 @@ impl RankCtx {
     /// How many buffer allocations the scratch pool has saved so far.
     pub fn scratch_reuses(&self) -> u64 {
         self.scratch.reuses()
+    }
+
+    /// Set the wire-codec policy for this rank's outbound payloads.
+    /// Every rank must use the same policy or receivers would misparse
+    /// frames; callers set it once at the top of the rank body.
+    pub fn set_wire_policy(&mut self, policy: WirePolicy) {
+        self.wire_policy = policy;
+    }
+
+    /// The wire-codec policy in effect.
+    pub fn wire_policy(&self) -> WirePolicy {
+        self.wire_policy
+    }
+
+    /// Sender-side byte accounting for `class` on this rank.
+    pub fn wire_count(&self, class: OpClass) -> WireCount {
+        self.wire_counts[class.index()]
     }
 
     /// Enable structured tracing on this rank. Events land in a
@@ -230,8 +277,17 @@ impl RankCtx {
         let mut round_msgs = 0u64;
         let mut round_verts = 0u64;
 
-        // Aggregate per destination, injecting sender-side faults.
+        // Aggregate per destination, injecting sender-side faults and
+        // (with a codec policy set) encoding each payload to a wire
+        // frame. Self-sends never touch the codec, mirroring the
+        // simulator's free local delivery.
+        let codec_on = !self.wire_policy.is_raw();
         let mut per_dest: Vec<Vec<Vec<Vert>>> = vec![Vec::new(); p];
+        let mut per_dest_wire: Vec<Vec<Vec<u8>>> = if codec_on {
+            vec![Vec::new(); p]
+        } else {
+            Vec::new()
+        };
         let mut self_payloads = Vec::new();
         let msg_faults = faultable && self.plan.has_message_faults();
         for (dest, payload) in sends {
@@ -272,6 +328,16 @@ impl RankCtx {
                     }
                 }
             }
+            let logical = payload.len() as u64 * VERT_BYTES;
+            let frame = if codec_on {
+                Some(wire::encode(&payload, &self.wire_policy))
+            } else {
+                None
+            };
+            let wire_bytes = frame.as_ref().map_or(logical, |f| f.len() as u64);
+            let wc = &mut self.wire_counts[class.index()];
+            wc.logical_bytes += logical;
+            wc.wire_bytes += wire_bytes;
             if traced {
                 round_msgs += 1;
                 round_verts += payload.len() as u64;
@@ -280,12 +346,13 @@ impl RankCtx {
                     // No cost model on real threads: sends are recorded
                     // as instants; hop counts are the exporter's to
                     // derive from the task mapping if it wants them.
+                    // Bytes are post-codec, matching the simulator.
                     self.trace.rank_event(
                         0,
                         EventKind::Send {
                             from: self.rank as u32,
                             to: dest as u32,
-                            bytes: payload.len() as u64 * VERT_BYTES,
+                            bytes: wire_bytes,
                             hops: 0,
                         },
                         t,
@@ -305,7 +372,14 @@ impl RankCtx {
                     );
                 }
             }
-            per_dest[dest].push(payload);
+            match frame {
+                Some(f) => {
+                    per_dest_wire[dest].push(f);
+                    // The vertex buffer stays on this rank: recycle it.
+                    self.scratch.put(payload);
+                }
+                None => per_dest[dest].push(payload),
+            }
         }
 
         // Post exactly one packet to every peer (possibly empty): this is
@@ -315,11 +389,15 @@ impl RankCtx {
             if dest == self.rank {
                 continue;
             }
-            let payloads = std::mem::take(&mut per_dest[dest]);
+            let body = if codec_on {
+                Body::Wire(std::mem::take(&mut per_dest_wire[dest]))
+            } else {
+                Body::Verts(std::mem::take(&mut per_dest[dest]))
+            };
             let _ = self.senders[dest].send(Packet {
                 round,
                 from: self.rank,
-                payloads,
+                body,
             });
         }
 
@@ -365,9 +443,27 @@ impl RankCtx {
             out.push((self.rank, payload));
         }
         for pkt in got {
-            for payload in pkt.payloads {
-                if !payload.is_empty() {
-                    out.push((pkt.from, payload));
+            let Packet { from, body, .. } = pkt;
+            match body {
+                Body::Verts(payloads) => {
+                    for payload in payloads {
+                        if !payload.is_empty() {
+                            out.push((from, payload));
+                        }
+                    }
+                }
+                Body::Wire(frames) => {
+                    for f in frames {
+                        // Frames travel in-process over a channel, so a
+                        // parse failure can only mean a codec bug — a
+                        // panic (surfaced by the world join) beats
+                        // silently dropping BFS traffic.
+                        let payload =
+                            wire::decode(&f).expect("undecodable wire frame between ranks");
+                        if !payload.is_empty() {
+                            out.push((from, payload));
+                        }
+                    }
                 }
             }
         }
@@ -476,6 +572,8 @@ impl ThreadedWorld {
                         data_round: 0,
                         faults: FaultStats::default(),
                         scratch: ScratchPool::new(),
+                        wire_policy: WirePolicy::raw(),
+                        wire_counts: [WireCount::default(); 3],
                         trace: TraceSink::disabled(),
                         epoch,
                     };
@@ -641,6 +739,108 @@ mod tests {
             assert_eq!(rounds_done, 3, "all ranks abort at the death round");
             assert_eq!(err, Some(CommError::RankDead { rank: 2 }));
         }
+    }
+
+    #[test]
+    fn wire_codec_roundtrips_payloads() {
+        // With a codec policy every payload travels as an encoded frame;
+        // receivers must see exactly the vertices that were sent, and
+        // the sender-side counters must show real compression on
+        // BFS-shaped (sorted, dense-ish) payloads.
+        let grid = ProcessorGrid::new(2, 2);
+        let results = ThreadedWorld::run(grid, |ctx| {
+            ctx.set_wire_policy(WirePolicy::auto());
+            let next = (ctx.rank() + 1) % 4;
+            let payload: Vec<Vert> = (0..512u64)
+                .map(|k| ctx.rank() as u64 * 10_000 + k)
+                .collect();
+            let got = ctx
+                .exchange(OpClass::Expand, vec![(next, payload)])
+                .unwrap();
+            (got, ctx.wire_count(OpClass::Expand))
+        });
+        for (rank, (inbox, count)) in results.iter().enumerate() {
+            let prev = (rank + 3) % 4;
+            let expect: Vec<Vert> = (0..512u64).map(|k| prev as u64 * 10_000 + k).collect();
+            assert_eq!(inbox, &vec![(prev, expect)]);
+            assert_eq!(count.logical_bytes, 512 * VERT_BYTES);
+            assert!(
+                count.wire_bytes * 4 < count.logical_bytes,
+                "dense sorted run should compress >4x, got {} -> {}",
+                count.logical_bytes,
+                count.wire_bytes
+            );
+        }
+    }
+
+    #[test]
+    fn raw_policy_ships_plain_vertex_lists() {
+        // The default policy must count wire == logical and deliver the
+        // exact same results as always (codec fully bypassed).
+        let grid = ProcessorGrid::new(1, 2);
+        let results = ThreadedWorld::run(grid, |ctx| {
+            let other = 1 - ctx.rank();
+            let got = ctx
+                .exchange(OpClass::Fold, vec![(other, vec![5, 6, 7])])
+                .unwrap();
+            (got, ctx.wire_count(OpClass::Fold))
+        });
+        for (rank, (inbox, count)) in results.iter().enumerate() {
+            assert_eq!(inbox, &vec![(1 - rank, vec![5, 6, 7])]);
+            assert_eq!(count.logical_bytes, 3 * VERT_BYTES);
+            assert_eq!(count.wire_bytes, 3 * VERT_BYTES);
+        }
+    }
+
+    #[test]
+    fn wire_totals_match_simulator() {
+        // Same payload pattern, same codec policy, both runtimes:
+        // identical world-total logical and wire byte counts (the codec
+        // choice is a pure function of each payload).
+        use crate::buffer::ChunkPolicy;
+        use crate::sim::SimWorld;
+        use bgl_torus::{MachineConfig, TaskMappingKind};
+
+        let grid = ProcessorGrid::new(2, 2);
+        let rounds = 4u64;
+        let payload_for = |rank: usize, i: u64| -> Vec<Vert> {
+            // Mix of shapes: dense runs, strided, and one empty payload.
+            match (rank as u64 + i) % 3 {
+                0 => (0..200u64).map(|k| i * 1000 + k).collect(),
+                1 => (0..50u64).map(|k| i * 1000 + k * 97).collect(),
+                _ => Vec::new(),
+            }
+        };
+
+        let mut sim = SimWorld::new(
+            grid,
+            MachineConfig::bluegene_l_partition(MachineConfig::fit_partition(4)),
+            TaskMappingKind::FoldedPlanes,
+            ChunkPolicy::Unbounded,
+        )
+        .with_wire_policy(WirePolicy::auto());
+        for i in 0..rounds {
+            let sends = (0..4)
+                .map(|r| (r, (r + 1) % 4, payload_for(r, i)))
+                .collect::<Vec<_>>();
+            sim.exchange(OpClass::Expand, sends).unwrap();
+        }
+
+        let per_rank = ThreadedWorld::run(grid, |ctx| {
+            ctx.set_wire_policy(WirePolicy::auto());
+            for i in 0..rounds {
+                let next = (ctx.rank() + 1) % 4;
+                ctx.exchange(OpClass::Expand, vec![(next, payload_for(ctx.rank(), i))])
+                    .unwrap();
+            }
+            ctx.wire_count(OpClass::Expand)
+        });
+        let logical: u64 = per_rank.iter().map(|c| c.logical_bytes).sum();
+        let wire: u64 = per_rank.iter().map(|c| c.wire_bytes).sum();
+        let cls = sim.stats.class(OpClass::Expand);
+        assert_eq!(logical, cls.logical_bytes);
+        assert_eq!(wire, cls.wire_bytes);
+        assert!(wire < logical, "mixed payloads should still compress");
     }
 
     #[test]

@@ -62,6 +62,7 @@ pub fn run(
         }
         let time_at_start = world.time();
         let comm_at_start = world.comm_time();
+        let codec_at_start = world.codec_time();
         let comm_snapshot = world.stats.clone();
 
         let frontier_sizes: Vec<u64> = states.iter().map(|s| s.frontier_len()).collect();
@@ -156,6 +157,9 @@ pub fn run(
             list_unions: delta.setops.list_unions,
             bitmap_unions: delta.setops.bitmap_unions,
             densify_switches: delta.setops.densify_switches,
+            logical_bytes: delta.total_logical_bytes(),
+            wire_bytes: delta.total_wire_bytes(),
+            codec_time: world.codec_time() - codec_at_start,
         });
 
         if target_level.is_some() {
@@ -178,6 +182,7 @@ pub fn run(
             sim_time: world.time(),
             comm_time: world.comm_time(),
             compute_time: world.compute_time(),
+            codec_time: world.codec_time(),
             reached,
             comm: world.stats.clone(),
             p,

@@ -175,6 +175,7 @@ fn level_pass(
     let grid = world.grid();
     let time_at_start = world.time();
     let comm_at_start = world.comm_time();
+    let codec_at_start = world.codec_time();
     let comm_snapshot = world.stats.clone();
 
     // -- 1. termination check on global frontier size.
@@ -304,6 +305,9 @@ fn level_pass(
         list_unions: delta.setops.list_unions,
         bitmap_unions: delta.setops.bitmap_unions,
         densify_switches: delta.setops.densify_switches,
+        logical_bytes: delta.total_logical_bytes(),
+        wire_bytes: delta.total_wire_bytes(),
+        codec_time: world.codec_time() - codec_at_start,
     });
 
     if target_level.is_some() {
@@ -384,6 +388,11 @@ fn engine(
     assert_eq!(grid, graph.grid(), "world and graph grids must match");
     assert!(source < graph.spec.n, "source out of range");
     let p = grid.len();
+
+    // One decision drives both host-parallel layers: the per-rank
+    // compute fan-out and the exchange precompute (wire encode + cost
+    // attribution) in the communication layer. Bit-identical either way.
+    world.set_parallel_exchange(config.engine.parallel(p));
 
     let row_groups = Groups::rows_of(grid);
     let col_groups = Groups::cols_of(grid);
@@ -532,6 +541,7 @@ fn engine(
                 sim_time: world.time(),
                 comm_time: world.comm_time(),
                 compute_time: world.compute_time(),
+                codec_time: world.codec_time(),
                 reached,
                 comm: world.stats.clone(),
                 p,

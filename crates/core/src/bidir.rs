@@ -67,6 +67,7 @@ pub fn run(
                 sim_time: 0.0,
                 comm_time: 0.0,
                 compute_time: 0.0,
+                codec_time: 0.0,
                 reached: 1,
                 comm: world.stats.clone(),
                 p,
@@ -122,6 +123,7 @@ pub fn run(
 
         let time_at_start = world.time();
         let comm_at_start = world.comm_time();
+        let codec_at_start = world.codec_time();
         let comm_snapshot = world.stats.clone();
 
         let (states, other, depth, frontier_size) = match side {
@@ -255,6 +257,9 @@ pub fn run(
             list_unions: delta.setops.list_unions,
             bitmap_unions: delta.setops.bitmap_unions,
             densify_switches: delta.setops.densify_switches,
+            logical_bytes: delta.total_logical_bytes(),
+            wire_bytes: delta.total_wire_bytes(),
+            codec_time: world.codec_time() - codec_at_start,
         });
         iter += 1;
     }
@@ -268,6 +273,7 @@ pub fn run(
             sim_time: world.time(),
             comm_time: world.comm_time(),
             compute_time: world.compute_time(),
+            codec_time: world.codec_time(),
             reached,
             comm: world.stats.clone(),
             p,

@@ -41,8 +41,10 @@ pub enum ComputeEngine {
 }
 
 impl ComputeEngine {
-    /// Whether `p` ranks should be fanned out across threads.
-    fn parallel(self, p: usize) -> bool {
+    /// Whether `p` ranks should be fanned out across threads. Public so
+    /// the BFS driver can apply the same decision to the communication
+    /// layer's parallel exchange precompute.
+    pub fn parallel(self, p: usize) -> bool {
         match self {
             ComputeEngine::Serial => false,
             ComputeEngine::Rayon => p > 1,

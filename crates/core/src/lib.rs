@@ -70,4 +70,6 @@ pub use config::{BfsConfig, ExpandStrategy, FoldStrategy};
 pub use engine::ComputeEngine;
 pub use reference::UNREACHED;
 pub use stats::{LevelStats, RunStats};
-pub use threaded_run::{run_threaded, run_threaded_traced, TracedThreadedRun};
+pub use threaded_run::{
+    run_threaded, run_threaded_traced, run_threaded_with_wire, TracedThreadedRun,
+};

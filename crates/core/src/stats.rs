@@ -36,6 +36,18 @@ pub struct LevelStats {
     /// crossed the density threshold).
     #[serde(default)]
     pub densify_switches: u64,
+    /// Uncompressed payload bytes sent this level (all classes,
+    /// excluding self-sends).
+    #[serde(default)]
+    pub logical_bytes: u64,
+    /// Bytes actually placed on the wire this level after the codec
+    /// (equals `logical_bytes` with the codec off).
+    #[serde(default)]
+    pub wire_bytes: u64,
+    /// Simulated seconds this level spent encoding/decoding wire
+    /// frames (a component of compute time; 0 with the codec off).
+    #[serde(default)]
+    pub codec_time: f64,
 }
 
 /// Statistics for one whole BFS run.
@@ -49,6 +61,9 @@ pub struct RunStats {
     pub comm_time: f64,
     /// Computation component of `sim_time`.
     pub compute_time: f64,
+    /// Wire-codec component of `compute_time` (0 with the codec off).
+    #[serde(default)]
+    pub codec_time: f64,
     /// Number of vertices reached (labeled), including the source.
     pub reached: u64,
     /// Final cumulative communication statistics.
@@ -105,6 +120,12 @@ impl RunStats {
         self.comm.total_received()
     }
 
+    /// Wire compression ratio `logical / wire` over the whole run (1.0
+    /// with the codec off).
+    pub fn compression_ratio(&self) -> f64 {
+        self.comm.compression_ratio()
+    }
+
     /// Traversed edges per simulated second (the Graph500 metric), given
     /// the number of edges the search touched. Returns 0 for a zero-time
     /// run (e.g. single rank with modelled-free local work).
@@ -142,11 +163,15 @@ mod tests {
                     list_unions: 0,
                     bitmap_unions: 0,
                     densify_switches: 0,
+                    logical_bytes: 0,
+                    wire_bytes: 0,
+                    codec_time: 0.0,
                 })
                 .collect(),
             sim_time: 0.0,
             comm_time: 0.0,
             compute_time: 0.0,
+            codec_time: 0.0,
             reached: 1,
             comm,
             p,

@@ -17,7 +17,7 @@
 use crate::reference::UNREACHED;
 use crate::state::RankState;
 use bgl_comm::threaded::ThreadedWorld;
-use bgl_comm::{CommError, FaultPlan, FaultStats, OpClass, Phase, Vert};
+use bgl_comm::{CommError, FaultPlan, FaultStats, OpClass, Phase, Vert, WireCount, WirePolicy};
 use bgl_graph::{DistGraph, Vertex};
 use bgl_trace::{TraceBuffer, TraceDetail, DEFAULT_RING_CAPACITY};
 
@@ -32,6 +32,11 @@ pub struct RankOutcome {
     pub faults: FaultStats,
     /// Wire-buffer allocations saved by the rank's scratch pool.
     pub scratch_reuses: u64,
+    /// Sender-side expand byte accounting (logical vs post-codec wire
+    /// bytes; identical with the codec off).
+    pub expand_wire: WireCount,
+    /// Sender-side fold byte accounting.
+    pub fold_wire: WireCount,
     /// This rank's trace recorder (only for traced runs).
     pub trace: Option<TraceBuffer>,
 }
@@ -70,7 +75,14 @@ pub fn run_threaded_traced(
     use_sent: bool,
     detail: TraceDetail,
 ) -> TracedThreadedRun {
-    let per_rank = run_threaded_inner(graph, source, use_sent, FaultPlan::none(), Some(detail));
+    let per_rank = run_threaded_inner(
+        graph,
+        source,
+        use_sent,
+        FaultPlan::none(),
+        WirePolicy::raw(),
+        Some(detail),
+    );
     let p = graph.grid().len();
     let mut buffer = TraceBuffer::new(p, DEFAULT_RING_CAPACITY);
     let mut levels = vec![UNREACHED; graph.spec.n as usize];
@@ -94,7 +106,22 @@ pub fn run_threaded_with_faults(
     use_sent: bool,
     plan: FaultPlan,
 ) -> Vec<Result<RankOutcome, CommError>> {
-    run_threaded_inner(graph, source, use_sent, plan, None)
+    run_threaded_inner(graph, source, use_sent, plan, WirePolicy::raw(), None)
+}
+
+/// [`run_threaded_with_faults`] with a wire-codec policy: every rank
+/// encodes its expand/fold payloads to the same adaptive wire frames
+/// the simulator charges to its cost model, and reports its sender-side
+/// logical/wire byte counters in the [`RankOutcome`]. Composes with
+/// fault plans — retransmitted messages carry the same encoded frames.
+pub fn run_threaded_with_wire(
+    graph: &DistGraph,
+    source: Vertex,
+    use_sent: bool,
+    plan: FaultPlan,
+    wire: WirePolicy,
+) -> Vec<Result<RankOutcome, CommError>> {
+    run_threaded_inner(graph, source, use_sent, plan, wire, None)
 }
 
 fn run_threaded_inner(
@@ -102,6 +129,7 @@ fn run_threaded_inner(
     source: Vertex,
     use_sent: bool,
     plan: FaultPlan,
+    wire: WirePolicy,
     trace: Option<TraceDetail>,
 ) -> Vec<Result<RankOutcome, CommError>> {
     let grid = graph.grid();
@@ -109,6 +137,7 @@ fn run_threaded_inner(
 
     ThreadedWorld::run_with(grid, plan, |ctx| -> Result<RankOutcome, CommError> {
         let rank = ctx.rank();
+        ctx.set_wire_policy(wire);
         if let Some(detail) = trace {
             ctx.enable_trace(detail);
         }
@@ -162,6 +191,8 @@ fn run_threaded_inner(
             owned_start: st.rank_graph().owned.start,
             levels: st.levels,
             scratch_reuses: ctx.scratch_reuses(),
+            expand_wire: ctx.wire_count(OpClass::Expand),
+            fold_wire: ctx.wire_count(OpClass::Fold),
             faults: ctx.faults,
             trace: ctx.take_trace(),
         })
@@ -264,6 +295,49 @@ mod tests {
         assert_eq!(total.truncations_injected, sf.truncations_injected);
         assert_eq!(total.duplicates_injected, sf.duplicates_injected);
         assert_eq!(total.retransmissions, sf.retransmissions);
+    }
+
+    #[test]
+    fn wire_threaded_matches_simulator_byte_for_byte() {
+        // Same graph, same source, same adaptive codec policy: the
+        // threaded runtime's summed sender-side logical/wire bytes must
+        // equal the simulator's per-class totals exactly (the codec
+        // choice is a pure function of each payload), and the labels
+        // must still match the oracle.
+        let spec = GraphSpec::poisson(400, 6.0, 33);
+        let adj = bgl_graph::dist::adjacency(&spec);
+        let expect = reference::bfs_levels(&adj, 0);
+        let grid = ProcessorGrid::new(2, 3);
+        let graph = DistGraph::build(spec, grid);
+
+        let outs = run_threaded_with_wire(&graph, 0, true, FaultPlan::none(), WirePolicy::auto());
+        let mut levels = vec![UNREACHED; graph.spec.n as usize];
+        let mut expand = WireCount::default();
+        let mut fold = WireCount::default();
+        for out in outs {
+            let out = out.expect("fault-free");
+            let s = out.owned_start as usize;
+            levels[s..s + out.levels.len()].copy_from_slice(&out.levels);
+            expand.logical_bytes += out.expand_wire.logical_bytes;
+            expand.wire_bytes += out.expand_wire.wire_bytes;
+            fold.logical_bytes += out.fold_wire.logical_bytes;
+            fold.wire_bytes += out.fold_wire.wire_bytes;
+        }
+        assert_eq!(levels, expect);
+
+        let mut world = SimWorld::bluegene(grid).with_wire_policy(WirePolicy::auto());
+        let sim = crate::bfs2d::run(&graph, &mut world, &BfsConfig::baseline_alltoall(), 0);
+        assert_eq!(sim.levels, expect);
+        let se = sim.stats.comm.class(OpClass::Expand);
+        let sf = sim.stats.comm.class(OpClass::Fold);
+        assert_eq!(expand.logical_bytes, se.logical_bytes);
+        assert_eq!(expand.wire_bytes, se.wire_bytes);
+        assert_eq!(fold.logical_bytes, sf.logical_bytes);
+        assert_eq!(fold.wire_bytes, sf.wire_bytes);
+        assert!(
+            expand.wire_bytes + fold.wire_bytes < expand.logical_bytes + fold.logical_bytes,
+            "the codec should pay on BFS traffic"
+        );
     }
 
     #[test]

@@ -127,6 +127,17 @@ impl CostModel {
     pub fn memcpy_time(&self, bytes: u64) -> f64 {
         bytes as f64 / self.machine.memcpy_bandwidth
     }
+
+    /// Modelled time to encode or decode `bytes` of message payload
+    /// through the wire codec (delta/varint or bitmap packing). Free
+    /// when the machine declares no codec bandwidth.
+    pub fn codec_time(&self, bytes: u64) -> f64 {
+        if self.machine.codec_bandwidth > 0.0 {
+            bytes as f64 / self.machine.codec_bandwidth
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Accumulates bytes per directed physical link.

@@ -50,6 +50,13 @@ pub struct MachineConfig {
     /// Local memory copy bandwidth in bytes/second (message buffer
     /// copying during union-fold, §4.2).
     pub memcpy_bandwidth: f64,
+    /// Wire-codec throughput in bytes/second: the rate at which a node
+    /// encodes or decodes compressed message payloads (delta/varint or
+    /// bitmap packing is a streaming integer kernel — faster than the
+    /// hash loop, slower than a straight memcpy). A zero (e.g. from a
+    /// config written before this field existed) means "free".
+    #[serde(default)]
+    pub codec_bandwidth: f64,
 }
 
 impl MachineConfig {
@@ -68,6 +75,9 @@ impl MachineConfig {
             // 700 MHz PPC440, ~35 cycles per hash probe (cache-miss bound).
             hash_rate: 20.0e6,
             memcpy_bandwidth: 1.0e9,
+            // Streaming varint/bitmap pack-unpack on the PPC440:
+            // between the hash loop and raw memcpy.
+            codec_bandwidth: 400.0e6,
         }
     }
 
@@ -105,6 +115,7 @@ impl MachineConfig {
             // 2.4 GHz Xeon, faster hashing than PPC440.
             hash_rate: 60.0e6,
             memcpy_bandwidth: 2.0e9,
+            codec_bandwidth: 1.2e9,
         }
     }
 

@@ -81,6 +81,15 @@ impl OpKind {
             _ => OpKind::Control,
         }
     }
+
+    /// Inverse of [`OpKind::from_index`].
+    pub fn index(self) -> usize {
+        match self {
+            OpKind::Expand => 0,
+            OpKind::Fold => 1,
+            OpKind::Control => 2,
+        }
+    }
 }
 
 /// Which modelled compute pass a [`EventKind::Compute`] event records.
@@ -90,6 +99,8 @@ pub enum ComputeKind {
     Hash,
     /// Buffer-copy pass (union merge traffic).
     Memcpy,
+    /// Wire-codec pass (payload encode/decode around an exchange).
+    Codec,
 }
 
 impl ComputeKind {
@@ -98,6 +109,7 @@ impl ComputeKind {
         match self {
             ComputeKind::Hash => "hash",
             ComputeKind::Memcpy => "memcpy",
+            ComputeKind::Codec => "codec",
         }
     }
 }

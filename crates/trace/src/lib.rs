@@ -30,6 +30,7 @@ pub mod json;
 pub mod recorder;
 pub mod report;
 mod sink;
+pub mod wire_summary;
 
 pub use critical::{CriticalPath, LevelCritical, PhaseSlice};
 pub use event::{ComputeKind, EventKind, OpKind, Phase, TraceEvent};
@@ -37,3 +38,4 @@ pub use heatmap::LinkHeatmap;
 pub use recorder::{Ring, TraceBuffer, DEFAULT_RING_CAPACITY};
 pub use report::{write_artifacts, TraceReport};
 pub use sink::{TraceDetail, TraceSink};
+pub use wire_summary::{OpTraffic, WireSummary, WIRE_VERT_BYTES};

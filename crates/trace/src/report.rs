@@ -10,6 +10,7 @@ use crate::chrome::chrome_trace;
 use crate::critical::CriticalPath;
 use crate::heatmap::LinkHeatmap;
 use crate::recorder::TraceBuffer;
+use crate::wire_summary::WireSummary;
 use bgl_torus::{MachineConfig, TaskMapping};
 use std::path::{Path, PathBuf};
 
@@ -21,6 +22,8 @@ pub struct TraceReport {
     /// Link-utilization heatmap (empty at span-level detail — sends are
     /// only recorded at event detail).
     pub heatmap: LinkHeatmap,
+    /// Logical-vs-wire traffic totals (send bytes empty at span detail).
+    pub wire: WireSummary,
     /// Where the Chrome trace was written.
     pub chrome_path: PathBuf,
     /// Where the summary JSON was written.
@@ -30,7 +33,9 @@ pub struct TraceReport {
 }
 
 /// Analyze `buf` and write `TRACE_chrome.json` + `TRACE_summary.json`
-/// into `dir` (created if missing).
+/// into `dir` (created if missing). The summary document carries the
+/// critical path plus a `"wire"` object with logical/wire byte totals,
+/// compression ratio and codec time replayed from the recorded events.
 pub fn write_artifacts(
     buf: &TraceBuffer,
     mapping: &TaskMapping,
@@ -40,14 +45,20 @@ pub fn write_artifacts(
     std::fs::create_dir_all(dir)?;
     let chrome_path = dir.join("TRACE_chrome.json");
     std::fs::write(&chrome_path, chrome_trace(buf))?;
-    let critical = CriticalPath::analyze(buf);
-    let summary_path = dir.join("TRACE_summary.json");
-    std::fs::write(&summary_path, critical.to_summary_json())?;
     let all_events: Vec<_> = buf.events().into_iter().map(|(_, ev)| ev).collect();
+    let critical = CriticalPath::analyze(buf);
+    let wire = WireSummary::from_events(all_events.iter());
+    let summary_path = dir.join("TRACE_summary.json");
+    // Splice the wire object into the summary's top-level document so
+    // existing consumers of `total_time`/`coverage`/`levels` still parse.
+    let mut summary = critical.to_summary_json();
+    summary.insert_str(1, &format!("\"wire\":{},", wire.to_json()));
+    std::fs::write(&summary_path, summary)?;
     let heatmap = LinkHeatmap::from_events(all_events.iter(), mapping, machine);
     Ok(TraceReport {
         critical,
         heatmap,
+        wire,
         chrome_path,
         summary_path,
         dropped_events: buf.dropped(),

@@ -9,7 +9,7 @@
 //! bgl-bfs info
 //! ```
 
-use bgl_bfs::comm::ChunkPolicy;
+use bgl_bfs::comm::{ChunkPolicy, WireMode, WirePolicy};
 use bgl_bfs::core::{bfs2d, bidir, memory, path, theory, ComputeEngine};
 use bgl_bfs::torus::MachineConfig;
 use bgl_bfs::trace::write_artifacts;
@@ -27,7 +27,10 @@ USAGE: bgl-bfs <command> [--flag value]...
 
 COMMANDS
   search   run a BFS (flags: --n --k --seed --rows --cols --source [--target] [--bidir])
-           host execution: [--engine serial|rayon|auto] (bit-identical results either way)
+           host execution: [--engine serial|rayon|auto] [--engine-threads N]
+           (bit-identical results either way)
+           wire codec: [--wire auto|raw|delta|bitmap] — adaptive payload compression for
+           expand/fold exchanges; encode/decode time is charged through the cost model
            fault injection (non-bidir): [--drop-rate 0.1] [--dead-rank 3 [--dead-at 4]]
            [--fault-seed 7] — runs the checkpoint/recover engine and prints fault counters
            tracing: [--trace] [--trace-out results/trace] [--trace-level span|event] —
@@ -89,11 +92,24 @@ impl Flags {
 }
 
 fn engine_from(flags: &Flags) -> ComputeEngine {
+    if flags.has("engine-threads") {
+        rayon::set_worker_threads(flags.u64("engine-threads", 0) as usize);
+    }
     match flags.0.get("engine").map(String::as_str) {
         Some("serial") => ComputeEngine::Serial,
         Some("rayon") => ComputeEngine::Rayon,
         Some("auto") | None => ComputeEngine::Auto,
         Some(other) => panic!("--engine: {other:?} (expected serial, rayon, or auto)"),
+    }
+}
+
+fn wire_policy_from(flags: &Flags) -> WirePolicy {
+    match flags.0.get("wire") {
+        None => WirePolicy::raw(),
+        Some(s) => WirePolicy::with_mode(
+            WireMode::parse(s)
+                .unwrap_or_else(|| panic!("--wire: {s:?} (expected auto, raw, delta, or bitmap)")),
+        ),
     }
 }
 
@@ -127,6 +143,15 @@ fn emit_trace_artifacts(world: &mut SimWorld, flags: &Flags) {
         report.summary_path.display()
     );
     print!("{}", report.critical.render_table());
+    if report.wire.sends > 0 && report.wire.wire_bytes < report.wire.logical_bytes() {
+        println!(
+            "trace wire: {:.2} MB logical -> {:.2} MB on the wire ({:.2}x) across {} sends",
+            report.wire.logical_bytes() as f64 / 1e6,
+            report.wire.wire_bytes as f64 / 1e6,
+            report.wire.compression_ratio(),
+            report.wire.sends
+        );
+    }
     if report.heatmap.sends() > 0 {
         println!("hottest links (of {} used):", report.heatmap.links_used());
         print!("{}", report.heatmap.render_table(5));
@@ -176,8 +201,9 @@ fn cmd_search(flags: &Flags) {
     }
     let faulty = plan.is_active();
     let trace = trace_detail_from(flags);
+    let wire = wire_policy_from(flags);
 
-    let mut world = SimWorld::bluegene(grid);
+    let mut world = SimWorld::bluegene(grid).with_wire_policy(wire);
     if let Some(detail) = trace {
         world.enable_trace(detail);
     }
@@ -213,7 +239,9 @@ fn cmd_search(flags: &Flags) {
         config = config.with_target(flags.u64("target", 0).min(spec.n - 1));
     }
     let r = if faulty {
-        world = SimWorld::bluegene(grid).with_fault_plan(plan);
+        world = SimWorld::bluegene(grid)
+            .with_fault_plan(plan)
+            .with_wire_policy(wire);
         if let Some(detail) = trace {
             world.enable_trace(detail);
         }
@@ -261,6 +289,17 @@ fn cmd_search(flags: &Flags) {
         r.stats.avg_fold_len_per_level(),
         r.stats.redundancy_ratio_percent()
     );
+    if !wire.is_raw() {
+        println!(
+            "wire codec ({}): {:.2} MB logical -> {:.2} MB on the wire ({:.2}x), \
+             {:.3} ms encode/decode",
+            wire.mode.name(),
+            r.stats.comm.total_logical_bytes() as f64 / 1e6,
+            r.stats.comm.total_wire_bytes() as f64 / 1e6,
+            r.stats.compression_ratio(),
+            r.stats.codec_time * 1e3
+        );
+    }
     let so = r.stats.comm.setops;
     if so.list_unions + so.bitmap_unions > 0 {
         println!(

@@ -24,6 +24,8 @@ pub use bgl_trace as trace;
 pub use bfs_core::{
     bfs1d, bfs2d, bidir, theory, BfsConfig, ExpandStrategy, FoldStrategy, ResilientConfig,
 };
-pub use bgl_comm::{CommError, FaultPlan, ProcessorGrid, SimWorld};
+pub use bgl_comm::{
+    CommError, FaultPlan, ProcessorGrid, SimWorld, WireFormat, WireMode, WirePolicy,
+};
 pub use bgl_graph::{DistGraph, GraphSpec};
 pub use bgl_trace::{CriticalPath, LinkHeatmap, TraceDetail};

@@ -2,9 +2,31 @@
 //! one-thread-per-rank message-passing runtime must produce identical
 //! BFS labels — the evidence that simulated message routing is faithful.
 
+use bgl_bfs::comm::{FaultPlan, OpClass, WireCount};
 use bgl_bfs::core::{bfs2d, bidir, threaded_run, ComputeEngine};
-use bgl_bfs::{BfsConfig, DistGraph, GraphSpec, ProcessorGrid, SimWorld};
+use bgl_bfs::{BfsConfig, DistGraph, GraphSpec, ProcessorGrid, SimWorld, WirePolicy};
 use proptest::prelude::*;
+
+/// Reassemble global levels and summed (expand, fold) wire counters
+/// from per-rank threaded outcomes.
+fn gather_threaded(
+    graph: &DistGraph,
+    outs: Vec<Result<threaded_run::RankOutcome, bgl_bfs::CommError>>,
+) -> (Vec<u32>, WireCount, WireCount) {
+    let mut levels = vec![u32::MAX; graph.spec.n as usize];
+    let mut expand = WireCount::default();
+    let mut fold = WireCount::default();
+    for out in outs {
+        let out = out.expect("fault-free run");
+        let s = out.owned_start as usize;
+        levels[s..s + out.levels.len()].copy_from_slice(&out.levels);
+        expand.logical_bytes += out.expand_wire.logical_bytes;
+        expand.wire_bytes += out.expand_wire.wire_bytes;
+        fold.logical_bytes += out.fold_wire.logical_bytes;
+        fold.wire_bytes += out.fold_wire.wire_bytes;
+    }
+    (levels, expand, fold)
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
@@ -115,6 +137,77 @@ fn rayon_engine_bit_identical_on_bidirectional_search() {
         serial.stats.sim_time.to_bits(),
         rayon.stats.sim_time.to_bits()
     );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// With the adaptive wire codec on, the simulator and the threaded
+    /// runtime still agree on the BFS tree AND on every sender-side
+    /// byte: summed per-rank logical/wire counters equal the sim's
+    /// per-class totals exactly (the codec choice is a pure function of
+    /// each payload, so both runtimes must frame identically).
+    #[test]
+    fn wire_codec_sim_and_threads_agree_byte_for_byte(
+        n in 80u64..400,
+        k in 2u32..10,
+        seed in 0u64..500,
+        r in 1usize..4,
+        c in 1usize..4,
+        sent in any::<bool>(),
+    ) {
+        let spec = GraphSpec::poisson(n, k as f64, seed);
+        let grid = ProcessorGrid::new(r, c);
+        let graph = DistGraph::build(spec, grid);
+
+        let outs = threaded_run::run_threaded_with_wire(
+            &graph, 0, sent, FaultPlan::none(), WirePolicy::auto(),
+        );
+        let (levels, expand, fold) = gather_threaded(&graph, outs);
+
+        let mut world = SimWorld::bluegene(grid).with_wire_policy(WirePolicy::auto());
+        let config = BfsConfig { sent_neighbors: sent, ..BfsConfig::baseline_alltoall() };
+        let sim = bfs2d::run(&graph, &mut world, &config, 0);
+        prop_assert_eq!(levels, sim.levels);
+
+        let se = sim.stats.comm.class(OpClass::Expand);
+        let sf = sim.stats.comm.class(OpClass::Fold);
+        prop_assert_eq!(expand.logical_bytes, se.logical_bytes);
+        prop_assert_eq!(expand.wire_bytes, se.wire_bytes);
+        prop_assert_eq!(fold.logical_bytes, sf.logical_bytes);
+        prop_assert_eq!(fold.wire_bytes, sf.wire_bytes);
+    }
+}
+
+#[test]
+fn rayon_engine_bit_identical_with_wire_codec_on() {
+    // The parallel superstep scheduler precomputes every send (codec
+    // included) under rayon; with compression on, labels, comm stats
+    // (which now carry wire bytes), and all four simulated clocks must
+    // still be bit-for-bit those of the serial engine.
+    let spec = GraphSpec::poisson(1_500, 9.0, 61);
+    let grid = ProcessorGrid::new(3, 4);
+    let graph = DistGraph::build(spec, grid);
+    let run = |engine: ComputeEngine| {
+        let config = BfsConfig::paper_optimized().with_engine(engine);
+        let mut world = SimWorld::bluegene(grid).with_wire_policy(WirePolicy::auto());
+        bfs2d::run(&graph, &mut world, &config, 0)
+    };
+    let serial = run(ComputeEngine::Serial);
+    let rayon = run(ComputeEngine::Rayon);
+    assert_eq!(serial.levels, rayon.levels);
+    assert_eq!(serial.stats.levels, rayon.stats.levels);
+    assert_eq!(serial.stats.comm, rayon.stats.comm);
+    assert!(serial.stats.comm.total_wire_bytes() < serial.stats.comm.total_logical_bytes());
+    for (s, r) in [
+        (serial.stats.sim_time, rayon.stats.sim_time),
+        (serial.stats.comm_time, rayon.stats.comm_time),
+        (serial.stats.compute_time, rayon.stats.compute_time),
+        (serial.stats.codec_time, rayon.stats.codec_time),
+    ] {
+        assert_eq!(s.to_bits(), r.to_bits());
+    }
+    assert!(serial.stats.codec_time > 0.0, "codec time must be charged");
 }
 
 #[test]

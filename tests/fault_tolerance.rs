@@ -3,9 +3,11 @@
 //! answer — and the fault machinery itself must be a strict no-op when
 //! disabled.
 
+use bgl_bfs::comm::{OpClass, WireCount};
 use bgl_bfs::core::{bfs2d, reference, threaded_run};
 use bgl_bfs::{
-    BfsConfig, CommError, DistGraph, FaultPlan, GraphSpec, ProcessorGrid, ResilientConfig, SimWorld,
+    BfsConfig, CommError, DistGraph, FaultPlan, GraphSpec, ProcessorGrid, ResilientConfig,
+    SimWorld, WirePolicy,
 };
 
 /// A `FaultPlan::none()` world is byte-identical to a plain world:
@@ -131,6 +133,101 @@ fn sim_and_threaded_runtimes_share_the_fault_schedule() {
         assert_eq!(f.retransmissions, retrans, "seed {seed}");
         assert!(f.drops_injected > 0, "the plan must actually fire");
     }
+}
+
+/// Wire compression composes with fault injection: under a lossy plan
+/// both runtimes still match the oracle, they count the *same* faults,
+/// and their sender-side byte accounting is identical — retransmission
+/// charges extra time, never extra bytes, so logical and wire totals
+/// stay a pure function of the payloads.
+#[test]
+fn wire_codec_composes_with_lossy_links() {
+    for (seed, fault_seed, rows, cols) in [(31u64, 5u64, 2usize, 2usize), (8, 19, 2, 3)] {
+        let spec = GraphSpec::poisson(2_500, 6.0, seed);
+        let grid = ProcessorGrid::new(rows, cols);
+        let graph = DistGraph::build(spec, grid);
+        let adj = bgl_bfs::graph::dist::adjacency(&spec);
+        let oracle = reference::bfs_levels(&adj, 1);
+        let plan = FaultPlan::seeded(fault_seed)
+            .with_drop_prob(0.15)
+            .with_truncate_prob(0.05)
+            .with_duplicate_prob(0.05);
+
+        let outcomes =
+            threaded_run::run_threaded_with_wire(&graph, 1, true, plan.clone(), WirePolicy::auto());
+        let mut threaded_levels = vec![u32::MAX; spec.n as usize];
+        let mut expand = WireCount::default();
+        let mut fold = WireCount::default();
+        let mut retrans = 0u64;
+        for outcome in outcomes {
+            let o = outcome.expect("lossy-but-alive run must complete");
+            for (i, &l) in o.levels.iter().enumerate() {
+                threaded_levels[o.owned_start as usize + i] = l;
+            }
+            expand.logical_bytes += o.expand_wire.logical_bytes;
+            expand.wire_bytes += o.expand_wire.wire_bytes;
+            fold.logical_bytes += o.fold_wire.logical_bytes;
+            fold.wire_bytes += o.fold_wire.wire_bytes;
+            retrans += o.faults.retransmissions;
+        }
+        assert_eq!(threaded_levels, oracle);
+
+        let mut world = SimWorld::bluegene(grid)
+            .with_fault_plan(plan)
+            .with_wire_policy(WirePolicy::auto());
+        let r = bfs2d::try_run(&graph, &mut world, &BfsConfig::baseline_alltoall(), 1)
+            .expect("lossy sim run must complete");
+        assert_eq!(r.levels, oracle);
+        assert_eq!(r.stats.comm.faults.retransmissions, retrans, "seed {seed}");
+        assert!(retrans > 0, "the plan must actually fire");
+
+        let se = r.stats.comm.class(OpClass::Expand);
+        let sf = r.stats.comm.class(OpClass::Fold);
+        assert_eq!(expand.logical_bytes, se.logical_bytes, "seed {seed}");
+        assert_eq!(expand.wire_bytes, se.wire_bytes, "seed {seed}");
+        assert_eq!(fold.logical_bytes, sf.logical_bytes, "seed {seed}");
+        assert_eq!(fold.wire_bytes, sf.wire_bytes, "seed {seed}");
+        assert!(
+            expand.wire_bytes + fold.wire_bytes < expand.logical_bytes + fold.logical_bytes,
+            "the codec must still pay under faults"
+        );
+    }
+}
+
+/// Wire compression composes with checkpoint/recovery: a rank death
+/// under a lossy plan with the codec on still recovers to the oracle's
+/// labels, and the surviving run's traffic is genuinely compressed.
+#[test]
+fn recovery_with_wire_codec_matches_oracle() {
+    let spec = GraphSpec::poisson(3_000, 6.0, 23);
+    let grid = ProcessorGrid::new(2, 3);
+    let graph = DistGraph::build(spec, grid);
+    let adj = bgl_bfs::graph::dist::adjacency(&spec);
+    let oracle = reference::bfs_levels(&adj, 1);
+
+    let plan = FaultPlan::seeded(0x5eed)
+        .with_drop_prob(0.2)
+        .with_truncate_prob(0.05)
+        .with_duplicate_prob(0.05)
+        .kill_rank_at(0, 5);
+    let mut world = SimWorld::bluegene(grid)
+        .with_fault_plan(plan)
+        .with_wire_policy(WirePolicy::auto());
+    let got = bfs2d::run_resilient(
+        &graph,
+        &mut world,
+        &BfsConfig::baseline_alltoall(),
+        1,
+        &ResilientConfig::default(),
+    )
+    .expect("resilient run must survive one death with the codec on");
+
+    assert_eq!(got.result.levels, oracle);
+    assert_eq!(got.recoveries, 1);
+    assert!(got.result.stats.comm.faults.drops_injected > 0);
+    let comm = &got.result.stats.comm;
+    assert!(comm.total_wire_bytes() < comm.total_logical_bytes());
+    assert!(comm.compression_ratio() > 1.5, "expected real compression");
 }
 
 /// Checkpoint cadence is behaviour-neutral: any `checkpoint_every`

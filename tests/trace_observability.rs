@@ -119,6 +119,46 @@ fn heatmap_reconciles_with_cost_model_link_accounting() {
     assert_eq!(hm.total_bytes(), world.traffic().unwrap().total_bytes());
 }
 
+/// With the adaptive wire codec on, the trace still reconciles with the
+/// cost model: Send events carry *encoded* frame sizes, so the heatmap's
+/// byte totals equal `LinkTraffic`'s, both equal the stats' wire-byte
+/// counters, and the summary's wire object reports the same compression
+/// the stats do — the golden trace documents the codec's effect.
+#[test]
+fn compressed_send_bytes_reconcile_trace_traffic_and_stats() {
+    use bgl_bfs::trace::WireSummary;
+    use bgl_bfs::WirePolicy;
+    let (graph, grid) = setup(4_000, 8.0, 23, 3, 3);
+    let mut world = SimWorld::bluegene(grid).with_wire_policy(WirePolicy::auto());
+    world.enable_traffic_accounting();
+    world.enable_trace(TraceDetail::Event);
+    let r = bfs2d::run(&graph, &mut world, &BfsConfig::paper_optimized(), 0);
+
+    let (traffic_hops, traffic_bytes) = {
+        let traffic = world.traffic().unwrap();
+        (traffic.sum_link_bytes(), traffic.total_bytes())
+    };
+    let buf = world.take_trace().unwrap();
+    let events: Vec<_> = buf.events().into_iter().map(|(_, ev)| ev).collect();
+    let machine = *world.cost_model().machine();
+    let hm = LinkHeatmap::from_events(events.iter(), world.mapping(), &machine);
+    assert_eq!(hm.total_bytes_hops(), traffic_hops);
+    assert_eq!(hm.total_bytes(), traffic_bytes);
+    assert_eq!(hm.total_bytes(), r.stats.comm.total_wire_bytes());
+
+    let wire = WireSummary::from_events(events.iter());
+    assert_eq!(wire.wire_bytes, r.stats.comm.total_wire_bytes());
+    assert_eq!(wire.logical_bytes(), r.stats.comm.total_logical_bytes());
+    assert!(
+        wire.compression_ratio() > 1.5,
+        "codec must pay on the trace"
+    );
+    assert!(
+        (wire.codec_time - r.stats.codec_time).abs() <= 1e-12 * r.stats.codec_time,
+        "traced codec compute must reconcile with the stats clock"
+    );
+}
+
 /// Critical-path fidelity: every level's bounding span is the level span
 /// itself, whose duration equals the recorded LevelStats sim_time
 /// bit-for-bit; phase slices partition the level; coverage is ≥ 90%.

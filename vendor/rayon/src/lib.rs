@@ -89,11 +89,33 @@ pub mod prelude {
     pub use crate::{IntoParallelIterator, ParIter, ParallelSliceMut};
 }
 
-/// Worker threads to use for slice parallelism (all available cores).
+/// Explicit worker-thread override (0 = use available parallelism).
+/// Real rayon sizes its global pool from `RAYON_NUM_THREADS`; this
+/// stand-in exposes the same knob programmatically so benchmarks and
+/// the CLI can force slice parallelism wider (or narrower) than the
+/// host's reported core count.
+static WORKER_OVERRIDE: std::sync::atomic::AtomicUsize = std::sync::atomic::AtomicUsize::new(0);
+
+/// Override the number of worker threads used for slice parallelism.
+/// `0` restores the default (one worker per available core).
+pub fn set_worker_threads(n: usize) {
+    WORKER_OVERRIDE.store(n, std::sync::atomic::Ordering::Relaxed);
+}
+
+/// The worker-thread count currently in effect.
+pub fn current_num_threads() -> usize {
+    thread_count()
+}
+
+/// Worker threads to use for slice parallelism (override, else all
+/// available cores).
 fn thread_count() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+    match WORKER_OVERRIDE.load(std::sync::atomic::Ordering::Relaxed) {
+        0 => std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1),
+        n => n,
+    }
 }
 
 /// Run `f` over every element of `slice`, splitting the slice into one
