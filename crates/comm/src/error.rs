@@ -61,6 +61,22 @@ pub enum CommError {
         /// The exchange round it was waiting on.
         round: u64,
     },
+    /// Checkpoint recovery for a dead rank gave up: every bounded
+    /// retry of the recovery exchange failed (the recovery channel is
+    /// itself faulty) and degraded-mode fallback was disabled or also
+    /// impossible.
+    RecoveryFailed {
+        /// The rank that could not be reconstructed.
+        rank: usize,
+        /// Recovery-exchange attempts made before giving up.
+        attempts: u32,
+    },
+    /// A configuration value fails validation before the run starts
+    /// (e.g. a zero checkpoint interval or a parity group of one).
+    InvalidConfig {
+        /// What was wrong, in plain words.
+        reason: &'static str,
+    },
 }
 
 impl fmt::Display for CommError {
@@ -83,6 +99,13 @@ impl fmt::Display for CommError {
             ),
             CommError::Timeout { rank, round } => {
                 write!(f, "rank {rank} timed out waiting on round {round}")
+            }
+            CommError::RecoveryFailed { rank, attempts } => write!(
+                f,
+                "recovery of rank {rank} failed after {attempts} attempts"
+            ),
+            CommError::InvalidConfig { reason } => {
+                write!(f, "invalid configuration: {reason}")
             }
         }
     }
@@ -119,6 +142,19 @@ mod tests {
                 "64 ranks",
             ),
             (CommError::Timeout { rank: 2, round: 7 }, "round 7"),
+            (
+                CommError::RecoveryFailed {
+                    rank: 5,
+                    attempts: 3,
+                },
+                "after 3 attempts",
+            ),
+            (
+                CommError::InvalidConfig {
+                    reason: "checkpoint_every must be nonzero",
+                },
+                "nonzero",
+            ),
         ];
         for (e, needle) in cases {
             let s = e.to_string();

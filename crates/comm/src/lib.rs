@@ -60,7 +60,7 @@ pub use wire::{WireFormat, WireMode, WirePolicy};
 
 // Fault plans are authored against the torus model; re-export so BFS
 // layers need not depend on `bgl_torus` directly to configure faults.
-pub use bgl_torus::{FaultPlan, RankDeath};
+pub use bgl_torus::{ChaosSpec, FaultPlan, RankDeath};
 
 // Trace types surface on both runtimes' handles; re-export so BFS
 // layers can emit spans without depending on `bgl_trace` directly.

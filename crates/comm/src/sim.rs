@@ -124,9 +124,20 @@ pub struct SimWorld {
     dead: Vec<bool>,
     /// Data-exchange round counter driving the fault schedule. Control
     /// traffic (BlueGene/L's separate reliable tree network) neither
-    /// advances it nor suffers faults, so both runtimes number the
-    /// expand/fold rounds identically.
+    /// advances it nor suffers faults by default, so both runtimes
+    /// number the expand/fold rounds identically.
     data_round: u64,
+    /// Opt in to faulting [`OpClass::Control`] traffic (the recovery
+    /// channel). Off by default: the seed behavior treated control as a
+    /// separate reliable network. Resilient BFS turns this on so
+    /// checkpoint mirroring and recovery exchanges face the same lossy
+    /// fabric as data — with bounded retry at the protocol layer.
+    control_faultable: bool,
+    /// Separate round counter for faultable control exchanges. Control
+    /// faults are hashed off this counter, never `data_round`, so
+    /// enabling control faults cannot perturb the expand/fold fault
+    /// schedule.
+    control_round: u64,
     /// Fault-aware routes per rank pair (static for a fixed plan).
     /// FxHashMap: route lookups sit on every faulty-world send, and the
     /// keys are small integer pairs — SipHash is pure overhead here.
@@ -177,6 +188,8 @@ impl SimWorld {
             plan: FaultPlan::none(),
             dead: vec![false; grid.len()],
             data_round: 0,
+            control_faultable: false,
+            control_round: 0,
             // Pre-size from the grid: routes are per ordered rank pair,
             // but ring/tree traffic only ever touches O(1) neighbors per
             // rank, so a small multiple of p covers steady state.
@@ -231,7 +244,42 @@ impl SimWorld {
         self.plan = plan;
         self.dead = vec![false; self.grid.len()];
         self.data_round = 0;
+        self.control_round = 0;
         self.route_cache.clear();
+    }
+
+    /// Opt [`OpClass::Control`] traffic in to (or out of) the fault
+    /// plan. See the `control_faultable` field: off by default, turned
+    /// on by resilient BFS so recovery traffic shares the lossy fabric.
+    pub fn set_control_faultable(&mut self, on: bool) {
+        self.control_faultable = on;
+    }
+
+    /// Builder-style [`SimWorld::set_control_faultable`].
+    pub fn with_faulty_control(mut self) -> Self {
+        self.control_faultable = true;
+        self
+    }
+
+    /// Whether control traffic is subject to the fault plan.
+    pub fn control_faultable(&self) -> bool {
+        self.control_faultable
+    }
+
+    /// Faultable control-exchange rounds performed so far.
+    pub fn control_round(&self) -> u64 {
+        self.control_round
+    }
+
+    /// Charge the modelled ack-timeout backoff for one failed recovery
+    /// exchange attempt: `software_overhead * 2^min(retry, 6)`, the same
+    /// bounded exponential the per-message retransmission model uses,
+    /// billed to control-class communication time.
+    pub fn charge_recovery_backoff(&mut self, retry: u32) {
+        let elapsed = self.cost.machine().software_overhead * (1u64 << retry.min(6)) as f64;
+        self.sim_time += elapsed;
+        self.comm_time += elapsed;
+        self.comm_time_by_class[OpClass::Control.index()] += elapsed;
     }
 
     /// The fault plan in effect.
@@ -395,6 +443,7 @@ impl SimWorld {
         self.codec_time = 0.0;
         self.dead = vec![false; self.grid.len()];
         self.data_round = 0;
+        self.control_round = 0;
         self.scratch.reset();
     }
 
@@ -505,14 +554,32 @@ impl SimWorld {
     /// around dead links/nodes through the α–β–hop cost, and scheduled
     /// rank deaths surface as [`CommError::RankDead`] before anything is
     /// charged. [`OpClass::Control`] traffic rides BlueGene/L's separate
-    /// reliable tree network: never faulted, never advances the clock.
+    /// reliable tree network by default: never faulted, never advances
+    /// the clock. With [`SimWorld::set_control_faultable`] on, control
+    /// rounds draw message faults from their own round counter (so the
+    /// data schedule is untouched) and only reject sends whose endpoints
+    /// are dead — a death elsewhere must not block recovery traffic
+    /// among survivors.
     pub fn exchange(&mut self, class: OpClass, sends: Vec<Send>) -> Result<Vec<Inbox>, CommError> {
         let p = self.p();
         let traced = self.trace.is_enabled();
         let trace_sends = self.trace.wants_sends();
-        let faultable = class != OpClass::Control && self.plan.is_active();
+        let control = class == OpClass::Control;
+        let faultable = self.plan.is_active() && (!control || self.control_faultable);
         let mut fault_round = 0u64;
-        if faultable {
+        if faultable && control {
+            fault_round = self.control_round;
+            self.control_round += 1;
+            // Scheduled deaths fire only on data rounds; here we just
+            // refuse traffic that names an already-dead endpoint.
+            for &(from, to, _) in &sends {
+                for r in [from, to] {
+                    if r < p && self.dead[r] {
+                        return Err(CommError::RankDead { rank: r });
+                    }
+                }
+            }
+        } else if faultable {
             fault_round = self.data_round;
             self.data_round += 1;
             if self.plan.has_deaths() {
@@ -1361,6 +1428,88 @@ mod tests {
             .exchange(OpClass::Fold, vec![(0, 1, vec![9])])
             .unwrap_err();
         assert!(matches!(err, CommError::Unreachable { .. }));
+    }
+
+    #[test]
+    fn faulty_control_channel_retransmits_without_touching_data_schedule() {
+        // Opting control traffic in to a lossy plan produces control
+        // retransmissions hashed off a separate round counter: the data
+        // fault schedule (and thus the BFS answer) is untouched.
+        let plan = FaultPlan::seeded(11).with_drop_prob(0.6);
+        let reference = {
+            let mut w = world(4).with_fault_plan(plan.clone());
+            w.exchange(OpClass::Expand, vec![(0, 1, vec![1, 2, 3])])
+                .map(|_| (w.stats.faults.clone(), w.data_round()))
+        };
+        let mut w = world(4).with_fault_plan(plan).with_faulty_control();
+        assert!(w.control_faultable());
+        // Burn several control rounds first; with the old shared clock
+        // this would shift the data schedule.
+        let mut control_retries = 0;
+        for _ in 0..6 {
+            if w.exchange(OpClass::Control, vec![(0, 1, vec![9])]).is_err() {
+                // Unreachable is a legal outcome at drop 0.6; callers
+                // retry at the protocol layer.
+            }
+            control_retries = w.stats.faults.retransmissions;
+        }
+        assert_eq!(w.control_round(), 6);
+        assert_eq!(w.data_round(), 0, "control rounds must not advance data");
+        assert!(
+            control_retries > 0,
+            "drop 0.6 over 6 control rounds must retransmit"
+        );
+        let before = w.stats.faults.clone();
+        let got = w
+            .exchange(OpClass::Expand, vec![(0, 1, vec![1, 2, 3])])
+            .map(|_| {
+                let mut f = w.stats.faults.clone();
+                f.drops_injected -= before.drops_injected;
+                f.truncations_injected -= before.truncations_injected;
+                f.duplicates_injected -= before.duplicates_injected;
+                f.retransmissions -= before.retransmissions;
+                f.detour_hops -= before.detour_hops;
+                (f, w.data_round())
+            });
+        match (reference, got) {
+            (Ok((rf, rr)), Ok((gf, gr))) => {
+                assert_eq!(rf, gf, "data-round fault deltas must match");
+                assert_eq!(rr, gr);
+            }
+            (Err(re), Err(ge)) => assert_eq!(re, ge),
+            (r, g) => panic!("outcomes diverged: {r:?} vs {g:?}"),
+        }
+    }
+
+    #[test]
+    fn faulty_control_rejects_dead_endpoints_only() {
+        let plan = FaultPlan::seeded(5).kill_rank_at(2, 0);
+        let mut w = world(4).with_fault_plan(plan).with_faulty_control();
+        // Round 0 fires the death.
+        let err = w
+            .exchange(OpClass::Expand, vec![(0, 1, vec![5])])
+            .unwrap_err();
+        assert_eq!(err, CommError::RankDead { rank: 2 });
+        // Control among survivors flows despite the dead rank...
+        w.exchange(OpClass::Control, vec![(0, 1, vec![7])]).unwrap();
+        // ...but naming the corpse as an endpoint is refused.
+        let err = w
+            .exchange(OpClass::Control, vec![(0, 2, vec![7])])
+            .unwrap_err();
+        assert_eq!(err, CommError::RankDead { rank: 2 });
+    }
+
+    #[test]
+    fn recovery_backoff_is_charged_to_control_time() {
+        let mut w = world(4);
+        let t0 = w.time();
+        w.charge_recovery_backoff(0);
+        w.charge_recovery_backoff(3);
+        w.charge_recovery_backoff(40); // exponent capped at 6
+        let elapsed = w.time() - t0;
+        let overhead = w.cost_model().machine().software_overhead;
+        assert!((elapsed - overhead * (1.0 + 8.0 + 64.0)).abs() < 1e-12);
+        assert!((w.comm_time_for(OpClass::Control) - elapsed).abs() < 1e-12);
     }
 
     #[test]

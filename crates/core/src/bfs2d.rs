@@ -24,18 +24,28 @@
 //!   typed [`CommError`]s instead of panics;
 //! * [`run_resilient`] — level-synchronous **checkpoint/recover**. Every
 //!   [`ResilientConfig::checkpoint_every`] levels the per-rank states are
-//!   checkpointed, and after every absorb each rank mirrors its freshly
-//!   labeled vertices to a buddy rank over the (reliable, fault-exempt)
-//!   control network. When an exchange reports [`CommError::RankDead`],
-//!   a spare node is brought in ([`SimWorld::revive`]), the dead rank's
-//!   graph cells are **regenerated from the graph seed** (the same
-//!   property that makes construction grid-independent), its labels are
-//!   replayed from the buddy's mirrored deltas, survivors roll back to
-//!   the checkpoint, and the search resumes. Recovery is exact: the
-//!   recovered run produces bit-identical level labels to a fault-free
-//!   run, because absorb only ever labels unreached vertices.
+//!   checkpointed, and after every absorb each rank shares its freshly
+//!   labeled vertices with its XOR **parity group** (see
+//!   [`crate::parity`]) over the control network — which is *not* fault
+//!   exempt here: recovery traffic faces the same lossy fabric as data,
+//!   with bounded retry/exponential-backoff at the protocol layer. When
+//!   an exchange reports [`CommError::RankDead`], a spare node is
+//!   brought in ([`SimWorld::revive`]), the dead rank's graph cells are
+//!   **regenerated from the graph seed** (the same property that makes
+//!   construction grid-independent), its label history is reconstructed
+//!   from the surviving group members' logs plus the checkpointed
+//!   parity shard, survivors roll back to the checkpoint, and the
+//!   search resumes. A second death in the *same* group (e.g. a former
+//!   buddy pair inside one group) exceeds the parity budget: the engine
+//!   falls back to a **degraded-mode restart** from the last full
+//!   checkpoint, or surfaces [`CommError::RecoveryFailed`] when
+//!   [`ResilientConfig::degraded_fallback`] is off or retries are
+//!   exhausted. Recovery is exact either way: the recovered run
+//!   produces bit-identical level labels to a fault-free run, because
+//!   absorb only ever labels unreached vertices.
 
 use crate::config::{BfsConfig, ExpandStrategy, FoldStrategy};
+use crate::parity::{GroupShard, ParityGroups};
 use crate::state::{gather_levels, RankState};
 use crate::stats::{LevelStats, RunStats};
 use bgl_comm::collectives::{
@@ -65,11 +75,26 @@ pub struct BfsResult {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ResilientConfig {
     /// Checkpoint the per-rank states every this many levels (minimum 1:
-    /// a checkpoint at the start of every level).
+    /// a checkpoint at the start of every level). Zero is rejected by
+    /// [`ResilientConfig::validate`].
     pub checkpoint_every: u32,
     /// Give up (returning the underlying [`CommError::RankDead`]) after
-    /// this many recoveries in one run.
+    /// this many recoveries (parity reconstructions plus degraded
+    /// restarts) in one run.
     pub max_recoveries: u32,
+    /// XOR parity-group size `g` (see [`crate::parity`]): any one death
+    /// per group of `g` consecutive ranks is reconstructed from the
+    /// surviving `g - 1` logs plus the group's parity shard. Minimum 2.
+    pub parity_group_size: usize,
+    /// Bounded retry budget for each recovery/checkpoint exchange over
+    /// the faulty control channel; each failed attempt charges
+    /// exponential backoff. Minimum 1.
+    pub recovery_attempts: u32,
+    /// When parity reconstruction is impossible (second death in the
+    /// same group) or its exchange exhausts `recovery_attempts`,
+    /// restart the level from the last full checkpoint instead of
+    /// failing. Off = surface [`CommError::RecoveryFailed`].
+    pub degraded_fallback: bool,
 }
 
 impl Default for ResilientConfig {
@@ -77,7 +102,35 @@ impl Default for ResilientConfig {
         Self {
             checkpoint_every: 1,
             max_recoveries: 8,
+            parity_group_size: 4,
+            recovery_attempts: 3,
+            degraded_fallback: true,
         }
+    }
+}
+
+impl ResilientConfig {
+    /// Reject nonsensical configurations with a typed error instead of
+    /// silently clamping (a `checkpoint_every` of 0 used to be bumped
+    /// to 1 inside the engine loop). Called by [`run_resilient`] before
+    /// any work starts.
+    pub fn validate(&self) -> Result<(), CommError> {
+        if self.checkpoint_every == 0 {
+            return Err(CommError::InvalidConfig {
+                reason: "checkpoint_every must be nonzero",
+            });
+        }
+        if self.parity_group_size < 2 {
+            return Err(CommError::InvalidConfig {
+                reason: "parity_group_size must be at least 2 (a singleton group has no survivors)",
+            });
+        }
+        if self.recovery_attempts == 0 {
+            return Err(CommError::InvalidConfig {
+                reason: "recovery_attempts must be at least 1",
+            });
+        }
+        Ok(())
     }
 }
 
@@ -86,13 +139,20 @@ impl Default for ResilientConfig {
 pub struct ResilientBfsResult {
     /// The search result — bit-identical levels to a fault-free run.
     pub result: BfsResult,
-    /// Number of rank deaths recovered from.
+    /// Number of rank deaths recovered from via parity reconstruction.
     pub recoveries: u32,
-    /// The ranks that died and were rebuilt, in recovery order.
+    /// Times the engine fell back to a degraded-mode restart from the
+    /// last full checkpoint (parity budget exceeded or recovery
+    /// exchange retries exhausted).
+    pub degraded_restarts: u32,
+    /// The ranks that died and were rebuilt by parity reconstruction,
+    /// in recovery order (degraded restarts are not listed here — they
+    /// restore everyone from the checkpoint).
     pub recovered_ranks: Vec<usize>,
     /// Simulated time spent inside recovery itself (graph regeneration
-    /// handoff + mirrored-label transfer); the replayed levels show up
-    /// in the ordinary sim time instead.
+    /// handoff + parity log/shard transfer, including control-channel
+    /// retransmissions and backoff); the replayed levels show up in the
+    /// ordinary sim time instead.
     pub recovery_time: f64,
 }
 
@@ -128,8 +188,11 @@ pub fn run(
     config: &BfsConfig,
     source: Vertex,
 ) -> BfsResult {
-    try_run(graph, world, config, source)
-        .expect("communication fault during BFS (use try_run/run_resilient with a FaultPlan)")
+    try_run(graph, world, config, source).unwrap_or_else(|e| {
+        panic!(
+            "communication fault during BFS: {e} (use try_run or run_resilient with a FaultPlan)"
+        )
+    })
 }
 
 /// [`run`] with communication faults surfaced as typed errors. Under a
@@ -316,24 +379,74 @@ fn level_pass(
     Ok(LevelOutcome::Advance)
 }
 
-/// Mirror each rank's freshly labeled vertices (its new frontier, tagged
-/// `next_level` in the delta log) to its buddy rank over the reliable
-/// control network, charged through the cost model.
-fn mirror_deltas(
+/// One encoded delta-log entry: `[level, count, verts...]` — the unit
+/// [`GroupShard::absorb`] XORs and the framing [`encode_deltas`]
+/// flattens, so shard contributions and flattened logs agree word for
+/// word.
+fn encode_entry(level: u32, verts: &[Vertex]) -> Vec<Vert> {
+    let mut entry = Vec::with_capacity(2 + verts.len());
+    entry.push(level as Vert);
+    entry.push(verts.len() as Vert);
+    entry.extend_from_slice(verts);
+    entry
+}
+
+/// Per-rank control inboxes: for each rank, `(sender, payload)` pairs
+/// in stable sender order.
+type ControlInboxes = Vec<Vec<(usize, Vec<Vert>)>>;
+
+/// Run a control-network exchange with bounded retry: transient
+/// failures ([`CommError::Unreachable`], [`CommError::Timeout`]) charge
+/// exponential backoff and re-roll the control fault schedule (each
+/// attempt is a fresh control round); permanent errors propagate
+/// immediately. Returns the last transient error when `attempts` runs
+/// out.
+fn control_exchange_with_retry(
+    world: &mut SimWorld,
+    sends: Vec<(usize, usize, Vec<Vert>)>,
+    attempts: u32,
+) -> Result<ControlInboxes, CommError> {
+    let mut last = None;
+    for retry in 0..attempts.max(1) {
+        match world.exchange(OpClass::Control, sends.clone()) {
+            Ok(inboxes) => return Ok(inboxes),
+            Err(e @ (CommError::Unreachable { .. } | CommError::Timeout { .. })) => {
+                world.charge_recovery_backoff(retry);
+                last = Some(e);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.expect("attempts >= 1 so at least one attempt ran"))
+}
+
+/// After every absorb, append each rank's freshly labeled vertices (its
+/// new frontier, tagged `next_level`) to the delta logs, fold the
+/// encoded entry into the rank's group parity shard, and ship it to the
+/// `g - 1` group peers over the (faulty, retried) control network.
+/// Empty frontiers are absorbed but not shipped — peers synthesize the
+/// `[level, 0]` entry locally, it carries no information.
+fn parity_update(
     world: &mut SimWorld,
     states: &[RankState<'_>],
     next_level: u32,
     deltas: &mut [Vec<(u32, Vec<Vertex>)>],
+    groups: &ParityGroups,
+    shards: &mut [GroupShard],
+    attempts: u32,
 ) -> Result<(), CommError> {
-    let p = states.len();
     let mut sends = Vec::new();
     for (rank, st) in states.iter().enumerate() {
         deltas[rank].push((next_level, st.frontier.clone()));
+        let entry = encode_entry(next_level, &st.frontier);
+        shards[groups.group_of(rank)].absorb(groups.member_index(rank), &entry);
         if !st.frontier.is_empty() {
-            sends.push((rank, (rank + 1) % p, st.frontier.clone()));
+            for peer in groups.peers(rank) {
+                sends.push((rank, peer, entry.clone()));
+            }
         }
     }
-    world.exchange(OpClass::Control, sends)?;
+    control_exchange_with_retry(world, sends, attempts)?;
     Ok(())
 }
 
@@ -409,14 +522,27 @@ fn engine(
     let mut target_level = None;
 
     // Checkpoint/recover machinery (inert when `resilience` is None).
+    let groups = ParityGroups::new(resilience.map_or(2, |rc| rc.parity_group_size), p.max(1));
     let mut snapshot: Vec<RankState<'_>> = Vec::new();
     let mut ckpt_level: u32 = 0;
     let mut deltas: Vec<Vec<(u32, Vec<Vertex>)>> = vec![Vec::new(); p];
-    if resilience.is_some() {
-        // The source label is the level-0 delta.
+    let mut shards: Vec<GroupShard> = Vec::new();
+    let mut shards_ckpt: Vec<GroupShard> = Vec::new();
+    if let Some(rc) = resilience {
+        rc.validate()?;
+        // Recovery traffic is not fault-exempt: control exchanges face
+        // the plan (on their own round counter) with retry on top.
+        world.set_control_faultable(true);
+        shards = (0..groups.count())
+            .map(|g| GroupShard::new(groups.members(g).len()))
+            .collect();
+        // The source label is the level-0 delta, parity included.
         deltas[owner].push((0, vec![source]));
+        shards[groups.group_of(owner)]
+            .absorb(groups.member_index(owner), &encode_entry(0, &[source]));
     }
     let mut recoveries = 0u32;
+    let mut degraded_restarts = 0u32;
     let mut recovered_ranks: Vec<usize> = Vec::new();
     let mut recovery_time = 0.0f64;
 
@@ -426,8 +552,9 @@ fn engine(
             break;
         }
         if let Some(rc) = resilience {
-            if level.is_multiple_of(rc.checkpoint_every.max(1)) {
+            if level.is_multiple_of(rc.checkpoint_every) {
                 snapshot = states.clone();
+                shards_ckpt = shards.clone();
                 ckpt_level = level;
                 let t = world.time();
                 world
@@ -448,8 +575,16 @@ fn engine(
         ) {
             Ok(LevelOutcome::Exhausted) | Ok(LevelOutcome::TargetFound) => break,
             Ok(LevelOutcome::Advance) => {
-                if resilience.is_some() {
-                    mirror_deltas(world, &states, level + 1, &mut deltas)?;
+                if let Some(rc) = resilience {
+                    parity_update(
+                        world,
+                        &states,
+                        level + 1,
+                        &mut deltas,
+                        &groups,
+                        &mut shards,
+                        rc.recovery_attempts,
+                    )?;
                 }
                 level += 1;
             }
@@ -457,61 +592,159 @@ fn engine(
                 let Some(rc) = resilience else {
                     return Err(CommError::RankDead { rank });
                 };
-                if recoveries >= rc.max_recoveries {
+                if recoveries + degraded_restarts >= rc.max_recoveries {
                     return Err(CommError::RankDead { rank });
                 }
-                recoveries += 1;
-                recovered_ranks.push(rank);
                 let t0 = world.time();
+                let group = groups.group_of(rank);
+                // Deaths fire per data round, so several ranks can be
+                // dead at once. One death per group is parity-budget;
+                // a second in the *same* group forces degraded mode.
+                // Deaths in other groups are handled by later passes
+                // through this arm (the next exchange re-reports them).
+                let second_in_group = world
+                    .dead_ranks()
+                    .into_iter()
+                    .any(|r| r != rank && groups.group_of(r) == group);
 
-                // A spare node takes over the dead rank's coordinate.
-                world.revive(rank);
-                world.note_recovery();
+                let mut restored: Option<RankState<'_>> = None;
+                if !second_in_group {
+                    // A spare node takes over the dead rank's coordinate.
+                    world.revive(rank);
 
-                // Its graph cells are regenerated from the seed — the
-                // same determinism that makes construction
-                // grid-independent makes every cell recomputable.
-                let rebuilt = bgl_graph::rebuild_rank(&graph.spec, grid, rank);
-                assert_eq!(
-                    rebuilt, graph.ranks[rank],
-                    "seed regeneration must reproduce the dead rank's graph share"
-                );
+                    // Its graph cells are regenerated from the seed — the
+                    // same determinism that makes construction
+                    // grid-independent makes every cell recomputable.
+                    let rebuilt = bgl_graph::rebuild_rank(&graph.spec, grid, rank);
+                    assert_eq!(
+                        rebuilt, graph.ranks[rank],
+                        "seed regeneration must reproduce the dead rank's graph share"
+                    );
 
-                // The buddy ships its mirrored label history to the
-                // revived rank over the control network (charged).
-                let buddy = (rank + 1) % p;
-                let payload = encode_deltas(&deltas[rank], ckpt_level);
-                let inboxes = world.exchange(OpClass::Control, vec![(buddy, rank, payload)])?;
-                let received = inboxes[rank]
-                    .first()
-                    .map(|(_, pl)| pl.clone())
-                    .unwrap_or_default();
+                    // Surviving group members ship their flattened logs
+                    // to the revived rank; the highest survivor also
+                    // ships the checkpointed parity shard. All of it
+                    // rides the faulty control network with bounded
+                    // retry — visible as control retransmits in traces.
+                    let mi = groups.member_index(rank);
+                    let survivors: Vec<usize> =
+                        groups.members(group).filter(|&m| m != rank).collect();
+                    let mut sends: Vec<(usize, usize, Vec<Vert>)> = survivors
+                        .iter()
+                        .map(|&m| (m, rank, encode_deltas(&deltas[m], ckpt_level)))
+                        .collect();
+                    let shard_holder = survivors.last().copied();
+                    if let Some(h) = shard_holder {
+                        sends.push((h, rank, shards_ckpt[group].words().to_vec()));
+                    }
+                    match control_exchange_with_retry(world, sends, rc.recovery_attempts) {
+                        Ok(inboxes) => {
+                            // Split the inbox back into survivor logs and
+                            // the shard: inboxes are sorted by sender and
+                            // stable, so the shard holder's log precedes
+                            // its shard payload.
+                            let mut logs: Vec<(usize, Vec<Vert>)> = Vec::new();
+                            let mut shard_words: Vec<Vert> = Vec::new();
+                            for (from, payload) in inboxes[rank].clone() {
+                                if Some(from) == shard_holder
+                                    && logs.iter().any(|(m, _)| *m == groups.member_index(from))
+                                {
+                                    shard_words = payload;
+                                } else {
+                                    logs.push((groups.member_index(from), payload));
+                                }
+                            }
+                            if shard_holder.is_some() {
+                                assert_eq!(
+                                    shard_words,
+                                    shards_ckpt[group].words(),
+                                    "received parity shard must match the checkpointed shard"
+                                );
+                            }
 
-                // Rebuild the dead rank's state purely from regenerated
-                // graph + mirrored deltas (never from its lost memory),
-                // then check it against the checkpoint it must equal.
-                let fresh =
-                    RankState::new(&graph.ranks[rank], graph.partition, config.sent_neighbors);
-                let restored = replay_deltas(fresh, &received, ckpt_level);
-                assert_eq!(
-                    restored.levels, snapshot[rank].levels,
-                    "replayed labels must match the checkpointed labels"
-                );
-                assert_eq!(
-                    restored.frontier, snapshot[rank].frontier,
-                    "replayed frontier must match the checkpointed frontier"
-                );
+                            // The parity identity: dead log = shard XOR
+                            // survivor logs, truncated to its recorded
+                            // length.
+                            let survivor_refs: Vec<(usize, &[Vert])> =
+                                logs.iter().map(|(m, l)| (*m, l.as_slice())).collect();
+                            let reconstructed = shards_ckpt[group].reconstruct(mi, &survivor_refs);
+                            assert_eq!(
+                                reconstructed,
+                                encode_deltas(&deltas[rank], ckpt_level),
+                                "parity reconstruction must reproduce the dead rank's log"
+                            );
 
-                // Survivors roll back to the checkpoint; the revived
-                // rank joins with its replayed state (its sent-neighbors
-                // cache starts cold — resends are harmless because
-                // absorb only labels unreached vertices).
-                states = snapshot.clone();
-                states[rank] = restored;
+                            // Rebuild the dead rank's state purely from
+                            // regenerated graph + reconstructed log
+                            // (never from its lost memory), then check
+                            // it against the checkpoint it must equal.
+                            let fresh = RankState::new(
+                                &graph.ranks[rank],
+                                graph.partition,
+                                config.sent_neighbors,
+                            );
+                            let replayed = replay_deltas(fresh, &reconstructed, ckpt_level);
+                            assert_eq!(
+                                replayed.levels, snapshot[rank].levels,
+                                "replayed labels must match the checkpointed labels"
+                            );
+                            assert_eq!(
+                                replayed.frontier, snapshot[rank].frontier,
+                                "replayed frontier must match the checkpointed frontier"
+                            );
+                            restored = Some(replayed);
+                        }
+                        // Retries exhausted against the faulty channel:
+                        // fall through to degraded mode (or fail).
+                        Err(CommError::Unreachable { .. })
+                        | Err(CommError::Timeout { .. })
+                        | Err(CommError::NoRoute { .. }) => {}
+                        Err(e) => return Err(e),
+                    }
+                }
+
+                if let Some(restored) = restored {
+                    // Parity recovery: survivors roll back to the
+                    // checkpoint; the revived rank joins with its
+                    // replayed state (its sent-neighbors cache starts
+                    // cold — resends are harmless because absorb only
+                    // labels unreached vertices).
+                    recoveries += 1;
+                    recovered_ranks.push(rank);
+                    world.note_recovery();
+                    states = snapshot.clone();
+                    states[rank] = restored;
+                } else {
+                    // Degraded mode: every rank — dead or alive — is
+                    // restored from the last full checkpoint (stable
+                    // storage), charged as a memcpy of the state bytes.
+                    if !rc.degraded_fallback {
+                        return Err(CommError::RecoveryFailed {
+                            rank,
+                            attempts: rc.recovery_attempts,
+                        });
+                    }
+                    for r in world.dead_ranks() {
+                        world.revive(r);
+                    }
+                    world.revive(rank); // no-op if already revived above
+                    degraded_restarts += 1;
+                    world.note_recovery();
+                    let bytes: Vec<u64> = snapshot
+                        .iter()
+                        .map(|s| (s.levels.len() * 4 + s.frontier.len() * 8) as u64)
+                        .collect();
+                    world.memcpy_phase(&bytes);
+                    states = snapshot.clone();
+                }
+
+                // Common rollback: records, logs and shards return to
+                // the checkpoint; the search resumes from there.
                 level_records.retain(|r| r.level < ckpt_level);
                 for d in deltas.iter_mut() {
                     d.retain(|(l, _)| *l <= ckpt_level);
                 }
+                shards = shards_ckpt.clone();
                 target_level = None;
                 level = ckpt_level;
                 let t1 = world.time();
@@ -550,6 +783,7 @@ fn engine(
             levels,
         },
         recoveries,
+        degraded_restarts,
         recovered_ranks,
         recovery_time,
     })
@@ -831,6 +1065,7 @@ mod tests {
             &ResilientConfig {
                 checkpoint_every: 2,
                 max_recoveries: 4,
+                ..ResilientConfig::default()
             },
         )
         .unwrap();
@@ -854,10 +1089,133 @@ mod tests {
             &ResilientConfig {
                 checkpoint_every: 1,
                 max_recoveries: 0,
+                ..ResilientConfig::default()
             },
         )
         .unwrap_err();
         assert_eq!(err, CommError::RankDead { rank: 1 });
+    }
+
+    #[test]
+    fn zero_checkpoint_interval_is_rejected() {
+        let spec = GraphSpec::poisson(100, 4.0, 9);
+        let grid = ProcessorGrid::new(2, 2);
+        let graph = DistGraph::build(spec, grid);
+        let mut world = SimWorld::bluegene(grid);
+        let err = run_resilient(
+            &graph,
+            &mut world,
+            &BfsConfig::default(),
+            0,
+            &ResilientConfig {
+                checkpoint_every: 0,
+                ..ResilientConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert_eq!(
+            err,
+            CommError::InvalidConfig {
+                reason: "checkpoint_every must be nonzero"
+            }
+        );
+        // Singleton parity groups and zero retry budgets are equally
+        // nonsensical.
+        for rc in [
+            ResilientConfig {
+                parity_group_size: 1,
+                ..ResilientConfig::default()
+            },
+            ResilientConfig {
+                recovery_attempts: 0,
+                ..ResilientConfig::default()
+            },
+        ] {
+            assert!(matches!(
+                rc.validate(),
+                Err(CommError::InvalidConfig { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn buddy_pair_death_recovers_bit_identically_with_parity_groups() {
+        // The single-buddy mirror's fatal case: ranks r and (r+1) % p
+        // die in the same level. With g = 3 the pair straddles two
+        // parity groups ({0,1,2} and {3,4,5}), so each death is the
+        // only one in its group and both reconstruct exactly.
+        let spec = GraphSpec::poisson(400, 6.0, 31);
+        let adj = bgl_graph::dist::adjacency(&spec);
+        let expect = reference::bfs_levels(&adj, 0);
+        let grid = ProcessorGrid::new(2, 3);
+        let graph = DistGraph::build(spec, grid);
+        let plan = FaultPlan::seeded(5).kill_rank_at(2, 4).kill_rank_at(3, 4);
+        let mut world = SimWorld::bluegene(grid).with_fault_plan(plan);
+        let got = run_resilient(
+            &graph,
+            &mut world,
+            &BfsConfig::default(),
+            0,
+            &ResilientConfig {
+                parity_group_size: 3,
+                ..ResilientConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(got.result.levels, expect, "buddy pair must recover");
+        assert_eq!(got.recoveries, 2);
+        assert_eq!(got.degraded_restarts, 0);
+        assert_eq!(got.recovered_ranks, vec![2, 3]);
+        assert_eq!(world.stats.faults.recoveries, 2);
+    }
+
+    #[test]
+    fn same_group_double_death_falls_back_to_degraded_restart() {
+        // Two deaths inside one parity group exceed the XOR budget:
+        // the engine must restart from the last full checkpoint (and
+        // still land on the oracle's labels).
+        let spec = GraphSpec::poisson(400, 6.0, 31);
+        let adj = bgl_graph::dist::adjacency(&spec);
+        let expect = reference::bfs_levels(&adj, 0);
+        let grid = ProcessorGrid::new(2, 3);
+        let graph = DistGraph::build(spec, grid);
+        let plan = FaultPlan::seeded(5).kill_rank_at(0, 4).kill_rank_at(1, 4);
+        let mut world = SimWorld::bluegene(grid).with_fault_plan(plan.clone());
+        let got = run_resilient(
+            &graph,
+            &mut world,
+            &BfsConfig::default(),
+            0,
+            &ResilientConfig {
+                parity_group_size: 3,
+                ..ResilientConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(got.result.levels, expect, "degraded restart must recover");
+        assert_eq!(got.degraded_restarts, 1);
+        assert_eq!(got.recoveries, 0, "parity cannot cover a double death");
+        assert!(got.recovery_time > 0.0);
+
+        // With the fallback disabled the same schedule is fatal — and
+        // typed, not a panic.
+        let mut world = SimWorld::bluegene(grid).with_fault_plan(plan);
+        let err = run_resilient(
+            &graph,
+            &mut world,
+            &BfsConfig::default(),
+            0,
+            &ResilientConfig {
+                parity_group_size: 3,
+                degraded_fallback: false,
+                ..ResilientConfig::default()
+            },
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, CommError::RecoveryFailed { .. }),
+            "expected RecoveryFailed, got {err}"
+        );
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod bidir;
 pub mod config;
 pub mod engine;
 pub mod memory;
+pub mod parity;
 pub mod path;
 pub mod reference;
 pub mod state;
@@ -63,13 +64,16 @@ pub mod stats;
 pub mod theory;
 pub mod threaded_run;
 pub mod tree;
+pub mod validate;
 
 pub use bfs2d::{BfsResult, ResilientBfsResult, ResilientConfig};
 pub use bidir::BidirResult;
 pub use config::{BfsConfig, ExpandStrategy, FoldStrategy};
 pub use engine::ComputeEngine;
+pub use parity::{GroupShard, ParityGroups};
 pub use reference::UNREACHED;
 pub use stats::{LevelStats, RunStats};
 pub use threaded_run::{
     run_threaded, run_threaded_traced, run_threaded_with_wire, TracedThreadedRun,
 };
+pub use validate::{validate_against_spec, validate_levels, ValidationError, ValidationReport};

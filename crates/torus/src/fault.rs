@@ -44,6 +44,16 @@ fn unit(h: u64) -> f64 {
 const SALT_DROP: u64 = 0xD509;
 const SALT_DUP: u64 = 0xD0B1;
 const SALT_TRUNC: u64 = 0x7A0C;
+const SALT_CHAOS_DEATH: u64 = 0xDEAD;
+const SALT_CHAOS_PROB: u64 = 0xC405;
+const SALT_CHAOS_LINK: u64 = 0x11CC;
+
+/// The message-class index the communication layer assigns to control
+/// traffic (checkpoint parity updates, recovery transfers). Fault
+/// decisions are keyed by class, so control faults — when a runtime
+/// opts in to a faulty control channel — draw from an independent
+/// hash stream and can carry their own probabilities.
+pub const CONTROL_CLASS: u8 = 2;
 
 /// Normalize an undirected link so `(a, b)` and `(b, a)` compare equal.
 fn norm_link(a: Coord3, b: Coord3) -> (Coord3, Coord3) {
@@ -85,6 +95,23 @@ pub struct FaultPlan {
     /// Maximum delivery attempts per message before the link is declared
     /// unreachable.
     pub max_attempts: u32,
+    /// Per-attempt drop probability for control-class traffic
+    /// ([`CONTROL_CLASS`]), when a runtime routes control messages
+    /// through the fault model. `None` falls back to [`drop_prob`]: a
+    /// lossy fabric is lossy for recovery traffic too.
+    ///
+    /// [`drop_prob`]: FaultPlan::drop_prob
+    pub control_drop_prob: Option<f64>,
+    /// Control-class duplicate probability override (see
+    /// [`control_drop_prob`]).
+    ///
+    /// [`control_drop_prob`]: FaultPlan::control_drop_prob
+    pub control_duplicate_prob: Option<f64>,
+    /// Control-class truncation probability override (see
+    /// [`control_drop_prob`]).
+    ///
+    /// [`control_drop_prob`]: FaultPlan::control_drop_prob
+    pub control_truncate_prob: Option<f64>,
     dead_links: Vec<(Coord3, Coord3)>,
     dead_nodes: Vec<Coord3>,
     degraded: Vec<(Coord3, Coord3, f64)>,
@@ -106,6 +133,9 @@ impl FaultPlan {
             duplicate_prob: 0.0,
             truncate_prob: 0.0,
             max_attempts: 16,
+            control_drop_prob: None,
+            control_duplicate_prob: None,
+            control_truncate_prob: None,
             dead_links: Vec::new(),
             dead_nodes: Vec::new(),
             degraded: Vec::new(),
@@ -151,6 +181,38 @@ impl FaultPlan {
         self
     }
 
+    /// Override the per-attempt drop probability for control-class
+    /// traffic only (builder style). Lets tests make the recovery
+    /// channel lossy while the data fabric stays clean, or vice versa.
+    pub fn with_control_drop_prob(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "control drop probability must be in [0,1]"
+        );
+        self.control_drop_prob = Some(p);
+        self
+    }
+
+    /// Override the control-class duplicate probability (builder style).
+    pub fn with_control_duplicate_prob(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "control duplicate probability must be in [0,1]"
+        );
+        self.control_duplicate_prob = Some(p);
+        self
+    }
+
+    /// Override the control-class truncation probability (builder style).
+    pub fn with_control_truncate_prob(mut self, p: f64) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "control truncate probability must be in [0,1]"
+        );
+        self.control_truncate_prob = Some(p);
+        self
+    }
+
     /// Kill the bi-directional link between two (adjacent) nodes.
     pub fn kill_link(mut self, a: Coord3, b: Coord3) -> Self {
         let l = norm_link(a, b);
@@ -192,9 +254,26 @@ impl FaultPlan {
         self.has_message_faults() || self.has_topology_faults() || self.has_deaths()
     }
 
-    /// Whether any per-message probabilistic fault is enabled.
+    /// Whether any per-message probabilistic fault is enabled, on
+    /// either the data or the control channel.
     pub fn has_message_faults(&self) -> bool {
-        self.drop_prob > 0.0 || self.duplicate_prob > 0.0 || self.truncate_prob > 0.0
+        self.drop_prob > 0.0
+            || self.duplicate_prob > 0.0
+            || self.truncate_prob > 0.0
+            || self.control_drop_prob.unwrap_or(0.0) > 0.0
+            || self.control_duplicate_prob.unwrap_or(0.0) > 0.0
+            || self.control_truncate_prob.unwrap_or(0.0) > 0.0
+    }
+
+    /// The effective probability for `class`: the control override when
+    /// the class is control traffic and one is set, the base otherwise.
+    #[inline]
+    fn class_prob(&self, class: u8, base: f64, control: Option<f64>) -> f64 {
+        if class == CONTROL_CLASS {
+            control.unwrap_or(base)
+        } else {
+            base
+        }
     }
 
     /// Whether any link or node is dead or degraded.
@@ -283,7 +362,7 @@ impl FaultPlan {
             from as u64,
             to as u64,
             attempt,
-            self.drop_prob,
+            self.class_prob(class, self.drop_prob, self.control_drop_prob),
         )
     }
 
@@ -296,7 +375,7 @@ impl FaultPlan {
             from as u64,
             to as u64,
             attempt,
-            self.duplicate_prob,
+            self.class_prob(class, self.duplicate_prob, self.control_duplicate_prob),
         )
     }
 
@@ -310,7 +389,7 @@ impl FaultPlan {
             from as u64,
             to as u64,
             attempt,
-            self.truncate_prob,
+            self.class_prob(class, self.truncate_prob, self.control_truncate_prob),
         )
     }
 
@@ -347,6 +426,114 @@ impl FaultPlan {
             }
         }
         Err(self.max_attempts)
+    }
+
+    /// Build a seeded randomized plan for chaos testing: at most one
+    /// scheduled rank death per parity group of `group_size` consecutive
+    /// ranks, hash-derived drop/truncate/duplicate probabilities below
+    /// the spec's caps, and (optionally) one dead torus link. Pure in
+    /// `(spec.seed, spec)` — the same spec always yields the same plan,
+    /// so every chaos failure reproduces from its seed alone.
+    pub fn chaos(spec: &ChaosSpec) -> FaultPlan {
+        let s = spec.seed;
+        let frac = |salt: u64, idx: u64| unit(mix(mix(s ^ salt) ^ idx));
+        let mut plan = FaultPlan::seeded(s)
+            .with_drop_prob(frac(SALT_CHAOS_PROB, 1) * spec.drop_prob_max)
+            .with_truncate_prob(frac(SALT_CHAOS_PROB, 2) * spec.truncate_prob_max)
+            .with_duplicate_prob(frac(SALT_CHAOS_PROB, 3) * spec.duplicate_prob_max);
+
+        // One candidate death per parity group. Groups mirror
+        // `bfs-core`'s layout: consecutive ranks, the remainder merged
+        // into the last group, so a single death per group is always
+        // reconstructible from the surviving members plus the shard.
+        let g = spec.group_size.max(2);
+        let groups = (spec.ranks / g).max(1);
+        for group in 0..groups {
+            if frac(SALT_CHAOS_DEATH, group as u64) >= spec.death_prob {
+                continue;
+            }
+            let start = group * g;
+            let end = if group + 1 == groups {
+                spec.ranks
+            } else {
+                start + g
+            };
+            let h = mix(mix(s ^ SALT_CHAOS_DEATH) ^ (group as u64).rotate_left(23));
+            let victim = start + (h as usize % (end - start));
+            let round = 1 + (h >> 32) % spec.max_round.max(1);
+            plan = plan.kill_rank_at(victim, round);
+        }
+
+        // Optionally kill one torus link; BFS detour routing absorbs it
+        // unless the machine is degenerate (then the run surfaces a
+        // typed `NoRoute`, which chaos consumers treat as an outcome).
+        if let Some(dims) = spec.dims {
+            if frac(SALT_CHAOS_LINK, 0) < spec.dead_link_prob {
+                let h = mix(mix(s ^ SALT_CHAOS_LINK) ^ 1);
+                let a = dims.delinearize(h as usize % dims.node_count());
+                for d in 0..3 {
+                    if dims.extent(d) > 1 {
+                        let b = a.step(dims, d, 1);
+                        plan = plan.kill_link(a, b);
+                        break;
+                    }
+                }
+            }
+        }
+        plan
+    }
+}
+
+/// Parameters for [`FaultPlan::chaos`]: the randomized-fault envelope a
+/// chaos sweep draws plans from.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChaosSpec {
+    /// Seed for every hash-derived choice below.
+    pub seed: u64,
+    /// World size (ranks eligible to die).
+    pub ranks: usize,
+    /// Parity-group size the death schedule respects (at most one death
+    /// per group of consecutive ranks).
+    pub group_size: usize,
+    /// Per-group probability that a death is scheduled.
+    pub death_prob: f64,
+    /// Death rounds are drawn from `1..=max_round`.
+    pub max_round: u64,
+    /// Upper bound on the hash-derived per-attempt drop probability.
+    pub drop_prob_max: f64,
+    /// Upper bound on the truncation probability.
+    pub truncate_prob_max: f64,
+    /// Upper bound on the duplicate probability.
+    pub duplicate_prob_max: f64,
+    /// Probability of killing one torus link (needs `dims`).
+    pub dead_link_prob: f64,
+    /// Torus dimensions for link faults (`None` = no link faults).
+    pub dims: Option<TorusDims>,
+}
+
+impl ChaosSpec {
+    /// A moderate envelope: one death per group likely, lossy links up
+    /// to 20% drop, occasional dead link.
+    pub fn moderate(seed: u64, ranks: usize, group_size: usize) -> Self {
+        Self {
+            seed,
+            ranks,
+            group_size,
+            death_prob: 0.75,
+            max_round: 8,
+            drop_prob_max: 0.2,
+            truncate_prob_max: 0.05,
+            duplicate_prob_max: 0.05,
+            dead_link_prob: 0.0,
+            dims: None,
+        }
+    }
+
+    /// Builder-style: enable dead-link faults on a machine of `dims`.
+    pub fn with_link_faults(mut self, dims: TorusDims, prob: f64) -> Self {
+        self.dims = Some(dims);
+        self.dead_link_prob = prob;
+        self
     }
 }
 
@@ -667,5 +854,55 @@ mod tests {
         let route = route_with_faults(dims, a, b, &plan).unwrap();
         // Short way dead: either 3 hops through x, or 3 via a side step.
         assert_eq!(route.len(), 3);
+    }
+
+    #[test]
+    fn control_probabilities_default_to_data_probabilities() {
+        // Without overrides the control class sees the same lossiness as
+        // data traffic: a fully lossy fabric is lossy for everyone.
+        let plan = FaultPlan::seeded(9).with_drop_prob(1.0);
+        assert!(plan.drops(2, 0, 0, 1, 0));
+        // An override decouples them.
+        let clean = plan.clone().with_control_drop_prob(0.0);
+        assert!(!clean.drops(2, 0, 0, 1, 0));
+        assert!(clean.drops(0, 0, 0, 1, 0), "data class still lossy");
+        // Control-only faults make the plan active.
+        let ctl = FaultPlan::seeded(9).with_control_drop_prob(0.5);
+        assert!(ctl.has_message_faults() && ctl.is_active());
+        assert!(!ctl.drops(0, 0, 0, 1, 0), "data class stays clean");
+    }
+
+    #[test]
+    fn chaos_plans_are_deterministic_and_group_disjoint() {
+        let spec = ChaosSpec::moderate(41, 12, 3);
+        let a = FaultPlan::chaos(&spec);
+        let b = FaultPlan::chaos(&spec);
+        assert_eq!(a, b, "same spec must yield the same plan");
+        assert!(a.drop_prob <= spec.drop_prob_max);
+        assert!(a.truncate_prob <= spec.truncate_prob_max);
+        // At most one death per group of 3 consecutive ranks.
+        for group in 0..4 {
+            let in_group = a.deaths().iter().filter(|d| d.rank / 3 == group).count();
+            assert!(in_group <= 1, "group {group} has {in_group} deaths");
+        }
+        // Different seeds explore different schedules.
+        let c = FaultPlan::chaos(&ChaosSpec::moderate(42, 12, 3));
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn chaos_link_faults_target_live_links() {
+        let dims = dims4();
+        let spec = ChaosSpec {
+            dead_link_prob: 1.0,
+            dims: Some(dims),
+            ..ChaosSpec::moderate(7, 8, 4)
+        };
+        let plan = FaultPlan::chaos(&spec);
+        assert!(plan.has_topology_faults());
+        // Routing still detours around the single dead link.
+        let a = Coord3::new(0, 0, 0);
+        let b = Coord3::new(2, 1, 1);
+        assert!(route_with_faults(dims, a, b, &plan).is_ok());
     }
 }

@@ -41,7 +41,9 @@ pub mod routing;
 
 pub use coord::{Coord3, TorusDims};
 pub use cost::{CostModel, LinkTraffic, TransferCost};
-pub use fault::{detour_hops, route_with_faults, Delivery, FaultPlan, Isolated, RankDeath};
+pub use fault::{
+    detour_hops, route_with_faults, ChaosSpec, Delivery, FaultPlan, Isolated, RankDeath,
+};
 pub use machine::{MachineConfig, MachineKind};
 pub use mapping::{LogicalArray, TaskMapping, TaskMappingKind};
 pub use routing::{diameter, hop_distance, mean_hop_distance, route_dimension_ordered, RouteStep};

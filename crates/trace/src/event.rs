@@ -147,7 +147,9 @@ pub enum EventKind {
     Checkpoint { level: u32 },
     /// A scheduled rank death fired at data round `round`.
     RankDeath { rank: u32, round: u64 },
-    /// Rank `rank` was revived and replayed from its buddy's mirror.
+    /// Rank `rank` was revived and replayed, either reconstructed from
+    /// its parity group's surviving logs + shard or (degraded mode)
+    /// restored wholesale from the last full checkpoint.
     Recovery { rank: u32 },
 }
 

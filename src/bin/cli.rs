@@ -10,7 +10,7 @@
 //! ```
 
 use bgl_bfs::comm::{ChunkPolicy, WireMode, WirePolicy};
-use bgl_bfs::core::{bfs2d, bidir, memory, path, theory, ComputeEngine};
+use bgl_bfs::core::{bfs2d, bidir, memory, path, theory, validate, ComputeEngine};
 use bgl_bfs::torus::MachineConfig;
 use bgl_bfs::trace::write_artifacts;
 use bgl_bfs::{
@@ -33,6 +33,10 @@ COMMANDS
            expand/fold exchanges; encode/decode time is charged through the cost model
            fault injection (non-bidir): [--drop-rate 0.1] [--dead-rank 3 [--dead-at 4]]
            [--fault-seed 7] — runs the checkpoint/recover engine and prints fault counters
+           resilience: [--parity-group g] — XOR parity-group size for checkpointed
+           delta logs (default 4; any single rank death per group is reconstructed)
+           validation: [--validate] — Graph500-style check of the level labelling
+           (rooted tree, tree edges exist, levels differ by <= 1); nonzero exit on failure
            tracing: [--trace] [--trace-out results/trace] [--trace-level span|event] —
            writes TRACE_chrome.json + TRACE_summary.json and prints the per-level
            critical path and the hottest torus links
@@ -245,17 +249,15 @@ fn cmd_search(flags: &Flags) {
         if let Some(detail) = trace {
             world.enable_trace(detail);
         }
-        let res = bfs2d::run_resilient(
-            &graph,
-            &mut world,
-            &config,
-            source,
-            &ResilientConfig::default(),
-        )
-        .unwrap_or_else(|e| {
-            eprintln!("error: search did not survive the fault plan: {e}");
-            std::process::exit(1);
-        });
+        let resilient = ResilientConfig {
+            parity_group_size: flags.u64("parity-group", 4) as usize,
+            ..ResilientConfig::default()
+        };
+        let res = bfs2d::run_resilient(&graph, &mut world, &config, source, &resilient)
+            .unwrap_or_else(|e| {
+                eprintln!("error: search did not survive the fault plan: {e}");
+                std::process::exit(1);
+            });
         if res.recoveries > 0 {
             println!(
                 "recovered {} rank death(s) ({:?}) in {:.3} ms of recovery time",
@@ -264,9 +266,22 @@ fn cmd_search(flags: &Flags) {
                 res.recovery_time * 1e3
             );
         }
+        if res.degraded_restarts > 0 {
+            println!(
+                "degraded mode: {} full restart(s) from the last checkpoint \
+                 (parity reconstruction unavailable)",
+                res.degraded_restarts
+            );
+        }
         res.result
     } else {
-        bfs2d::run(&graph, &mut world, &config, source)
+        bfs2d::try_run(&graph, &mut world, &config, source).unwrap_or_else(|e| {
+            eprintln!(
+                "error: communication fault during BFS: {e} \
+                 (inject faults via --drop-rate/--dead-rank to run the resilient engine)"
+            );
+            std::process::exit(1);
+        })
     };
     println!(
         "reached {}/{} vertices in {} levels",
@@ -312,6 +327,18 @@ fn cmd_search(flags: &Flags) {
             so.pool_reuses,
             so.pool_high_water_verts
         );
+    }
+    if flags.has("validate") {
+        match validate::validate_against_spec(&spec, &r.levels, source) {
+            Ok(report) => println!(
+                "validation OK: {} reached, depth {}, {} tree edges",
+                report.reached, report.depth, report.tree_edges
+            ),
+            Err(e) => {
+                eprintln!("error: BFS output failed Graph500-style validation: {e}");
+                std::process::exit(1);
+            }
+        }
     }
     let f = &r.stats.comm.faults;
     if faulty || f.any() {

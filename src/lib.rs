@@ -22,10 +22,11 @@ pub use bgl_torus as torus;
 pub use bgl_trace as trace;
 
 pub use bfs_core::{
-    bfs1d, bfs2d, bidir, theory, BfsConfig, ExpandStrategy, FoldStrategy, ResilientConfig,
+    bfs1d, bfs2d, bidir, theory, validate, BfsConfig, ExpandStrategy, FoldStrategy, GroupShard,
+    ParityGroups, ResilientConfig, ValidationError, ValidationReport,
 };
 pub use bgl_comm::{
-    CommError, FaultPlan, ProcessorGrid, SimWorld, WireFormat, WireMode, WirePolicy,
+    ChaosSpec, CommError, FaultPlan, ProcessorGrid, SimWorld, WireFormat, WireMode, WirePolicy,
 };
 pub use bgl_graph::{DistGraph, GraphSpec};
 pub use bgl_trace::{CriticalPath, LinkHeatmap, TraceDetail};

@@ -221,3 +221,45 @@ fn repeated_threaded_runs_are_deterministic() {
         assert_eq!(threaded_run::run_threaded(&graph, 0, true), first);
     }
 }
+
+/// The resilient engine (parity checkpoints, rank death, rollback and
+/// replay) is bit-identical between the serial and rayon superstep
+/// schedulers: same labels, same comm stats, same simulated and
+/// recovery times to the last bit.
+#[test]
+fn rayon_engine_bit_identical_on_resilient_recovery() {
+    use bgl_bfs::ResilientConfig;
+
+    let spec = GraphSpec::poisson(6_000, 8.0, 19);
+    let grid = ProcessorGrid::new(2, 4);
+    let graph = DistGraph::build(spec, grid);
+    let plan = FaultPlan::seeded(0xbee)
+        .with_drop_prob(0.1)
+        .kill_rank_at(5, 3);
+    let resilient = ResilientConfig {
+        parity_group_size: 4,
+        ..ResilientConfig::default()
+    };
+
+    let run = |engine: ComputeEngine| {
+        let mut world = SimWorld::bluegene(grid).with_fault_plan(plan.clone());
+        let config = BfsConfig::paper_optimized().with_engine(engine);
+        bfs2d::run_resilient(&graph, &mut world, &config, 0, &resilient)
+            .expect("single death must recover")
+    };
+    let a = run(ComputeEngine::Serial);
+    let b = run(ComputeEngine::Rayon);
+
+    assert_eq!(a.result.levels, b.result.levels);
+    assert_eq!(a.result.stats.comm, b.result.stats.comm);
+    assert_eq!(a.recoveries, 1);
+    assert_eq!(b.recoveries, 1);
+    assert_eq!(a.recovered_ranks, b.recovered_ranks);
+    assert_eq!(a.degraded_restarts, 0);
+    assert_eq!(b.degraded_restarts, 0);
+    assert_eq!(
+        a.result.stats.sim_time.to_bits(),
+        b.result.stats.sim_time.to_bits()
+    );
+    assert_eq!(a.recovery_time.to_bits(), b.recovery_time.to_bits());
+}

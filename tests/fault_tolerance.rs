@@ -266,3 +266,144 @@ fn checkpoint_cadence_does_not_change_the_answer() {
     assert_eq!(got.recoveries, 0);
     assert_eq!(got.recovery_time, 0.0);
 }
+
+/// The same fault plan (lossy links + a buddy-pair death split across
+/// parity groups) under every wire codec × compute engine: all eight
+/// cells recover through parity reconstruction and land bit-identical
+/// to the sequential oracle, with identical fault counters — the
+/// delivery hash is payload-independent, so the codec cannot perturb
+/// the fault schedule. Within a wire mode, serial and rayon agree to
+/// the last bit of simulated time.
+#[test]
+fn resilient_runs_are_bit_identical_across_wires_and_engines() {
+    use bgl_bfs::core::ComputeEngine;
+    use bgl_bfs::WireMode;
+
+    let spec = GraphSpec::poisson(4_000, 6.0, 31);
+    let grid = ProcessorGrid::new(2, 3);
+    let graph = DistGraph::build(spec, grid);
+    let adj = bgl_bfs::graph::dist::adjacency(&spec);
+    let oracle = reference::bfs_levels(&adj, 0);
+    let plan = FaultPlan::seeded(0xfade)
+        .with_drop_prob(0.15)
+        .kill_rank_at(2, 4)
+        .kill_rank_at(3, 4);
+    let resilient = ResilientConfig {
+        parity_group_size: 3, // ranks 2 and 3 straddle the group boundary
+        ..ResilientConfig::default()
+    };
+
+    let mut cells = Vec::new();
+    for wire in [
+        WireMode::Raw,
+        WireMode::Auto,
+        WireMode::Delta,
+        WireMode::Bitmap,
+    ] {
+        for engine in [ComputeEngine::Serial, ComputeEngine::Rayon] {
+            let mut world = SimWorld::bluegene(grid)
+                .with_fault_plan(plan.clone())
+                .with_wire_policy(WirePolicy::with_mode(wire));
+            let config = BfsConfig::paper_optimized().with_engine(engine);
+            let got = bfs2d::run_resilient(&graph, &mut world, &config, 0, &resilient)
+                .unwrap_or_else(|e| panic!("{wire:?}/{engine:?} must survive: {e}"));
+            assert_eq!(got.result.levels, oracle, "{wire:?}/{engine:?}");
+            assert_eq!(got.recoveries, 2, "{wire:?}/{engine:?}");
+            assert_eq!(got.degraded_restarts, 0, "{wire:?}/{engine:?}");
+            assert_eq!(got.recovered_ranks, vec![2, 3], "{wire:?}/{engine:?}");
+            cells.push((wire, got));
+        }
+    }
+
+    // Fault counters agree across every cell (payload-independent hash).
+    let f0 = cells[0].1.result.stats.comm.faults;
+    for (wire, got) in &cells {
+        assert_eq!(got.result.stats.comm.faults, f0, "{wire:?}");
+    }
+    // Within a wire mode, engines are fully bit-identical.
+    for pair in cells.chunks(2) {
+        let (w, a) = &pair[0];
+        let (_, b) = &pair[1];
+        assert_eq!(a.result.stats.comm, b.result.stats.comm, "{w:?}");
+        assert_eq!(
+            a.result.stats.sim_time.to_bits(),
+            b.result.stats.sim_time.to_bits(),
+            "{w:?}"
+        );
+        assert_eq!(
+            a.recovery_time.to_bits(),
+            b.recovery_time.to_bits(),
+            "{w:?}"
+        );
+    }
+}
+
+/// Recovery traffic is not exempt from faults: making the control
+/// channel lossy leaves the answer and the data-fault schedule intact
+/// but adds control-class retransmissions and communication time —
+/// the recovery protocol pays for its own redelivery.
+#[test]
+fn recovery_traffic_pays_for_faults_on_the_control_channel() {
+    let spec = GraphSpec::poisson(4_000, 6.0, 13);
+    let grid = ProcessorGrid::new(2, 3);
+    let graph = DistGraph::build(spec, grid);
+    let adj = bgl_bfs::graph::dist::adjacency(&spec);
+    let oracle = reference::bfs_levels(&adj, 0);
+    let resilient = ResilientConfig {
+        parity_group_size: 3,
+        ..ResilientConfig::default()
+    };
+
+    let run = |plan: FaultPlan| {
+        let mut world = SimWorld::bluegene(grid).with_fault_plan(plan);
+        let got = bfs2d::run_resilient(
+            &graph,
+            &mut world,
+            &BfsConfig::paper_optimized(),
+            0,
+            &resilient,
+        )
+        .expect("one death per group must recover");
+        let control_time = world.comm_time_for(OpClass::Control);
+        (got, control_time)
+    };
+
+    let clean = FaultPlan::seeded(0xc0de).kill_rank_at(1, 4);
+    let lossy = FaultPlan::seeded(0xc0de)
+        .kill_rank_at(1, 4)
+        .with_control_drop_prob(0.5)
+        .with_control_duplicate_prob(0.2);
+
+    let (a, a_control) = run(clean);
+    let (b, b_control) = run(lossy);
+
+    assert_eq!(a.result.levels, oracle);
+    assert_eq!(b.result.levels, oracle);
+    assert_eq!(a.recoveries, 1);
+    assert_eq!(b.recoveries, 1);
+    // Recovery shipped parity logs over the control class in both runs.
+    assert!(
+        a_control > 0.0,
+        "recovery traffic must be charged to Control"
+    );
+    // The lossy control channel forced retransmissions the clean one
+    // did not need, and they cost simulated time.
+    let fa = a.result.stats.comm.faults;
+    let fb = b.result.stats.comm.faults;
+    assert!(
+        fb.retransmissions > fa.retransmissions,
+        "control drops must surface as retransmissions ({} vs {})",
+        fb.retransmissions,
+        fa.retransmissions
+    );
+    assert!(
+        b_control > a_control,
+        "redelivery must be charged to Control time"
+    );
+    // The data exchanges are untouched: the control channel has its own
+    // round counter, so the vertices moved per rank are identical.
+    assert_eq!(
+        a.result.stats.comm.received_per_rank,
+        b.result.stats.comm.received_per_rank
+    );
+}

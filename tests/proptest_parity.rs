@@ -1,0 +1,119 @@
+//! Property-based checks on the parity-group checkpoint shards
+//! (`bfs_core::parity`): for arbitrary group sizes, member counts, and
+//! interleaved append-only delta logs, XOR-ing the survivors' logs out
+//! of the group shard reconstructs any single member's log exactly.
+
+use bgl_bfs::comm::Vert;
+use bgl_bfs::{GroupShard, ParityGroups};
+use proptest::prelude::*;
+
+/// SplitMix64 — deterministic pseudo-random words for synthetic logs.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Build each member's append-only log as a sequence of entries with
+/// seeded contents, lengths drawn from `entry_lens`.
+fn synth_logs(members: usize, seed: u64, entry_lens: &[usize]) -> Vec<Vec<Vert>> {
+    let mut logs = vec![Vec::new(); members];
+    for (i, &len) in entry_lens.iter().enumerate() {
+        let member = mix(seed ^ (i as u64).rotate_left(17)) as usize % members;
+        for j in 0..len {
+            logs[member].push(mix(seed ^ ((i * 131 + j) as u64)));
+        }
+    }
+    logs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Absorbing interleaved entries and then XOR-ing out the other
+    /// members' full logs recovers every member's log bit-for-bit,
+    /// for arbitrary member counts and log shapes.
+    #[test]
+    fn shard_reconstructs_every_member(
+        members in 2usize..7,
+        seed in any::<u64>(),
+        entry_lens in proptest::collection::vec(0usize..9, 0..24),
+    ) {
+        let mut shard = GroupShard::new(members);
+        let mut logs = vec![Vec::new(); members];
+        // Interleave absorption the way the engine does: one entry per
+        // (level, member) event, in arrival order.
+        for (i, &len) in entry_lens.iter().enumerate() {
+            let member = mix(seed ^ (i as u64).rotate_left(17)) as usize % members;
+            let entry: Vec<Vert> =
+                (0..len).map(|j| mix(seed ^ ((i * 131 + j) as u64))).collect();
+            shard.absorb(member, &entry);
+            logs[member].extend_from_slice(&entry);
+        }
+        prop_assert_eq!(logs, synth_logs(members, seed, &entry_lens));
+        let logs = synth_logs(members, seed, &entry_lens);
+        for dead in 0..members {
+            let survivors: Vec<(usize, &[Vert])> = (0..members)
+                .filter(|&m| m != dead)
+                .map(|m| (m, logs[m].as_slice()))
+                .collect();
+            prop_assert_eq!(
+                shard.reconstruct(dead, &survivors),
+                logs[dead].clone(),
+                "member {} of {}", dead, members
+            );
+        }
+    }
+
+    /// The group layout partitions ranks: every rank belongs to exactly
+    /// one group, member indices are consistent, and the last group
+    /// absorbs the remainder so no rank is left uncovered.
+    #[test]
+    fn groups_partition_the_ranks(
+        g in 2usize..9,
+        p in 1usize..40,
+    ) {
+        let groups = ParityGroups::new(g, p);
+        let mut seen = vec![false; p];
+        for group in 0..groups.count() {
+            for rank in groups.members(group) {
+                prop_assert!(!seen[rank], "rank {} covered twice", rank);
+                seen[rank] = true;
+                prop_assert_eq!(groups.group_of(rank), group);
+                let mi = groups.member_index(rank);
+                prop_assert_eq!(groups.members(group).nth(mi), Some(rank));
+            }
+        }
+        prop_assert!(seen.iter().all(|&s| s), "some rank uncovered");
+    }
+
+    /// Shard state is order-insensitive at reconstruction time: the
+    /// survivors slice can arrive in any rotation and the dead
+    /// member's log still comes back exactly.
+    #[test]
+    fn reconstruction_ignores_survivor_order(
+        members in 3usize..6,
+        seed in any::<u64>(),
+        rotation in 0usize..5,
+        entry_lens in proptest::collection::vec(1usize..6, 1..12),
+    ) {
+        let logs = synth_logs(members, seed, &entry_lens);
+        let mut shard = GroupShard::new(members);
+        // Absorb member-by-member (a different interleaving than the
+        // logs were generated with — shards must not care).
+        for (m, log) in logs.iter().enumerate() {
+            if !log.is_empty() {
+                shard.absorb(m, log);
+            }
+        }
+        let dead = mix(seed) as usize % members;
+        let mut survivors: Vec<(usize, &[Vert])> = (0..members)
+            .filter(|&m| m != dead)
+            .map(|m| (m, logs[m].as_slice()))
+            .collect();
+        let by = rotation % survivors.len();
+        survivors.rotate_left(by);
+        prop_assert_eq!(shard.reconstruct(dead, &survivors), logs[dead].clone());
+    }
+}
