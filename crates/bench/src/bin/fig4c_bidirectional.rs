@@ -11,7 +11,8 @@
 //! mean simulated time and the received-volume ratio are reported.
 //!
 //! Flags: `--ps 16,64,256,1024` `--per-rank 1000` `--k 10` `--pairs 3`
-//! `--seed 42` `--csv out.csv`
+//! `--seed 42` `--csv out.csv` `--wire auto|raw|delta|bitmap`
+//! `--engine serial|rayon|auto` `--engine-threads N`
 
 use bfs_core::{bfs2d, bidir, BfsConfig};
 use bgl_bench::exp;
@@ -27,6 +28,9 @@ fig4c_bidirectional — reproduce paper Figure 4.c (bi- vs uni-directional)
   --pairs <n>       source/target pairs averaged (default 3)
   --seed <u64>      graph seed (default 42)
   --csv <path>      also write CSV
+  --wire <mode>     wire codec: auto|raw|delta|bitmap (default raw)
+  --engine <e>      compute engine: serial|rayon|auto (default auto)
+  --engine-threads <n>  rayon worker threads (default: one per core)
 ";
 
 fn main() {
@@ -40,6 +44,9 @@ fn main() {
     let k = args.f64("k", 10.0);
     let n_pairs = args.usize("pairs", 3);
     let seed = args.u64("seed", 42);
+    let wire = exp::wire_policy(&args);
+    exp::apply_engine_threads(&args);
+    let config = BfsConfig::paper_optimized().with_engine(exp::engine(&args));
 
     let mut table = Table::new(
         "Figure 4.c — bi-directional vs uni-directional BFS (simulated seconds)",
@@ -60,6 +67,7 @@ fn main() {
         let grid = ProcessorGrid::square_ish(p as usize);
         let spec = GraphSpec::poisson(n, k, seed);
         let (graph, mut world) = exp::build(spec, grid);
+        world = world.with_wire_policy(wire);
 
         // Endpoint pairs spread across the vertex space.
         let srcs = exp::sources(n, n_pairs);
@@ -69,12 +77,7 @@ fn main() {
         let mut uni_recv = 0u64;
         for &(s, t) in &pairs {
             world.reset();
-            let r = bfs2d::run(
-                &graph,
-                &mut world,
-                &BfsConfig::paper_optimized().with_target(t),
-                s,
-            );
+            let r = bfs2d::run(&graph, &mut world, &config.clone().with_target(t), s);
             uni_time += r.stats.sim_time;
             uni_recv += r.stats.total_received();
         }
@@ -82,7 +85,7 @@ fn main() {
         let mut bidi_recv = 0u64;
         for &(s, t) in &pairs {
             world.reset();
-            let r = bidir::run(&graph, &mut world, &BfsConfig::paper_optimized(), s, t);
+            let r = bidir::run(&graph, &mut world, &config, s, t);
             bidi_time += r.stats.sim_time;
             bidi_recv += r.stats.total_received();
         }

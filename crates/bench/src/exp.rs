@@ -1,7 +1,7 @@
 //! Shared experiment plumbing for the figure/table binaries.
 
 use crate::harness::Args;
-use bfs_core::{bfs2d, bidir, BfsConfig};
+use bfs_core::{bfs2d, bidir, BfsConfig, ComputeEngine};
 use bgl_comm::{ProcessorGrid, SimWorld, WireMode, WirePolicy};
 use bgl_graph::{DistGraph, GraphSpec};
 
@@ -31,6 +31,17 @@ pub fn wire_policy(args: &Args) -> WirePolicy {
             WireMode::parse(s)
                 .unwrap_or_else(|| panic!("--wire expects auto, raw, delta, or bitmap; got {s:?}")),
         ),
+    }
+}
+
+/// Parse the shared `--engine serial|rayon|auto` flag (auto, the
+/// default, picks per-superstep; results are bit-identical either way).
+pub fn engine(args: &Args) -> ComputeEngine {
+    match args.str("engine") {
+        None | Some("auto") => ComputeEngine::Auto,
+        Some("serial") => ComputeEngine::Serial,
+        Some("rayon") => ComputeEngine::Rayon,
+        Some(s) => panic!("--engine expects serial, rayon, or auto; got {s:?}"),
     }
 }
 

@@ -1,0 +1,221 @@
+//! Ring frontier gather: the bottom-up direction's group collective.
+//!
+//! A bottom-up superstep (Beamer-style direction optimization over the
+//! paper's 2D partition) needs every rank to hold the *whole* frontier
+//! slice covering its edge block's columns. The owners of those
+//! vertices are exactly the rank's processor-column peers — the block
+//! rows tiling block column `j` are owned by ranks `(0..R, j)` — so the
+//! collective is an all-gather **with set union** within each group:
+//! every member contributes its own (sorted) frontier, and every member
+//! ends with one deduplicated [`VertSet`] covering the group.
+//!
+//! Implementation: the same `g−1`-step neighbour-only ring as
+//! [`crate::collectives::allgather`], but the received pieces fold into
+//! a hybrid [`VertSet`] accumulator under the world's
+//! [`crate::vset::VsetPolicy`] — a dense frontier densifies into a
+//! fixed-range bitmap, and (under the auto/bitmap wire modes) travels
+//! as fixed-range bitmap wire frames. Contributions are disjoint
+//! (owned ranges do not overlap), so the unions eliminate no
+//! duplicates; they are charged as merge memcpy traffic exactly like
+//! the union-fold rings. Empty pieces are not sent — absence of a ring
+//! message *is* the empty piece, identically in both runtimes, so the
+//! data-round fault schedule stays aligned with the threaded mirror.
+
+// Parallel index loops over per-rank arrays are intentional here.
+#![allow(clippy::needless_range_loop)]
+
+use super::Groups;
+use crate::error::CommError;
+use crate::sim::SimWorld;
+use crate::stats::OpClass;
+use crate::vset::VertSet;
+use crate::{Vert, VERT_BYTES};
+
+/// Run a union frontier gather in every group simultaneously.
+///
+/// `contribution[rank]` is the rank's own frontier (sorted,
+/// deduplicated). Returns, for every rank, the union of its whole
+/// group's contributions (its own included) as a [`VertSet`].
+pub fn frontier_gather(
+    world: &mut SimWorld,
+    class: OpClass,
+    groups: &Groups,
+    contribution: Vec<Vec<Vert>>,
+) -> Result<Vec<VertSet>, CommError> {
+    debug_assert_eq!(contribution.len(), world.p());
+    let p = world.p();
+    let policy = world.vset_policy();
+
+    // in_flight[rank] is the piece this rank forwards at the next step
+    // (initially its own contribution); gathered[rank] accumulates the
+    // union.
+    let mut gathered: Vec<VertSet> = contribution
+        .iter()
+        .map(|c| VertSet::from_sorted(c.clone()))
+        .collect();
+    let mut in_flight: Vec<Vec<Vert>> = contribution;
+
+    let steps = groups.max_group_len().saturating_sub(1);
+    for s in 0..steps {
+        let mut sends = Vec::with_capacity(p);
+        for g in groups.groups() {
+            let glen = g.len();
+            if glen < 2 || s >= glen - 1 {
+                continue;
+            }
+            for (pos, &rank) in g.iter().enumerate() {
+                if in_flight[rank].is_empty() {
+                    continue;
+                }
+                let succ = g[(pos + 1) % glen];
+                sends.push((rank, succ, in_flight[rank].clone()));
+            }
+        }
+        let inboxes = world.exchange(class, sends)?;
+        let mut merge_bytes = vec![0u64; p];
+        for (rank, mut inbox) in inboxes.into_iter().enumerate() {
+            debug_assert!(inbox.len() <= 1, "ring delivers at most one piece per step");
+            let (gi, _) = groups.locate(rank);
+            if groups.groups()[gi].len() < 2 || s >= groups.groups()[gi].len() - 1 {
+                continue;
+            }
+            if let Some((_, piece)) = inbox.pop() {
+                merge_bytes[rank] = (piece.len() + gathered[rank].len()) as u64 * VERT_BYTES;
+                let own = &mut gathered[rank];
+                let was_bitmap = own.is_bitmap();
+                let dups = own.union_in(&piece, &policy);
+                let is_bitmap = own.is_bitmap();
+                debug_assert_eq!(dups, 0, "owned frontiers are disjoint");
+                world.note_dups(rank, dups);
+                world.stats.note_union(is_bitmap);
+                if is_bitmap && !was_bitmap {
+                    world.stats.note_densify();
+                }
+                in_flight[rank] = piece;
+            } else {
+                // No message means the predecessor's piece was empty;
+                // forward the empty piece on.
+                in_flight[rank].clear();
+            }
+        }
+        world.memcpy_phase(&merge_bytes);
+    }
+
+    Ok(gathered)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::ProcessorGrid;
+    use crate::vset::VsetPolicy;
+
+    fn reference(groups: &Groups, contribution: &[Vec<Vert>]) -> Vec<Vec<Vert>> {
+        (0..contribution.len())
+            .map(|rank| {
+                let mut all: Vec<Vert> = groups
+                    .group_of(rank)
+                    .iter()
+                    .flat_map(|&m| contribution[m].iter().copied())
+                    .collect();
+                all.sort_unstable();
+                all.dedup();
+                all
+            })
+            .collect()
+    }
+
+    #[test]
+    fn every_member_holds_the_group_union() {
+        let grid = ProcessorGrid::new(4, 2); // columns of 4
+        let mut w = SimWorld::bluegene(grid);
+        let groups = Groups::cols_of(grid);
+        let contribution: Vec<Vec<Vert>> = (0..8u64).map(|r| vec![r * 10, r * 10 + 1]).collect();
+        let expect = reference(&groups, &contribution);
+        let got = frontier_gather(&mut w, OpClass::Expand, &groups, contribution).unwrap();
+        for (rank, set) in got.iter().enumerate() {
+            assert_eq!(set.to_vec(), expect[rank], "rank {rank}");
+        }
+        assert!(w.time() > 0.0);
+    }
+
+    #[test]
+    fn empty_contributions_send_nothing() {
+        // Only rank 0 of a 3-member column has a frontier: the ring
+        // moves exactly its piece — two messages, no empty frames.
+        let grid = ProcessorGrid::new(3, 1);
+        let mut w = SimWorld::bluegene(grid);
+        let groups = Groups::cols_of(grid);
+        let contribution = vec![vec![5, 9], Vec::new(), Vec::new()];
+        let got = frontier_gather(&mut w, OpClass::Expand, &groups, contribution).unwrap();
+        for set in &got {
+            assert_eq!(set.to_vec(), vec![5, 9]);
+        }
+        assert_eq!(w.stats.class(OpClass::Expand).messages, 2);
+    }
+
+    #[test]
+    fn all_empty_is_free_of_messages() {
+        let grid = ProcessorGrid::new(4, 1);
+        let mut w = SimWorld::bluegene(grid);
+        let groups = Groups::cols_of(grid);
+        let got = frontier_gather(&mut w, OpClass::Expand, &groups, vec![Vec::new(); 4]).unwrap();
+        assert!(got.iter().all(VertSet::is_empty));
+        assert_eq!(w.stats.class(OpClass::Expand).messages, 0);
+    }
+
+    #[test]
+    fn singleton_group_no_communication() {
+        let grid = ProcessorGrid::new(1, 3); // columns of 1
+        let mut w = SimWorld::bluegene(grid);
+        let groups = Groups::cols_of(grid);
+        let got = frontier_gather(
+            &mut w,
+            OpClass::Expand,
+            &groups,
+            vec![vec![1], vec![2], vec![3]],
+        )
+        .unwrap();
+        assert_eq!(got[0].to_vec(), vec![1]);
+        assert_eq!(got[2].to_vec(), vec![3]);
+        assert_eq!(w.time(), 0.0);
+        assert_eq!(w.stats.total_received(), 0);
+    }
+
+    #[test]
+    fn hybrid_policy_matches_list_only_bit_for_bit() {
+        // Dense disjoint ranges densify into bitmaps; results and
+        // simulated clocks must match the list-only run exactly.
+        let grid = ProcessorGrid::new(6, 1);
+        let groups = Groups::cols_of(grid);
+        let mk = || -> Vec<Vec<Vert>> {
+            (0..6u64)
+                .map(|r| (r * 500..r * 500 + 480).collect())
+                .collect()
+        };
+        let mut hybrid = SimWorld::bluegene(grid);
+        let got_h = frontier_gather(&mut hybrid, OpClass::Expand, &groups, mk()).unwrap();
+        let mut listy = SimWorld::bluegene(grid).with_vset_policy(VsetPolicy::list_only());
+        let got_l = frontier_gather(&mut listy, OpClass::Expand, &groups, mk()).unwrap();
+        assert!(got_h.iter().any(VertSet::is_bitmap));
+        assert!(got_l.iter().all(|s| !s.is_bitmap()));
+        for (h, l) in got_h.iter().zip(&got_l) {
+            assert_eq!(h.to_vec(), l.to_vec());
+        }
+        assert_eq!(hybrid.time().to_bits(), listy.time().to_bits());
+        assert_eq!(hybrid.stats.total_dups_eliminated(), 0);
+    }
+
+    #[test]
+    fn mixed_group_sizes() {
+        let grid = ProcessorGrid::new(1, 5);
+        let mut w = SimWorld::bluegene(grid);
+        let groups = Groups::new(5, vec![vec![0, 1, 2], vec![3, 4]]);
+        let contribution: Vec<Vec<Vert>> = (0..5u64).map(|r| vec![r]).collect();
+        let expect = reference(&groups, &contribution);
+        let got = frontier_gather(&mut w, OpClass::Expand, &groups, contribution).unwrap();
+        for (rank, set) in got.iter().enumerate() {
+            assert_eq!(set.to_vec(), expect[rank], "rank {rank}");
+        }
+    }
+}

@@ -14,6 +14,7 @@
 //! |--------|----------|--------|
 //! | any    | direct all-to-all (`alltoallv`) | [`alltoall`] |
 //! | expand | ring all-gather (send everything to everyone) | [`allgather`] |
+//! | expand | ring frontier gather with set union (bottom-up supersteps) | [`frontier`] |
 //! | fold   | ring reduce-scatter with set-union | [`reduce_scatter`] |
 //! | both   | §3.2.2 two-phase grouped ring | [`two_phase`] |
 //!
@@ -24,6 +25,7 @@
 
 pub mod allgather;
 pub mod alltoall;
+pub mod frontier;
 pub mod reduce_scatter;
 pub mod two_phase;
 

@@ -987,15 +987,35 @@ impl SimWorld {
         vals.iter().copied().min().unwrap_or(u64::MAX)
     }
 
+    /// Three global sums in one tree traversal: a single allreduce round
+    /// carrying a three-word payload instead of one word. The
+    /// direction-optimizing BFS rides its α/β inputs (frontier size,
+    /// frontier-edge and unexplored-edge counts) on the termination
+    /// check this way — same round count as [`SimWorld::allreduce_sum`],
+    /// just a wider message.
+    pub fn allreduce_sum3(&mut self, a: &[u64], b: &[u64], c: &[u64]) -> (u64, u64, u64) {
+        debug_assert_eq!(a.len(), self.p());
+        debug_assert_eq!(b.len(), self.p());
+        debug_assert_eq!(c.len(), self.p());
+        self.charge_tree_allreduce_words(3);
+        (a.iter().sum(), b.iter().sum(), c.iter().sum())
+    }
+
     fn charge_tree_allreduce(&mut self) {
+        self.charge_tree_allreduce_words(1);
+    }
+
+    fn charge_tree_allreduce_words(&mut self, words: u32) {
         let p = self.p();
         if p <= 1 {
             return;
         }
         let depth = (usize::BITS - (p - 1).leading_zeros()) as f64;
         let m = self.cost.machine();
-        // Up-sweep + down-sweep of one-word messages.
-        let elapsed = 2.0 * depth * (m.software_overhead + m.hop_latency + 8.0 / m.link_bandwidth);
+        // Up-sweep + down-sweep of `words`-word messages.
+        let elapsed = 2.0
+            * depth
+            * (m.software_overhead + m.hop_latency + (8.0 * words as f64) / m.link_bandwidth);
         let t0 = self.sim_time;
         self.sim_time += elapsed;
         self.comm_time += elapsed;

@@ -537,6 +537,34 @@ impl RankCtx {
         Ok(total)
     }
 
+    /// Three global sums in one control round: the widened termination
+    /// allreduce the direction-optimizing BFS uses. Mirrors
+    /// [`RankCtx::allreduce_sum`] with a three-word payload, so the
+    /// direction decision costs no extra round here either.
+    pub fn allreduce_sum3(&mut self, a: u64, b: u64, c: u64) -> Result<(u64, u64, u64), CommError> {
+        let p = self.grid.len();
+        let sends: Vec<(usize, Vec<Vert>)> = (0..p)
+            .filter(|&d| d != self.rank)
+            .map(|d| {
+                let mut buf = self.scratch.take();
+                // +1 shift per word: all-zero triples survive the
+                // empty-payload filter (the payload is never empty, but
+                // the shift keeps the wire convention uniform).
+                buf.extend_from_slice(&[a + 1, b + 1, c + 1]);
+                (d, buf)
+            })
+            .collect();
+        let got = self.exchange(OpClass::Control, sends)?;
+        let (mut ta, mut tb, mut tc) = (a, b, c);
+        for (_, payload) in got {
+            ta += payload[0] - 1;
+            tb += payload[1] - 1;
+            tc += payload[2] - 1;
+            self.scratch.put(payload);
+        }
+        Ok((ta, tb, tc))
+    }
+
     /// Barrier: an exchange with no payloads.
     pub fn barrier(&mut self) -> Result<(), CommError> {
         let _ = self.exchange(OpClass::Control, Vec::new())?;

@@ -160,6 +160,8 @@ pub fn run(
             logical_bytes: delta.total_logical_bytes(),
             wire_bytes: delta.total_wire_bytes(),
             codec_time: world.codec_time() - codec_at_start,
+            // 1D BFS is top-down only.
+            ..LevelStats::default()
         });
 
         if target_level.is_some() {

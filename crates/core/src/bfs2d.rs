@@ -44,13 +44,14 @@
 //!   produces bit-identical level labels to a fault-free run, because
 //!   absorb only ever labels unreached vertices.
 
-use crate::config::{BfsConfig, ExpandStrategy, FoldStrategy};
+use crate::config::{BfsConfig, DirectionMode, ExpandStrategy, FoldStrategy};
 use crate::parity::{GroupShard, ParityGroups};
 use crate::state::{gather_levels, RankState};
-use crate::stats::{LevelStats, RunStats};
+use crate::stats::{LevelDirection, LevelStats, RunStats};
 use bgl_comm::collectives::{
     allgather::allgather_ring,
     alltoall::alltoallv,
+    frontier::frontier_gather,
     reduce_scatter::reduce_scatter_union_ring,
     two_phase::{two_phase_expand, two_phase_fold},
     Groups,
@@ -231,6 +232,7 @@ fn level_pass(
     states: &mut [RankState<'_>],
     row_groups: &Groups,
     col_groups: &Groups,
+    n: u64,
     level: u32,
     level_records: &mut Vec<LevelStats>,
     target_level: &mut Option<u32>,
@@ -241,53 +243,90 @@ fn level_pass(
     let codec_at_start = world.codec_time();
     let comm_snapshot = world.stats.clone();
 
-    // -- 1. termination check on global frontier size.
+    // -- 1. termination check on global frontier size. With direction
+    // optimization on, the same tree round also allreduces the frontier
+    // edge mass and the unexplored stored-entry count (a 3-word payload
+    // instead of 1 — no extra communication rounds), and every rank
+    // derives the level's direction from the identical global sums.
     let frontier_sizes: Vec<u64> = states.iter().map(|s| s.frontier_len()).collect();
-    let global_frontier = world.allreduce_sum(&frontier_sizes);
+    let (global_frontier, bottom_up) = if config.direction.mode == DirectionMode::TopDown {
+        (world.allreduce_sum(&frontier_sizes), false)
+    } else {
+        let mf: Vec<u64> = states.iter().map(|s| s.frontier_degree()).collect();
+        let mu: Vec<u64> = states.iter().map(|s| s.unexplored()).collect();
+        let (gf, mf_hat, mu_hat) = world.allreduce_sum3(&frontier_sizes, &mf, &mu);
+        let bu = config
+            .direction
+            .wants_bottom_up(gf, mf_hat, mu_hat, n, grid.rows() as u64);
+        (gf, bu)
+    };
     world.trace_span(Phase::Termination, level, time_at_start);
     if global_frontier == 0 {
         return Ok(LevelOutcome::Exhausted);
     }
 
-    // -- 2. expand.
-    let t_expand = world.time();
-    let fbar: Vec<Vec<Vec<Vert>>> = match config.expand {
-        ExpandStrategy::Targeted => {
-            let sends: Vec<Vec<(usize, Vec<Vert>)>> = config
-                .engine
-                .map_mut(states, RankState::expand_sends_targeted);
-            alltoallv(world, OpClass::Expand, col_groups, sends)?
-                .into_iter()
-                .map(|inbox| inbox.into_iter().map(|(_, pl)| pl).collect())
-                .collect()
-        }
-        ExpandStrategy::AllGatherRing => {
-            let contributions: Vec<Vec<Vert>> = states.iter().map(|s| s.frontier.clone()).collect();
-            allgather_ring(world, OpClass::Expand, col_groups, contributions)?
-                .into_iter()
-                .map(|parts| parts.into_iter().map(|(_, pl)| pl).collect())
-                .collect()
-        }
-        ExpandStrategy::TwoPhaseRing => {
-            let contributions: Vec<Vec<Vert>> = states.iter().map(|s| s.frontier.clone()).collect();
-            two_phase_expand(world, OpClass::Expand, col_groups, contributions)?
-                .into_iter()
-                .map(|parts| parts.into_iter().map(|(_, pl)| pl).collect())
-                .collect()
-        }
+    let blocks: Vec<Vec<Vec<Vert>>> = if bottom_up {
+        // -- 2. (bottom-up) frontier gather over processor-columns:
+        // every rank ends with the union of its column's frontiers —
+        // exactly the vertices that can parent the rows it stores.
+        let t_gather = world.time();
+        let contributions: Vec<Vec<Vert>> = states.iter().map(|s| s.frontier.clone()).collect();
+        let gathered = frontier_gather(world, OpClass::Expand, col_groups, contributions)?;
+        world.trace_span(Phase::Gather, level, t_gather);
+
+        // -- 3. (bottom-up) discover: scan unvisited stored rows,
+        // early-exit on the first frontier parent.
+        let t_discover = world.time();
+        let blocks = config
+            .engine
+            .zip_map(states, &gathered, |s, fs| s.discover_bottom_up(fs));
+        drop(gathered);
+        world.trace_span(Phase::Discover, level, t_discover);
+        blocks
+    } else {
+        // -- 2. expand.
+        let t_expand = world.time();
+        let fbar: Vec<Vec<Vec<Vert>>> = match config.expand {
+            ExpandStrategy::Targeted => {
+                let sends: Vec<Vec<(usize, Vec<Vert>)>> = config
+                    .engine
+                    .map_mut(states, RankState::expand_sends_targeted);
+                alltoallv(world, OpClass::Expand, col_groups, sends)?
+                    .into_iter()
+                    .map(|inbox| inbox.into_iter().map(|(_, pl)| pl).collect())
+                    .collect()
+            }
+            ExpandStrategy::AllGatherRing => {
+                let contributions: Vec<Vec<Vert>> =
+                    states.iter().map(|s| s.frontier.clone()).collect();
+                allgather_ring(world, OpClass::Expand, col_groups, contributions)?
+                    .into_iter()
+                    .map(|parts| parts.into_iter().map(|(_, pl)| pl).collect())
+                    .collect()
+            }
+            ExpandStrategy::TwoPhaseRing => {
+                let contributions: Vec<Vec<Vert>> =
+                    states.iter().map(|s| s.frontier.clone()).collect();
+                two_phase_expand(world, OpClass::Expand, col_groups, contributions)?
+                    .into_iter()
+                    .map(|parts| parts.into_iter().map(|(_, pl)| pl).collect())
+                    .collect()
+            }
+        };
+
+        world.trace_span(Phase::Expand, level, t_expand);
+
+        // -- 3. local discovery. Zero-duration span in the simulator:
+        // the probe costs are charged in the absorb phase's hash pass.
+        let t_discover = world.time();
+        let blocks: Vec<Vec<Vec<Vert>>> = config.engine.zip_map(states, &fbar, |s, lists| {
+            let refs: Vec<&[Vert]> = lists.iter().map(Vec::as_slice).collect();
+            s.discover(&refs)
+        });
+        drop(fbar);
+        world.trace_span(Phase::Discover, level, t_discover);
+        blocks
     };
-
-    world.trace_span(Phase::Expand, level, t_expand);
-
-    // -- 3. local discovery. Zero-duration span in the simulator: the
-    // probe costs are charged in the absorb phase's hash pass.
-    let t_discover = world.time();
-    let blocks: Vec<Vec<Vec<Vert>>> = config.engine.zip_map(states, &fbar, |s, lists| {
-        let refs: Vec<&[Vert]> = lists.iter().map(Vec::as_slice).collect();
-        s.discover(&refs)
-    });
-    drop(fbar);
-    world.trace_span(Phase::Discover, level, t_discover);
 
     // -- 4. fold.
     let t_fold = world.time();
@@ -342,6 +381,7 @@ fn level_pass(
     }
     drop(nbar);
     let probes: Vec<u64> = states.iter_mut().map(RankState::take_probes).collect();
+    let level_probes: u64 = probes.iter().sum();
     world.hash_phase(&probes);
 
     // -- target detection.
@@ -371,6 +411,13 @@ fn level_pass(
         logical_bytes: delta.total_logical_bytes(),
         wire_bytes: delta.total_wire_bytes(),
         codec_time: world.codec_time() - codec_at_start,
+        direction: if bottom_up {
+            LevelDirection::BottomUp
+        } else {
+            LevelDirection::TopDown
+        },
+        td_probes: if bottom_up { 0 } else { level_probes },
+        bu_probes: if bottom_up { level_probes } else { 0 },
     });
 
     if target_level.is_some() {
@@ -569,6 +616,7 @@ fn engine(
             &mut states,
             &row_groups,
             &col_groups,
+            graph.spec.n,
             level,
             &mut level_records,
             &mut target_level,
@@ -967,6 +1015,102 @@ mod tests {
             .levels
             .iter()
             .all(|&l| l == reference::UNREACHED || l <= 2));
+    }
+
+    // ---- direction optimization ----
+
+    #[test]
+    fn direction_optimized_matches_top_down_and_switches() {
+        let spec = GraphSpec::poisson(600, 8.0, 31);
+        let grid = ProcessorGrid::new(2, 3);
+        let graph = DistGraph::build(spec, grid);
+        let mut w_td = SimWorld::bluegene(grid);
+        let td = run(&graph, &mut w_td, &BfsConfig::paper_optimized(), 0);
+        let mut w_dir = SimWorld::bluegene(grid);
+        let dir = run(&graph, &mut w_dir, &BfsConfig::direction_optimized(), 0);
+        assert_eq!(td.levels, dir.levels, "levels must be bit-identical");
+        assert_eq!(td.stats.num_levels(), dir.stats.num_levels());
+        for (a, b) in td.stats.levels.iter().zip(&dir.stats.levels) {
+            assert_eq!(a.frontier, b.frontier, "level {}", a.level);
+        }
+        let (_, bu) = dir.stats.direction_split();
+        assert!(bu > 0, "a dense low-diameter graph must go bottom-up");
+        assert!(
+            dir.stats.total_probes() < td.stats.total_probes(),
+            "bottom-up levels must save probes: {} vs {}",
+            dir.stats.total_probes(),
+            td.stats.total_probes()
+        );
+        // Probe attribution is exclusive per level.
+        assert!(dir
+            .stats
+            .levels
+            .iter()
+            .all(|l| l.td_probes == 0 || l.bu_probes == 0));
+    }
+
+    #[test]
+    fn forced_bottom_up_matches_oracle() {
+        let spec = GraphSpec::poisson(300, 6.0, 31);
+        let grid = ProcessorGrid::new(3, 2);
+        for fold in [
+            FoldStrategy::DirectAllToAll,
+            FoldStrategy::ReduceScatterUnion,
+            FoldStrategy::TwoPhaseRing,
+        ] {
+            let config = BfsConfig {
+                fold,
+                direction: crate::config::DirectionPolicy::bottom_up(),
+                ..BfsConfig::default()
+            };
+            check_against_oracle(spec, grid, config);
+        }
+        // Without the sent cache bottom-up re-probes labeled rows but
+        // must still land on the oracle labels.
+        let config = BfsConfig {
+            sent_neighbors: false,
+            direction: crate::config::DirectionPolicy::bottom_up(),
+            ..BfsConfig::default()
+        };
+        check_against_oracle(spec, grid, config);
+    }
+
+    #[test]
+    fn direction_optimized_across_grids() {
+        let spec = GraphSpec::poisson(500, 7.0, 77);
+        let adj = bgl_graph::dist::adjacency(&spec);
+        let expect = reference::bfs_levels(&adj, 0);
+        for (r, c) in [(1, 1), (1, 4), (4, 1), (2, 3), (4, 4)] {
+            let grid = ProcessorGrid::new(r, c);
+            let graph = DistGraph::build(spec, grid);
+            let mut world = SimWorld::bluegene(grid);
+            let got = run(&graph, &mut world, &BfsConfig::direction_optimized(), 0);
+            assert_eq!(got.levels, expect, "grid {r}x{c}");
+        }
+    }
+
+    #[test]
+    fn direction_optimized_recovery_is_bit_identical() {
+        let spec = GraphSpec::poisson(400, 6.0, 31);
+        let adj = bgl_graph::dist::adjacency(&spec);
+        let expect = reference::bfs_levels(&adj, 0);
+        let grid = ProcessorGrid::new(2, 3);
+        let graph = DistGraph::build(spec, grid);
+        let plan = FaultPlan::seeded(5).with_drop_prob(0.1).kill_rank_at(4, 3);
+        let mut world = SimWorld::bluegene(grid).with_fault_plan(plan);
+        let got = run_resilient(
+            &graph,
+            &mut world,
+            &BfsConfig::direction_optimized(),
+            0,
+            &ResilientConfig::default(),
+        )
+        .unwrap();
+        // The revived rank rejoins with a cold sent cache and a reset
+        // unexplored counter; that may shift later direction choices
+        // but never the labels.
+        assert_eq!(got.result.levels, expect);
+        assert_eq!(got.recoveries, 1);
     }
 
     // ---- fault injection and recovery ----

@@ -260,6 +260,8 @@ pub fn run(
             logical_bytes: delta.total_logical_bytes(),
             wire_bytes: delta.total_wire_bytes(),
             codec_time: world.codec_time() - codec_at_start,
+            // Bi-directional search alternates sides, not directions.
+            ..LevelStats::default()
         });
         iter += 1;
     }

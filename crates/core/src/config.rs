@@ -35,6 +35,92 @@ pub enum FoldStrategy {
     TwoPhaseRing,
 }
 
+/// Which traversal direction the engine may use per level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum DirectionMode {
+    /// Always top-down (expand → discover → fold) — the paper's
+    /// algorithm, and the default: existing runs stay byte-identical.
+    #[default]
+    TopDown,
+    /// Beamer-style adaptive switching: each level deterministically
+    /// picks top-down or bottom-up from globally-allreduced frontier
+    /// and unexplored-edge counts (no extra communication rounds —
+    /// the counts ride the termination allreduce widened to 3 words).
+    Adaptive,
+    /// Force bottom-up on every non-empty level (testing/ablation).
+    BottomUp,
+}
+
+/// Direction-optimization policy: mode plus the α/β switch thresholds.
+///
+/// The per-level decision is computed from three globally-allreduced
+/// `u64`s — frontier size `gf`, local-degree frontier mass `mf̂` (≈
+/// `m_f / R`), and unexplored stored entries `mû` — using pure integer
+/// arithmetic, so every rank (and both runtimes) makes the identical
+/// choice: go bottom-up iff `alpha · R · mf̂ > mû` **and**
+/// `beta · gf > n`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DirectionPolicy {
+    /// Direction mode.
+    pub mode: DirectionMode,
+    /// Top-down→bottom-up edge-mass threshold (Beamer's α; the frontier
+    /// must touch more than `mû / α` of the unexplored edges).
+    pub alpha: u64,
+    /// Frontier-size floor (Beamer's β reciprocal form: bottom-up only
+    /// while `gf > n / β`).
+    pub beta: u64,
+}
+
+impl DirectionPolicy {
+    /// Pure top-down (the default — preserves all existing runs).
+    pub fn top_down() -> Self {
+        Self {
+            mode: DirectionMode::TopDown,
+            alpha: 0,
+            beta: 0,
+        }
+    }
+
+    /// Adaptive switching with Beamer's published constants
+    /// (α = 14, β = 24).
+    pub fn adaptive() -> Self {
+        Self {
+            mode: DirectionMode::Adaptive,
+            alpha: 14,
+            beta: 24,
+        }
+    }
+
+    /// Force bottom-up on every non-empty level.
+    pub fn bottom_up() -> Self {
+        Self {
+            mode: DirectionMode::BottomUp,
+            ..Self::adaptive()
+        }
+    }
+
+    /// The switch decision, given the three allreduced global counts,
+    /// the graph's vertex count `n`, and the grid's row count `r`.
+    /// Integer-only, hence bit-reproducible across ranks and runtimes.
+    pub fn wants_bottom_up(&self, gf: u64, mf_hat: u64, mu_hat: u64, n: u64, r: u64) -> bool {
+        match self.mode {
+            DirectionMode::TopDown => false,
+            DirectionMode::BottomUp => gf > 0,
+            DirectionMode::Adaptive => {
+                gf > 0
+                    && self.alpha.saturating_mul(r).saturating_mul(mf_hat) > mu_hat
+                    && self.beta.saturating_mul(gf) > n
+            }
+        }
+    }
+}
+
+impl Default for DirectionPolicy {
+    fn default() -> Self {
+        Self::top_down()
+    }
+}
+
 /// Full configuration of one BFS run.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct BfsConfig {
@@ -55,6 +141,11 @@ pub struct BfsConfig {
     /// rayon worker threads); never affects results or simulated time.
     #[serde(default)]
     pub engine: ComputeEngine,
+    /// Direction-optimization policy. Defaults to pure top-down, which
+    /// keeps the single-word termination allreduce and every existing
+    /// run bit-identical.
+    #[serde(default)]
+    pub direction: DirectionPolicy,
 }
 
 impl BfsConfig {
@@ -68,6 +159,7 @@ impl BfsConfig {
             target: None,
             max_levels: 0,
             engine: ComputeEngine::Auto,
+            direction: DirectionPolicy::top_down(),
         }
     }
 
@@ -81,6 +173,18 @@ impl BfsConfig {
             target: None,
             max_levels: 0,
             engine: ComputeEngine::Auto,
+            direction: DirectionPolicy::top_down(),
+        }
+    }
+
+    /// The paper-optimized configuration plus adaptive direction
+    /// switching. The sent-neighbors cache stays on: bottom-up relies
+    /// on it to skip already-emitted rows, and it is what keeps the
+    /// adaptive run's levels bit-equal to pure top-down.
+    pub fn direction_optimized() -> Self {
+        Self {
+            direction: DirectionPolicy::adaptive(),
+            ..Self::paper_optimized()
         }
     }
 
@@ -93,6 +197,12 @@ impl BfsConfig {
     /// Set the host-side compute engine.
     pub fn with_engine(mut self, engine: ComputeEngine) -> Self {
         self.engine = engine;
+        self
+    }
+
+    /// Set the direction-optimization policy.
+    pub fn with_direction(mut self, direction: DirectionPolicy) -> Self {
+        self.direction = direction;
         self
     }
 }
@@ -120,5 +230,35 @@ mod tests {
     fn with_target_sets_target() {
         let c = BfsConfig::default().with_target(42);
         assert_eq!(c.target, Some(42));
+    }
+
+    #[test]
+    fn default_direction_is_top_down() {
+        // The serde default (what a pre-direction config deserializes
+        // to) and the constructor default must both be pure top-down.
+        assert_eq!(BfsConfig::default().direction, DirectionPolicy::top_down());
+        assert_eq!(DirectionPolicy::default(), DirectionPolicy::top_down());
+        assert_eq!(DirectionMode::default(), DirectionMode::TopDown);
+        assert_eq!(
+            BfsConfig::direction_optimized().direction,
+            DirectionPolicy::adaptive()
+        );
+    }
+
+    #[test]
+    fn adaptive_decision_is_integer_and_thresholded() {
+        let p = DirectionPolicy::adaptive();
+        let (n, r) = (1000, 4);
+        // Tiny frontier with little edge mass: stay top-down.
+        assert!(!p.wants_bottom_up(2, 1, 100_000, n, r));
+        // Heavy frontier: both conditions hold.
+        assert!(p.wants_bottom_up(300, 5_000, 20_000, n, r));
+        // Edge mass alone is not enough when the frontier is tiny
+        // relative to n (β gate).
+        assert!(!p.wants_bottom_up(10, 5_000, 20_000, n, r));
+        // Empty frontier never goes bottom-up, in any mode.
+        assert!(!DirectionPolicy::bottom_up().wants_bottom_up(0, 0, 0, n, r));
+        assert!(DirectionPolicy::bottom_up().wants_bottom_up(1, 0, 0, n, r));
+        assert!(!DirectionPolicy::top_down().wants_bottom_up(300, 5_000, 0, n, r));
     }
 }

@@ -68,12 +68,13 @@ pub mod validate;
 
 pub use bfs2d::{BfsResult, ResilientBfsResult, ResilientConfig};
 pub use bidir::BidirResult;
-pub use config::{BfsConfig, ExpandStrategy, FoldStrategy};
+pub use config::{BfsConfig, DirectionMode, DirectionPolicy, ExpandStrategy, FoldStrategy};
 pub use engine::ComputeEngine;
 pub use parity::{GroupShard, ParityGroups};
 pub use reference::UNREACHED;
-pub use stats::{LevelStats, RunStats};
+pub use stats::{LevelDirection, LevelStats, RunStats};
 pub use threaded_run::{
-    run_threaded, run_threaded_traced, run_threaded_with_wire, TracedThreadedRun,
+    run_threaded, run_threaded_direction, run_threaded_traced, run_threaded_with_wire,
+    TracedThreadedRun,
 };
 pub use validate::{validate_against_spec, validate_levels, ValidationError, ValidationReport};

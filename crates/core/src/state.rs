@@ -33,6 +33,13 @@ pub struct RankState<'g> {
     sent: Vec<bool>,
     /// Hash probes performed since the last [`RankState::take_probes`].
     pub probes: u64,
+    /// Stored adjacency entries whose row has not been emitted yet —
+    /// the local share of Beamer's `m_u` (unexplored edge mass). Kept
+    /// incrementally by the discover kernels when the sent-neighbors
+    /// cache is on; static at `num_entries` when the cache is off (the
+    /// adaptive heuristic then sees an over-estimate and stays
+    /// top-down, which is safe). Host-side only: never charged.
+    unexplored: u64,
 }
 
 impl<'g> RankState<'g> {
@@ -50,6 +57,7 @@ impl<'g> RankState<'g> {
                 Vec::new()
             },
             probes: 0,
+            unexplored: rg.edges.num_entries() as u64,
         }
     }
 
@@ -124,12 +132,12 @@ impl<'g> RankState<'g> {
                             .rg
                             .edges
                             .row_local(u)
-                            .expect("edge-list vertex must be row-indexed")
-                            as usize;
-                        if self.sent[rl] {
+                            .expect("edge-list vertex must be row-indexed");
+                        if self.sent[rl as usize] {
                             continue;
                         }
-                        self.sent[rl] = true;
+                        self.sent[rl as usize] = true;
+                        self.unexplored -= self.rg.edges.row_degree(rl) as u64;
                     }
                     blocks[self.partition.block_col_of(u)].push(u);
                 }
@@ -188,6 +196,78 @@ impl<'g> RankState<'g> {
         debug_assert!(fresh.windows(2).all(|w| w[0] < w[1]));
         self.frontier = fresh;
         self.frontier.len() as u64
+    }
+
+    /// Bottom-up discover: instead of expanding the frontier along
+    /// stored columns, scan every not-yet-emitted stored *row* and ask
+    /// whether any of its columns is in the (column-gathered) frontier,
+    /// early-exiting on the first hit. Emits the same fold blocks as
+    /// [`RankState::discover`] would for this level — each block sorted
+    /// and duplicate-free — because rows are visited in ascending id
+    /// order and each row is emitted at most once.
+    ///
+    /// `frontier` must be the union of the whole processor-column's
+    /// frontiers (see `bgl_comm::collectives::frontier`): this rank
+    /// stores *all* edges `(u, f)` with `u` in its row set and `f` in
+    /// its block column, so between the column peers every unlabeled
+    /// vertex with a frontier parent is found by exactly the ranks that
+    /// store such an edge.
+    ///
+    /// Probes counted: one per frontier membership test. The row scan
+    /// itself is sequential array access over the row-major index —
+    /// not hash work — whereas top-down pays a `row_local` hash probe
+    /// for *every* stored entry of every received frontier vertex. The
+    /// early exit plus the free skip of already-sent rows is where
+    /// bottom-up wins.
+    pub fn discover_bottom_up(&mut self, frontier: &VertSet) -> Vec<Vec<Vertex>> {
+        let cols = self.grid.cols();
+        let mut blocks: Vec<Vec<Vertex>> = vec![Vec::new(); cols];
+        for rl in 0..self.rg.edges.num_row_ids() as u32 {
+            if !self.sent.is_empty() && self.sent[rl as usize] {
+                continue;
+            }
+            let u = self.rg.edges.row_of_local(rl);
+            if let Some(off) = self.rg.owned_local(u) {
+                if self.levels[off] != UNREACHED {
+                    continue;
+                }
+            }
+            let mut parented = false;
+            for &ci in self.rg.edges.cols_of_row_local(rl) {
+                self.probes += 1;
+                if frontier.contains(self.rg.edges.col_of_local(ci)) {
+                    parented = true;
+                    break;
+                }
+            }
+            if parented {
+                if !self.sent.is_empty() {
+                    self.sent[rl as usize] = true;
+                    self.unexplored -= self.rg.edges.row_degree(rl) as u64;
+                }
+                blocks[self.partition.block_col_of(u)].push(u);
+            }
+        }
+        debug_assert!(blocks.iter().all(|b| b.windows(2).all(|w| w[0] < w[1])));
+        blocks
+    }
+
+    /// Local share of the frontier's edge mass: the stored-entry count
+    /// of every own frontier vertex's partial edge list. Summed over a
+    /// processor column this approximates `m_f / R` (each frontier
+    /// vertex's adjacency column is split across the `R` grid rows).
+    /// Heuristic input only — not charged as hash probes.
+    pub fn frontier_degree(&self) -> u64 {
+        self.frontier
+            .iter()
+            .map(|&v| self.rg.edges.neighbors_of(v).len() as u64)
+            .sum()
+    }
+
+    /// Stored entries whose row has not been emitted yet (see the field
+    /// doc for the cache-off caveat).
+    pub fn unexplored(&self) -> u64 {
+        self.unexplored
     }
 
     /// Take and reset the probe counter (charged to the cost model once
@@ -357,6 +437,94 @@ mod tests {
         let levels = gather_levels(&sts, g.spec.n);
         assert_eq!(levels.len(), 120);
         assert!(levels.iter().all(|&l| l == 7));
+    }
+
+    #[test]
+    fn bottom_up_matches_top_down_full_walk() {
+        // On a single rank the gathered column frontier is the rank's
+        // own frontier, so the two kernels can be walked side by side:
+        // every level must produce the identical next frontier and the
+        // identical final level array, with and without the sent cache.
+        for use_sent in [true, false] {
+            let g = setup(1, 1);
+            let mut td = states(&g, use_sent);
+            let mut bu = states(&g, use_sent);
+            td[0].init_source(5);
+            bu[0].init_source(5);
+            for level in 1..=64 {
+                if td[0].frontier.is_empty() {
+                    break;
+                }
+                let f = td[0].frontier.clone();
+                let td_blocks = td[0].discover(&[&f]);
+                td[0].absorb(&[&td_blocks[0]], level);
+                let fset = VertSet::from_sorted(bu[0].frontier.clone());
+                let bu_blocks = bu[0].discover_bottom_up(&fset);
+                bu[0].absorb(&[&bu_blocks[0]], level);
+                assert_eq!(td[0].frontier, bu[0].frontier, "level {level}");
+            }
+            assert!(td[0].frontier.is_empty());
+            assert_eq!(td[0].levels, bu[0].levels, "use_sent={use_sent}");
+            assert!(td[0].reached() > 1);
+        }
+    }
+
+    #[test]
+    fn bottom_up_emits_each_row_once_with_cache() {
+        let g = setup(2, 2);
+        let mut sts = states(&g, true);
+        let all = VertSet::from_sorted(g.ranks[0].edges.cols().to_vec());
+        let first = sts[0].discover_bottom_up(&all);
+        let count = |bs: &[Vec<Vertex>]| bs.iter().map(Vec::len).sum::<usize>();
+        assert!(count(&first) > 0);
+        // Every stored row has some stored column, and every stored
+        // column is in the probe set, so the first pass emits every row
+        // and the second pass finds nothing left.
+        assert_eq!(count(&first), g.ranks[0].edges.num_row_ids());
+        let second = sts[0].discover_bottom_up(&all);
+        assert_eq!(count(&second), 0);
+        assert_eq!(sts[0].unexplored(), 0);
+    }
+
+    #[test]
+    fn unexplored_tracks_sent_rows() {
+        let g = setup(1, 2);
+        let entries = g.ranks[0].edges.num_entries() as u64;
+        let mut sts = states(&g, true);
+        assert_eq!(sts[0].unexplored(), entries);
+        let cols: Vec<Vertex> = g.ranks[0].edges.cols().to_vec();
+        let blocks = sts[0].discover(&[&cols]);
+        let emitted: u64 = blocks
+            .iter()
+            .flatten()
+            .map(|&u| {
+                let rl = g.ranks[0].edges.row_local(u).unwrap();
+                g.ranks[0].edges.row_degree(rl) as u64
+            })
+            .sum();
+        assert_eq!(sts[0].unexplored(), entries - emitted);
+
+        // With the cache off the counter stays put (documented
+        // over-estimate; the adaptive heuristic then never switches).
+        let mut off = states(&g, false);
+        let _ = off[0].discover(&[&cols]);
+        assert_eq!(off[0].unexplored(), entries);
+    }
+
+    #[test]
+    fn frontier_degree_sums_stored_lists() {
+        let g = setup(2, 2);
+        let mut sts = states(&g, true);
+        let vs: Vec<Vertex> = g.ranks[0].owned.clone().take(6).collect();
+        sts[0].absorb(&[&vs], 1);
+        let expect: u64 = vs
+            .iter()
+            .map(|&v| g.ranks[0].edges.neighbors_of(v).len() as u64)
+            .sum();
+        assert_eq!(sts[0].frontier_degree(), expect);
+        let probes_before = sts[0].probes;
+        let _ = sts[0].frontier_degree();
+        assert_eq!(sts[0].probes, probes_before, "heuristic is uncharged");
     }
 
     #[test]

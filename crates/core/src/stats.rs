@@ -4,8 +4,30 @@
 use bgl_comm::{CommStats, OpClass};
 use serde::{Deserialize, Serialize};
 
+/// Which traversal direction a level actually ran (the
+/// direction-optimizing engine's per-level choice; pure top-down runs
+/// record `TopDown` everywhere).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum LevelDirection {
+    /// Expand → discover → fold (the paper's algorithm).
+    #[default]
+    TopDown,
+    /// Frontier gather → bottom-up discover → fold.
+    BottomUp,
+}
+
+impl LevelDirection {
+    /// Short label for tables (`td` / `bu`).
+    pub fn label(self) -> &'static str {
+        match self {
+            LevelDirection::TopDown => "td",
+            LevelDirection::BottomUp => "bu",
+        }
+    }
+}
+
 /// Statistics for one BFS level (one iteration of the main loop).
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
 pub struct LevelStats {
     /// The level index `l` (frontier at distance `l` was expanded).
     pub level: u32,
@@ -48,6 +70,19 @@ pub struct LevelStats {
     /// frames (a component of compute time; 0 with the codec off).
     #[serde(default)]
     pub codec_time: f64,
+    /// The direction this level ran (always `TopDown` without the
+    /// direction-optimizing engine).
+    #[serde(default)]
+    pub direction: LevelDirection,
+    /// Hash probes charged on this level when it ran top-down
+    /// (discover + absorb, summed over ranks; 0 on bottom-up levels).
+    #[serde(default)]
+    pub td_probes: u64,
+    /// Hash probes charged on this level when it ran bottom-up
+    /// (frontier membership tests + absorb, summed over ranks; 0 on
+    /// top-down levels).
+    #[serde(default)]
+    pub bu_probes: u64,
 }
 
 /// Statistics for one whole BFS run.
@@ -126,6 +161,23 @@ impl RunStats {
         self.comm.compression_ratio()
     }
 
+    /// How many levels ran top-down and bottom-up, respectively.
+    pub fn direction_split(&self) -> (usize, usize) {
+        let bu = self
+            .levels
+            .iter()
+            .filter(|l| l.direction == LevelDirection::BottomUp)
+            .count();
+        (self.levels.len() - bu, bu)
+    }
+
+    /// Total hash probes charged over the run, both directions. This is
+    /// the work metric the direction-optimizing engine minimizes (the
+    /// paper profiles BFS as hash-dominated).
+    pub fn total_probes(&self) -> u64 {
+        self.levels.iter().map(|l| l.td_probes + l.bu_probes).sum()
+    }
+
     /// Traversed edges per simulated second (the Graph500 metric), given
     /// the number of edges the search touched. Returns 0 for a zero-time
     /// run (e.g. single rank with modelled-free local work).
@@ -166,6 +218,9 @@ mod tests {
                     logical_bytes: 0,
                     wire_bytes: 0,
                     codec_time: 0.0,
+                    direction: LevelDirection::TopDown,
+                    td_probes: 0,
+                    bu_probes: 0,
                 })
                 .collect(),
             sim_time: 0.0,

@@ -14,10 +14,15 @@
 //! to)`, a run here injects the *same* fault schedule as the simulator —
 //! the cross-runtime determinism the fault tests assert.
 
+use crate::config::{DirectionMode, DirectionPolicy};
 use crate::reference::UNREACHED;
 use crate::state::RankState;
+use crate::stats::LevelDirection;
 use bgl_comm::threaded::ThreadedWorld;
-use bgl_comm::{CommError, FaultPlan, FaultStats, OpClass, Phase, Vert, WireCount, WirePolicy};
+use bgl_comm::{
+    CommError, FaultPlan, FaultStats, OpClass, Phase, Vert, VertSet, VsetPolicy, WireCount,
+    WirePolicy,
+};
 use bgl_graph::{DistGraph, Vertex};
 use bgl_trace::{TraceBuffer, TraceDetail, DEFAULT_RING_CAPACITY};
 
@@ -37,6 +42,11 @@ pub struct RankOutcome {
     pub expand_wire: WireCount,
     /// Sender-side fold byte accounting.
     pub fold_wire: WireCount,
+    /// The direction each executed level ran. Derived from globally
+    /// allreduced counts, so every rank's vector is identical — and
+    /// must equal the simulator's per-level record for the same
+    /// configuration.
+    pub directions: Vec<LevelDirection>,
     /// This rank's trace recorder (only for traced runs).
     pub trace: Option<TraceBuffer>,
 }
@@ -82,6 +92,7 @@ pub fn run_threaded_traced(
         FaultPlan::none(),
         WirePolicy::raw(),
         Some(detail),
+        DirectionPolicy::top_down(),
     );
     let p = graph.grid().len();
     let mut buffer = TraceBuffer::new(p, DEFAULT_RING_CAPACITY);
@@ -106,7 +117,15 @@ pub fn run_threaded_with_faults(
     use_sent: bool,
     plan: FaultPlan,
 ) -> Vec<Result<RankOutcome, CommError>> {
-    run_threaded_inner(graph, source, use_sent, plan, WirePolicy::raw(), None)
+    run_threaded_inner(
+        graph,
+        source,
+        use_sent,
+        plan,
+        WirePolicy::raw(),
+        None,
+        DirectionPolicy::top_down(),
+    )
 }
 
 /// [`run_threaded_with_faults`] with a wire-codec policy: every rank
@@ -121,9 +140,38 @@ pub fn run_threaded_with_wire(
     plan: FaultPlan,
     wire: WirePolicy,
 ) -> Vec<Result<RankOutcome, CommError>> {
-    run_threaded_inner(graph, source, use_sent, plan, wire, None)
+    run_threaded_inner(
+        graph,
+        source,
+        use_sent,
+        plan,
+        wire,
+        None,
+        DirectionPolicy::top_down(),
+    )
 }
 
+/// [`run_threaded_with_wire`] plus a [`DirectionPolicy`]: levels pick
+/// top-down or bottom-up from the same 3-word allreduce and integer
+/// thresholds as the simulator, so the per-level direction vector (and
+/// the level labels) must match the simulator's bit for bit. Bottom-up
+/// levels replace the targeted expand with a neighbour-only frontier
+/// ring over the processor column — the threaded mirror of
+/// `bgl_comm::collectives::frontier`, with the same
+/// empty-pieces-are-not-sent convention so fault schedules stay
+/// aligned across runtimes.
+pub fn run_threaded_direction(
+    graph: &DistGraph,
+    source: Vertex,
+    use_sent: bool,
+    plan: FaultPlan,
+    wire: WirePolicy,
+    direction: DirectionPolicy,
+) -> Vec<Result<RankOutcome, CommError>> {
+    run_threaded_inner(graph, source, use_sent, plan, wire, None, direction)
+}
+
+#[allow(clippy::too_many_arguments)]
 fn run_threaded_inner(
     graph: &DistGraph,
     source: Vertex,
@@ -131,6 +179,7 @@ fn run_threaded_inner(
     plan: FaultPlan,
     wire: WirePolicy,
     trace: Option<TraceDetail>,
+    direction: DirectionPolicy,
 ) -> Vec<Result<RankOutcome, CommError>> {
     let grid = graph.grid();
     assert!(source < graph.spec.n);
@@ -143,30 +192,80 @@ fn run_threaded_inner(
         }
         let mut st = RankState::new(&graph.ranks[rank], graph.partition, use_sent);
         st.init_source(source);
+        let mut directions: Vec<LevelDirection> = Vec::new();
 
         let mut level: u32 = 0;
         loop {
             let t_level = ctx.trace_now();
-            let global_frontier = ctx.allreduce_sum(st.frontier_len())?;
+            // Termination allreduce; widened to 3 words when direction
+            // optimization is on (same single control round).
+            let (global_frontier, bottom_up) = if direction.mode == DirectionMode::TopDown {
+                (ctx.allreduce_sum(st.frontier_len())?, false)
+            } else {
+                let (gf, mf, mu) =
+                    ctx.allreduce_sum3(st.frontier_len(), st.frontier_degree(), st.unexplored())?;
+                let bu = direction.wants_bottom_up(gf, mf, mu, graph.spec.n, grid.rows() as u64);
+                (gf, bu)
+            };
             ctx.trace_span(Phase::Termination, level, t_level);
             if global_frontier == 0 {
                 break;
             }
-            // Expand (targeted) — one world round.
-            let t_expand = ctx.trace_now();
-            let sends: Vec<(usize, Vec<Vert>)> = st.expand_sends_targeted();
-            let fbar = ctx.exchange(OpClass::Expand, sends)?;
-            ctx.trace_span(Phase::Expand, level, t_expand);
-            let t_discover = ctx.trace_now();
-            let fbar_refs: Vec<&[Vert]> = fbar.iter().map(|(_, pl)| pl.as_slice()).collect();
-            // Discover + fold (direct all-to-all) — one world round.
-            let blocks = st.discover(&fbar_refs);
-            drop(fbar_refs);
-            ctx.trace_span(Phase::Discover, level, t_discover);
+            let blocks = if bottom_up {
+                // Frontier gather: (R-1)-step neighbour ring within the
+                // processor column, unioning pieces into a hybrid set.
+                // Empty pieces are not sent — absence of a message is
+                // the empty piece, exactly as in the simulator.
+                let t_gather = ctx.trace_now();
+                let (i, j) = grid.position_of(rank);
+                let succ = grid.rank_of((i + 1) % grid.rows(), j);
+                let policy = VsetPolicy::hybrid();
+                let mut gathered = VertSet::from_sorted(st.frontier.clone());
+                let mut piece: Vec<Vert> = st.frontier.clone();
+                for _ in 0..grid.rows().saturating_sub(1) {
+                    let sends = if piece.is_empty() {
+                        Vec::new()
+                    } else {
+                        vec![(succ, piece.clone())]
+                    };
+                    let mut inbox = ctx.exchange(OpClass::Expand, sends)?;
+                    debug_assert!(inbox.len() <= 1, "ring delivers at most one piece");
+                    if let Some((_, pl)) = inbox.pop() {
+                        let dups = gathered.union_in(&pl, &policy);
+                        debug_assert_eq!(dups, 0, "owned frontiers are disjoint");
+                        piece = pl;
+                    } else {
+                        piece.clear();
+                    }
+                }
+                ctx.trace_span(Phase::Gather, level, t_gather);
+                let t_discover = ctx.trace_now();
+                let blocks = st.discover_bottom_up(&gathered);
+                ctx.trace_span(Phase::Discover, level, t_discover);
+                blocks
+            } else {
+                // Expand (targeted) — one world round.
+                let t_expand = ctx.trace_now();
+                let sends: Vec<(usize, Vec<Vert>)> = st.expand_sends_targeted();
+                let fbar = ctx.exchange(OpClass::Expand, sends)?;
+                ctx.trace_span(Phase::Expand, level, t_expand);
+                let t_discover = ctx.trace_now();
+                let fbar_refs: Vec<&[Vert]> = fbar.iter().map(|(_, pl)| pl.as_slice()).collect();
+                let blocks = st.discover(&fbar_refs);
+                drop(fbar_refs);
+                ctx.trace_span(Phase::Discover, level, t_discover);
+                for (_, pl) in fbar {
+                    ctx.scratch_put(pl);
+                }
+                blocks
+            };
+            directions.push(if bottom_up {
+                LevelDirection::BottomUp
+            } else {
+                LevelDirection::TopDown
+            });
+            // Fold (direct all-to-all) — one world round.
             let t_fold = ctx.trace_now();
-            for (_, pl) in fbar {
-                ctx.scratch_put(pl);
-            }
             let i = grid.row_of(rank);
             let sends: Vec<(usize, Vec<Vert>)> = blocks
                 .into_iter()
@@ -193,6 +292,7 @@ fn run_threaded_inner(
             scratch_reuses: ctx.scratch_reuses(),
             expand_wire: ctx.wire_count(OpClass::Expand),
             fold_wire: ctx.wire_count(OpClass::Fold),
+            directions,
             faults: ctx.faults,
             trace: ctx.take_trace(),
         })
@@ -338,6 +438,45 @@ mod tests {
             expand.wire_bytes + fold.wire_bytes < expand.logical_bytes + fold.logical_bytes,
             "the codec should pay on BFS traffic"
         );
+    }
+
+    #[test]
+    fn threaded_direction_matches_simulator_choice_for_choice() {
+        // The per-level direction is a pure function of globally
+        // allreduced integers, so the threaded runtime and the
+        // simulator must make the identical choice at every level —
+        // and land on identical labels.
+        let spec = GraphSpec::poisson(500, 8.0, 71);
+        let grid = ProcessorGrid::new(3, 2);
+        let graph = DistGraph::build(spec, grid);
+        let config = BfsConfig {
+            direction: crate::config::DirectionPolicy::adaptive(),
+            ..BfsConfig::baseline_alltoall()
+        };
+        let mut world = SimWorld::bluegene(grid);
+        let sim = crate::bfs2d::run(&graph, &mut world, &config, 0);
+        let sim_dirs: Vec<LevelDirection> = sim.stats.levels.iter().map(|l| l.direction).collect();
+        assert!(
+            sim_dirs.contains(&LevelDirection::BottomUp),
+            "expected at least one bottom-up level"
+        );
+
+        let outs = run_threaded_direction(
+            &graph,
+            0,
+            true,
+            FaultPlan::none(),
+            WirePolicy::raw(),
+            config.direction,
+        );
+        let mut levels = vec![UNREACHED; graph.spec.n as usize];
+        for out in outs {
+            let out = out.expect("fault-free");
+            assert_eq!(out.directions, sim_dirs, "per-level direction vector");
+            let s = out.owned_start as usize;
+            levels[s..s + out.levels.len()].copy_from_slice(&out.levels);
+        }
+        assert_eq!(levels, sim.levels);
     }
 
     #[test]

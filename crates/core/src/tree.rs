@@ -257,6 +257,8 @@ pub fn run_tree(
             logical_bytes: delta.total_logical_bytes(),
             wire_bytes: delta.total_wire_bytes(),
             codec_time: world.codec_time() - codec_at_start,
+            // The BFS-tree engine is top-down only.
+            ..LevelStats::default()
         });
         level += 1;
     }

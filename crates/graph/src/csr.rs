@@ -37,6 +37,13 @@ pub struct PartialEdgeLists {
     row_ids: Vec<Vertex>,
     /// §2.4.2 mapping: global row id → dense local row index.
     row_index: FxHashMap<Vertex, u32>,
+    /// Row-major (transposed) view: `row_offsets[rl]..row_offsets[rl+1]`
+    /// indexes `row_cols` for row-local id `rl`. Lets a bottom-up
+    /// traversal scan a stored row's columns without probing the
+    /// column-major CSR once per entry.
+    row_offsets: Vec<usize>,
+    /// Column-local ids of each row's entries, ascending within a row.
+    row_cols: Vec<u32>,
 }
 
 impl PartialEdgeLists {
@@ -85,6 +92,26 @@ impl PartialEdgeLists {
             .map(|(i, &r)| (r, i as u32))
             .collect();
 
+        // Transposed index by count / prefix-sum / fill. Columns are
+        // visited in ascending order, so each row's column list comes
+        // out ascending without a sort.
+        let mut row_offsets = vec![0usize; row_ids.len() + 1];
+        for &u in &rows {
+            row_offsets[row_index[&u] as usize + 1] += 1;
+        }
+        for i in 1..row_offsets.len() {
+            row_offsets[i] += row_offsets[i - 1];
+        }
+        let mut row_cols = vec![0u32; rows.len()];
+        let mut cursor = row_offsets.clone();
+        for (ci, _) in cols.iter().enumerate() {
+            for &u in &rows[offsets[ci]..offsets[ci + 1]] {
+                let rl = row_index[&u] as usize;
+                row_cols[cursor[rl]] = ci as u32;
+                cursor[rl] += 1;
+            }
+        }
+
         Self {
             cols,
             offsets,
@@ -92,6 +119,8 @@ impl PartialEdgeLists {
             col_index,
             row_ids,
             row_index,
+            row_offsets,
+            row_cols,
         }
     }
 
@@ -145,6 +174,30 @@ impl PartialEdgeLists {
         }
     }
 
+    /// Column-local ids stored for row-local id `rl`, ascending — the
+    /// row-major access a bottom-up discover scans (§2.4.2's third view:
+    /// "which of my columns can parent this row").
+    pub fn cols_of_row_local(&self, rl: u32) -> &[u32] {
+        let rl = rl as usize;
+        &self.row_cols[self.row_offsets[rl]..self.row_offsets[rl + 1]]
+    }
+
+    /// Number of stored entries in row-local id `rl` (its local degree).
+    pub fn row_degree(&self, rl: u32) -> usize {
+        let rl = rl as usize;
+        self.row_offsets[rl + 1] - self.row_offsets[rl]
+    }
+
+    /// Global column id of column-local index `ci`.
+    pub fn col_of_local(&self, ci: u32) -> Vertex {
+        self.cols[ci as usize]
+    }
+
+    /// Global row id of row-local index `rl`.
+    pub fn row_of_local(&self, rl: u32) -> Vertex {
+        self.row_ids[rl as usize]
+    }
+
     /// Iterate `(column, partial edge list)` pairs in column order.
     pub fn iter_cols(&self) -> impl Iterator<Item = (Vertex, &[Vertex])> + '_ {
         self.cols
@@ -159,7 +212,8 @@ impl PartialEdgeLists {
         use std::mem::size_of;
         self.rows.len() * size_of::<Vertex>()
             + self.cols.len() * (size_of::<Vertex>() + size_of::<usize>())
-            + self.row_ids.len() * size_of::<Vertex>()
+            + self.row_ids.len() * (size_of::<Vertex>() + size_of::<usize>())
+            + self.row_cols.len() * size_of::<u32>()
             // FxHashMap overhead approx: ~1.5 slots of (K, V) per entry.
             + (self.col_index.len() + self.row_index.len())
                 * (size_of::<Vertex>() + size_of::<u32>())
@@ -228,6 +282,32 @@ mod tests {
             assert_eq!(e.neighbors_of(c), list);
         }
         assert_eq!(e.iter_cols().count(), 3);
+    }
+
+    #[test]
+    fn row_major_index_matches_column_major() {
+        // Every (row, col) entry reachable column-major must appear
+        // exactly once row-major, with ascending column-local ids.
+        let e = sample();
+        let mut by_rows: Vec<(Vertex, Vertex)> = Vec::new();
+        for rl in 0..e.num_row_ids() as u32 {
+            let u = e.row_of_local(rl);
+            assert_eq!(e.row_degree(rl), e.cols_of_row_local(rl).len());
+            let cis = e.cols_of_row_local(rl);
+            assert!(cis.windows(2).all(|w| w[0] < w[1]), "row {u} not sorted");
+            for &ci in cis {
+                by_rows.push((u, e.col_of_local(ci)));
+            }
+        }
+        let mut by_cols: Vec<(Vertex, Vertex)> = e
+            .iter_cols()
+            .flat_map(|(c, list)| list.iter().map(move |&u| (u, c)))
+            .collect();
+        by_rows.sort_unstable();
+        by_cols.sort_unstable();
+        assert_eq!(by_rows, by_cols);
+        let total: usize = (0..e.num_row_ids() as u32).map(|rl| e.row_degree(rl)).sum();
+        assert_eq!(total, e.num_entries());
     }
 
     #[test]

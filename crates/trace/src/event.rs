@@ -20,6 +20,9 @@ pub enum Phase {
     Termination,
     /// Frontier expand over processor-columns.
     Expand,
+    /// Bottom-up frontier gather over processor-columns (the
+    /// direction-optimizing engine's replacement for expand).
+    Gather,
     /// Local neighbor discovery (zero-duration in the simulator: its
     /// probes are charged in the absorb phase's hash pass).
     Discover,
@@ -40,6 +43,7 @@ impl Phase {
             Phase::Level => "level",
             Phase::Termination => "termination",
             Phase::Expand => "expand",
+            Phase::Gather => "gather",
             Phase::Discover => "discover",
             Phase::Fold => "fold",
             Phase::Absorb => "absorb",

@@ -14,8 +14,8 @@ use bgl_bfs::core::{bfs2d, bidir, memory, path, theory, validate, ComputeEngine}
 use bgl_bfs::torus::MachineConfig;
 use bgl_bfs::trace::write_artifacts;
 use bgl_bfs::{
-    BfsConfig, DistGraph, FaultPlan, GraphSpec, ProcessorGrid, ResilientConfig, SimWorld,
-    TraceDetail,
+    BfsConfig, DirectionMode, DirectionPolicy, DistGraph, FaultPlan, GraphSpec, ProcessorGrid,
+    ResilientConfig, SimWorld, TraceDetail,
 };
 use std::collections::HashMap;
 use std::path::Path;
@@ -29,6 +29,11 @@ COMMANDS
   search   run a BFS (flags: --n --k --seed --rows --cols --source [--target] [--bidir])
            host execution: [--engine serial|rayon|auto] [--engine-threads N]
            (bit-identical results either way)
+           direction: [--direction off|adaptive|bottom-up] — Beamer-style per-level
+           top-down/bottom-up switching from allreduced frontier and unexplored-edge
+           counts (levels are bit-identical to top-down; default off)
+           per-level table: [--levels] — print the per-level summary (implied by
+           --direction adaptive|bottom-up)
            wire codec: [--wire auto|raw|delta|bitmap] — adaptive payload compression for
            expand/fold exchanges; encode/decode time is charged through the cost model
            fault injection (non-bidir): [--drop-rate 0.1] [--dead-rank 3 [--dead-at 4]]
@@ -107,6 +112,15 @@ fn engine_from(flags: &Flags) -> ComputeEngine {
     }
 }
 
+fn direction_from(flags: &Flags) -> DirectionPolicy {
+    match flags.0.get("direction").map(String::as_str) {
+        None | Some("off") | Some("top-down") => DirectionPolicy::top_down(),
+        Some("adaptive") => DirectionPolicy::adaptive(),
+        Some("bottom-up") => DirectionPolicy::bottom_up(),
+        Some(other) => panic!("--direction: {other:?} (expected off, adaptive, or bottom-up)"),
+    }
+}
+
 fn wire_policy_from(flags: &Flags) -> WirePolicy {
     match flags.0.get("wire") {
         None => WirePolicy::raw(),
@@ -164,6 +178,45 @@ fn emit_trace_artifacts(world: &mut SimWorld, flags: &Flags) {
         println!(
             "trace: {} events overwritten by full rings (raise ring capacity for complete traces)",
             report.dropped_events
+        );
+    }
+}
+
+/// Graph500-style check of the final level labelling; exits nonzero on
+/// failure. Applies to every engine path (plain and resilient alike) —
+/// a recovered run must produce exactly as valid a labelling as a
+/// fault-free one.
+fn validate_or_exit(spec: &GraphSpec, levels: &[u32], source: u64) {
+    match validate::validate_against_spec(spec, levels, source) {
+        Ok(report) => println!(
+            "validation OK: {} reached, depth {}, {} tree edges",
+            report.reached, report.depth, report.tree_edges
+        ),
+        Err(e) => {
+            eprintln!("error: BFS output failed Graph500-style validation: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// The per-level summary table (direction, frontier, message volumes,
+/// probe counts, simulated time).
+fn print_level_table(stats: &bgl_bfs::core::RunStats) {
+    println!(
+        "{:>5} {:>4} {:>10} {:>12} {:>12} {:>12} {:>12} {:>10}",
+        "level", "dir", "frontier", "expand", "fold", "td probes", "bu probes", "sim ms"
+    );
+    for l in &stats.levels {
+        println!(
+            "{:>5} {:>4} {:>10} {:>12} {:>12} {:>12} {:>12} {:>10.3}",
+            l.level,
+            l.direction.label(),
+            l.frontier,
+            l.expand_received,
+            l.fold_received,
+            l.td_probes,
+            l.bu_probes,
+            l.sim_time * 1e3
         );
     }
 }
@@ -238,7 +291,10 @@ fn cmd_search(flags: &Flags) {
         return;
     }
 
-    let mut config = BfsConfig::paper_optimized().with_engine(engine_from(flags));
+    let direction = direction_from(flags);
+    let mut config = BfsConfig::paper_optimized()
+        .with_engine(engine_from(flags))
+        .with_direction(direction);
     if flags.has("target") {
         config = config.with_target(flags.u64("target", 0).min(spec.n - 1));
     }
@@ -328,17 +384,23 @@ fn cmd_search(flags: &Flags) {
             so.pool_high_water_verts
         );
     }
+    if direction.mode != DirectionMode::TopDown {
+        let (td, bu) = r.stats.direction_split();
+        println!(
+            "direction ({}): {td} top-down / {bu} bottom-up levels, {} hash probes total",
+            match direction.mode {
+                DirectionMode::Adaptive => "adaptive",
+                DirectionMode::BottomUp => "bottom-up",
+                DirectionMode::TopDown => unreachable!(),
+            },
+            r.stats.total_probes()
+        );
+    }
+    if flags.has("levels") || direction.mode != DirectionMode::TopDown {
+        print_level_table(&r.stats);
+    }
     if flags.has("validate") {
-        match validate::validate_against_spec(&spec, &r.levels, source) {
-            Ok(report) => println!(
-                "validation OK: {} reached, depth {}, {} tree edges",
-                report.reached, report.depth, report.tree_edges
-            ),
-            Err(e) => {
-                eprintln!("error: BFS output failed Graph500-style validation: {e}");
-                std::process::exit(1);
-            }
-        }
+        validate_or_exit(&spec, &r.levels, source);
     }
     let f = &r.stats.comm.faults;
     if faulty || f.any() {
@@ -528,5 +590,28 @@ mod tests {
     #[should_panic(expected = "bad integer")]
     fn bad_integer_rejected() {
         flags("--n abc").u64("n", 0);
+    }
+
+    #[test]
+    fn direction_flag_parses() {
+        assert_eq!(direction_from(&flags("")), DirectionPolicy::top_down());
+        assert_eq!(
+            direction_from(&flags("--direction off")),
+            DirectionPolicy::top_down()
+        );
+        assert_eq!(
+            direction_from(&flags("--direction adaptive")),
+            DirectionPolicy::adaptive()
+        );
+        assert_eq!(
+            direction_from(&flags("--direction bottom-up")),
+            DirectionPolicy::bottom_up()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "--direction")]
+    fn bad_direction_rejected() {
+        direction_from(&flags("--direction sideways"));
     }
 }

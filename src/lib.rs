@@ -22,8 +22,9 @@ pub use bgl_torus as torus;
 pub use bgl_trace as trace;
 
 pub use bfs_core::{
-    bfs1d, bfs2d, bidir, theory, validate, BfsConfig, ExpandStrategy, FoldStrategy, GroupShard,
-    ParityGroups, ResilientConfig, ValidationError, ValidationReport,
+    bfs1d, bfs2d, bidir, theory, validate, BfsConfig, DirectionMode, DirectionPolicy,
+    ExpandStrategy, FoldStrategy, GroupShard, LevelDirection, ParityGroups, ResilientConfig,
+    ValidationError, ValidationReport,
 };
 pub use bgl_comm::{
     ChaosSpec, CommError, FaultPlan, ProcessorGrid, SimWorld, WireFormat, WireMode, WirePolicy,

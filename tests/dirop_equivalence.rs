@@ -1,0 +1,192 @@
+//! Direction-optimizing BFS cross-validation: the adaptive top-down /
+//! bottom-up switch must never change the per-vertex levels — only how
+//! much work it takes to compute them. Checked across compute engines,
+//! wire codecs, both runtimes, and under injected faults.
+
+use bgl_bfs::comm::FaultPlan;
+use bgl_bfs::core::{bfs2d, threaded_run, validate, ComputeEngine, LevelDirection};
+use bgl_bfs::{
+    BfsConfig, DirectionPolicy, DistGraph, GraphSpec, ProcessorGrid, ResilientConfig, SimWorld,
+    WireMode, WirePolicy,
+};
+use proptest::prelude::*;
+
+/// Reassemble global levels and the per-level direction vector from
+/// per-rank threaded outcomes (every rank must report the same vector —
+/// the decision is a pure function of allreduced counts).
+fn gather_threaded(
+    graph: &DistGraph,
+    outs: Vec<Result<threaded_run::RankOutcome, bgl_bfs::CommError>>,
+) -> (Vec<u32>, Vec<LevelDirection>) {
+    let mut levels = vec![u32::MAX; graph.spec.n as usize];
+    let mut directions: Option<Vec<LevelDirection>> = None;
+    for out in outs {
+        let out = out.expect("fault-free run");
+        let s = out.owned_start as usize;
+        levels[s..s + out.levels.len()].copy_from_slice(&out.levels);
+        match &directions {
+            None => directions = Some(out.directions.clone()),
+            Some(d) => assert_eq!(d, &out.directions, "ranks disagreed on direction"),
+        }
+    }
+    (levels, directions.unwrap_or_default())
+}
+
+/// The tentpole equivalence matrix: direction-optimized levels are
+/// bit-identical to the pure top-down run across {serial, rayon} ×
+/// {raw, auto, bitmap} wire modes, and the adaptive run really does
+/// switch (otherwise the matrix tests nothing).
+#[test]
+fn adaptive_is_bit_identical_across_engines_and_wire_modes() {
+    let spec = GraphSpec::rmat(8_000, 12.0, 99);
+    let grid = ProcessorGrid::new(3, 4);
+    let graph = DistGraph::build(spec, grid);
+
+    let mut world = SimWorld::bluegene(grid);
+    let reference = bfs2d::run(&graph, &mut world, &BfsConfig::paper_optimized(), 0);
+
+    for engine in [ComputeEngine::Serial, ComputeEngine::Rayon] {
+        for mode in [WireMode::Raw, WireMode::Auto, WireMode::Bitmap] {
+            let config = BfsConfig::direction_optimized().with_engine(engine);
+            let mut world = SimWorld::bluegene(grid).with_wire_policy(WirePolicy::with_mode(mode));
+            let r = bfs2d::run(&graph, &mut world, &config, 0);
+            assert_eq!(
+                r.levels, reference.levels,
+                "levels diverged under {engine:?} / {mode:?}"
+            );
+            let (_, bu) = r.stats.direction_split();
+            assert!(
+                bu > 0,
+                "adaptive run never went bottom-up ({engine:?}/{mode:?})"
+            );
+            assert!(
+                r.stats.total_probes() < reference.stats.total_probes(),
+                "bottom-up levels must reduce hash probes ({engine:?}/{mode:?})"
+            );
+        }
+    }
+}
+
+/// Serial and rayon bottom-up discover kernels are bit-identical all
+/// the way down: same per-level stats and the same simulated clock.
+#[test]
+fn rayon_bottom_up_kernel_is_bit_identical_to_serial() {
+    let spec = GraphSpec::rmat(6_000, 10.0, 17);
+    let grid = ProcessorGrid::new(2, 4);
+    let graph = DistGraph::build(spec, grid);
+    let run = |engine: ComputeEngine| {
+        let config = BfsConfig::direction_optimized().with_engine(engine);
+        let mut world = SimWorld::bluegene(grid).with_wire_policy(WirePolicy::auto());
+        bfs2d::run(&graph, &mut world, &config, 0)
+    };
+    let serial = run(ComputeEngine::Serial);
+    let rayon = run(ComputeEngine::Rayon);
+    assert_eq!(serial.levels, rayon.levels);
+    assert_eq!(serial.stats.levels, rayon.stats.levels);
+    assert_eq!(serial.stats.comm, rayon.stats.comm);
+    assert_eq!(
+        serial.stats.sim_time.to_bits(),
+        rayon.stats.sim_time.to_bits()
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Bottom-up discover equals top-down discover on arbitrary
+    /// frontiers: forcing every level bottom-up walks the same level
+    /// sets as pure top-down on arbitrary graphs, grids, and sent-cache
+    /// settings (each level of the walk hands the kernel an arbitrary
+    /// frontier shape).
+    #[test]
+    fn forced_bottom_up_equals_top_down(
+        n in 60u64..300,
+        k in 1u32..10,
+        seed in 0u64..500,
+        r in 1usize..4,
+        c in 1usize..4,
+        sent in any::<bool>(),
+    ) {
+        let spec = GraphSpec::poisson(n, k as f64, seed);
+        let grid = ProcessorGrid::new(r, c);
+        let graph = DistGraph::build(spec, grid);
+        let run = |direction: DirectionPolicy| {
+            let config = BfsConfig {
+                sent_neighbors: sent,
+                ..BfsConfig::paper_optimized()
+            }
+            .with_direction(direction);
+            let mut world = SimWorld::bluegene(grid);
+            bfs2d::run(&graph, &mut world, &config, 0)
+        };
+        let td = run(DirectionPolicy::top_down());
+        let bu = run(DirectionPolicy::bottom_up());
+        let adaptive = run(DirectionPolicy::adaptive());
+        prop_assert_eq!(&td.levels, &bu.levels);
+        prop_assert_eq!(&td.levels, &adaptive.levels);
+    }
+
+    /// The simulator and the one-thread-per-rank runtime make the same
+    /// per-level direction choice and produce the same labels — the
+    /// switch is a pure function of the allreduced counts, so neither
+    /// runtime can drift.
+    #[test]
+    fn threaded_and_simulator_switch_identically(
+        n in 100u64..400,
+        k in 4u32..12,
+        seed in 0u64..500,
+        r in 1usize..4,
+        c in 1usize..4,
+    ) {
+        let spec = GraphSpec::poisson(n, k as f64, seed);
+        let grid = ProcessorGrid::new(r, c);
+        let graph = DistGraph::build(spec, grid);
+
+        let outs = threaded_run::run_threaded_direction(
+            &graph, 0, true, FaultPlan::none(), WirePolicy::auto(), DirectionPolicy::adaptive(),
+        );
+        let (levels, directions) = gather_threaded(&graph, outs);
+
+        let config = BfsConfig {
+            sent_neighbors: true,
+            ..BfsConfig::baseline_alltoall()
+        }
+        .with_direction(DirectionPolicy::adaptive());
+        let mut world = SimWorld::bluegene(grid).with_wire_policy(WirePolicy::auto());
+        let sim = bfs2d::run(&graph, &mut world, &config, 0);
+        prop_assert_eq!(levels, sim.levels);
+        let sim_dirs: Vec<LevelDirection> =
+            sim.stats.levels.iter().map(|l| l.direction).collect();
+        prop_assert_eq!(directions, sim_dirs);
+    }
+}
+
+/// Chaos case: a direction-optimized search that loses messages AND a
+/// rank mid-run parity-recovers to the exact fault-free labelling and
+/// passes the Graph500 validator.
+#[test]
+fn faulty_direction_optimized_run_recovers_and_validates() {
+    let spec = GraphSpec::rmat(6_000, 10.0, 23);
+    let grid = ProcessorGrid::new(2, 4);
+    let graph = DistGraph::build(spec, grid);
+
+    let mut world = SimWorld::bluegene(grid);
+    let clean = bfs2d::run(&graph, &mut world, &BfsConfig::paper_optimized(), 0);
+
+    let plan = FaultPlan::seeded(0xd1f)
+        .with_drop_prob(0.1)
+        .kill_rank_at(5, 3);
+    let mut world = SimWorld::bluegene(grid).with_fault_plan(plan);
+    let config = BfsConfig::direction_optimized();
+    let resilient = ResilientConfig {
+        parity_group_size: 4,
+        ..ResilientConfig::default()
+    };
+    let res = bfs2d::run_resilient(&graph, &mut world, &config, 0, &resilient)
+        .expect("single death must recover");
+    assert_eq!(res.recoveries, 1);
+    assert_eq!(res.result.levels, clean.levels);
+    let report = validate::validate_against_spec(&graph.spec, &res.result.levels, 0)
+        .expect("recovered direction-optimized run must validate");
+    assert!(report.reached > 1);
+}
