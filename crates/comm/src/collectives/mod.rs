@@ -26,6 +26,7 @@
 pub mod allgather;
 pub mod alltoall;
 pub mod frontier;
+pub mod lane;
 pub mod reduce_scatter;
 pub mod two_phase;
 

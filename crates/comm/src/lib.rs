@@ -41,6 +41,7 @@
 pub mod buffer;
 pub mod collectives;
 pub mod error;
+pub mod lane;
 pub mod setops;
 pub mod sim;
 pub mod stats;
@@ -51,6 +52,7 @@ pub mod wire;
 
 pub use buffer::{ChunkPolicy, ScratchPool};
 pub use error::CommError;
+pub use lane::{LaneMask, LaneSet, MAX_LANES};
 pub use sim::SimWorld;
 pub use stats::{CommStats, FaultStats, OpClass, SetOpStats};
 pub use threaded::{ThreadedWorld, WireCount};

@@ -56,6 +56,7 @@ pub mod bidir;
 pub mod config;
 pub mod engine;
 pub mod memory;
+pub mod multi;
 pub mod parity;
 pub mod path;
 pub mod reference;
@@ -70,6 +71,7 @@ pub use bfs2d::{BfsResult, ResilientBfsResult, ResilientConfig};
 pub use bidir::BidirResult;
 pub use config::{BfsConfig, DirectionMode, DirectionPolicy, ExpandStrategy, FoldStrategy};
 pub use engine::ComputeEngine;
+pub use multi::{MultiBfsResult, MultiConfig, MultiRankState};
 pub use parity::{GroupShard, ParityGroups};
 pub use reference::UNREACHED;
 pub use stats::{LevelDirection, LevelStats, RunStats};

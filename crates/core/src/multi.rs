@@ -1,0 +1,515 @@
+//! Multi-source (batched) BFS: up to [`MAX_LANES`] sources advance
+//! through one lane-masked superstep wave.
+//!
+//! The serving layer (`bgl-server`) packs pending queries into *lanes*
+//! — bit `l` of a [`bgl_comm::LaneMask`] marks membership of lane `l`'s
+//! search — and runs them through the same expand → discover → fold →
+//! absorb superstep structure as [`crate::bfs2d`], except that every
+//! exchanged vertex carries its lane mask ([`bgl_comm::LaneSet`], two
+//! wire payloads per message). One round of communication therefore
+//! advances *all* lanes by one level, collapsing the per-message α
+//! overhead B-fold, and overlapping frontiers (universal on the
+//! low-diameter scale-free graphs the paper targets: every search
+//! floods the same high-degree core within a hop or two) share both
+//! wire bytes and per-edge hash probes — a vertex reached by 16 lanes
+//! in the same wave is shipped once and its edge list is scanned once.
+//!
+//! **Per-lane equivalence.** Lane `l` labels vertex `u` at wave `d+1`
+//! iff `u` has a neighbor at lane-`l` distance `d` and is unlabeled in
+//! lane `l` — exactly the single-source induction, so every lane's
+//! level array is *identical* to its standalone [`crate::bfs2d::run`]
+//! (asserted per-batch by [`validate_lanes`] against the Graph500-style
+//! validator, and property-tested across engines × wire policies in
+//! `tests/proptest_multi.rs`).
+//!
+//! **Determinism.** The wave loop follows the same discipline as the
+//! single-source engine: per-rank closures are pure, results collect
+//! positionally under [`ComputeEngine`], lane sets merge by sorted
+//! two-pointer unions, and all clock accounting happens in the serial
+//! collective layer — serial and rayon runs are bit-identical.
+
+use crate::engine::ComputeEngine;
+use crate::reference::UNREACHED;
+use crate::validate::{self, ValidationError, ValidationReport};
+use bgl_comm::collectives::lane::{lane_alltoallv, LaneSendList};
+use bgl_comm::collectives::Groups;
+use bgl_comm::{CommError, LaneMask, LaneSet, OpClass, Phase, ProcessorGrid, SimWorld, MAX_LANES};
+use bgl_graph::{DistGraph, GraphSpec, RankGraph, TwoDPartition, Vertex};
+
+/// Configuration for a batched multi-source run.
+#[derive(Debug, Clone, Copy)]
+pub struct MultiConfig {
+    /// Host-side execution engine for per-rank compute (bit-identical
+    /// across variants).
+    pub engine: ComputeEngine,
+    /// Keep the §2.4.3 sent-neighbors cache, widened to one lane mask
+    /// per row-local vertex: a neighbor is re-sent only for lanes that
+    /// have not shipped it yet.
+    pub sent_neighbors: bool,
+    /// Stop after this many waves (0 = run to exhaustion).
+    pub max_waves: u32,
+}
+
+impl Default for MultiConfig {
+    fn default() -> Self {
+        Self {
+            engine: ComputeEngine::Auto,
+            sent_neighbors: true,
+            max_waves: 0,
+        }
+    }
+}
+
+/// Per-wave accounting for one batched run.
+#[derive(Debug, Clone, Copy)]
+pub struct WaveStats {
+    /// Wave index (= BFS level assigned by this wave's absorb).
+    pub wave: u32,
+    /// Global `(vertex, lane)` frontier memberships entering the wave.
+    pub frontier_pairs: u64,
+    /// Distinct frontier vertices entering the wave (across all ranks).
+    pub frontier_verts: u64,
+    /// Simulated seconds this wave took.
+    pub sim_time: f64,
+}
+
+/// Result of a batched multi-source run.
+#[derive(Debug, Clone)]
+pub struct MultiBfsResult {
+    /// Per-lane global level arrays, indexed `[lane][vertex]`.
+    pub lane_levels: Vec<Vec<u32>>,
+    /// The sources, lane `l` searched from `sources[l]`.
+    pub sources: Vec<Vertex>,
+    /// Per-wave statistics.
+    pub waves: Vec<WaveStats>,
+    /// Total simulated seconds for the batch.
+    pub sim_time: f64,
+    /// Simulated seconds spent in communication.
+    pub comm_time: f64,
+    /// Total hash probes charged across all ranks.
+    pub total_probes: u64,
+}
+
+impl MultiBfsResult {
+    /// Number of lanes in the batch.
+    pub fn lanes(&self) -> usize {
+        self.sources.len()
+    }
+}
+
+/// Per-rank state for a batched run: the lane-masked widening of
+/// [`crate::state::RankState`].
+#[derive(Debug, Clone)]
+pub struct MultiRankState<'g> {
+    rg: &'g RankGraph,
+    grid: ProcessorGrid,
+    partition: TwoDPartition,
+    /// Level labels for owned vertices, indexed `[lane][owned offset]`.
+    pub levels: Vec<Vec<u32>>,
+    /// Lanes that have labeled each owned vertex (by owned offset).
+    visited: Vec<LaneMask>,
+    /// Current frontier: owned vertices with the mask of lanes for
+    /// which they sit at the current level.
+    pub frontier: LaneSet,
+    /// Sent-neighbors cache over row-local ids, one lane mask each
+    /// (empty when disabled).
+    sent: Vec<LaneMask>,
+    /// Hash probes since the last [`MultiRankState::take_probes`].
+    pub probes: u64,
+}
+
+impl<'g> MultiRankState<'g> {
+    /// Fresh state for a rank of `graph`, serving `lanes` lanes.
+    pub fn new(rg: &'g RankGraph, partition: TwoDPartition, lanes: usize, use_sent: bool) -> Self {
+        assert!((1..=MAX_LANES).contains(&lanes), "lanes must be in 1..=64");
+        Self {
+            rg,
+            grid: partition.grid(),
+            partition,
+            levels: vec![vec![UNREACHED; rg.owned_len()]; lanes],
+            visited: vec![0; rg.owned_len()],
+            frontier: LaneSet::new(),
+            sent: if use_sent {
+                vec![0; rg.edges.num_row_ids()]
+            } else {
+                Vec::new()
+            },
+            probes: 0,
+        }
+    }
+
+    /// Seed every lane whose source this rank owns. Two lanes may share
+    /// a source; their bits simply travel together from wave 0.
+    pub fn init_sources(&mut self, sources: &[Vertex]) {
+        let mut pairs: Vec<(Vertex, LaneMask)> = Vec::new();
+        for (lane, &s) in sources.iter().enumerate() {
+            if let Some(off) = self.rg.owned_local(s) {
+                self.levels[lane][off] = 0;
+                self.visited[off] |= 1 << lane;
+                pairs.push((s, 1 << lane));
+            }
+        }
+        self.frontier = LaneSet::from_pairs(pairs);
+    }
+
+    /// `(vertex, lane)` memberships in the local frontier.
+    pub fn frontier_pairs(&self) -> u64 {
+        self.frontier.lane_pairs()
+    }
+
+    /// Targeted expand sends: each frontier vertex goes — mask and all —
+    /// to every processor-column peer whose partial edge list for it is
+    /// non-empty (the lane-masked twin of
+    /// [`crate::state::RankState::expand_sends_targeted`]).
+    pub fn expand_sends(&mut self) -> LaneSendList {
+        let (_, j) = self.grid.position_of(self.rg.rank);
+        let mut per_row: Vec<LaneSet> = vec![LaneSet::new(); self.grid.rows()];
+        for (v, mask) in self.frontier.iter() {
+            let off = (v - self.rg.owned.start) as usize;
+            for &i2 in &self.rg.expand_targets[off] {
+                per_row[i2 as usize].push(v, mask);
+            }
+        }
+        per_row
+            .into_iter()
+            .enumerate()
+            .filter(|(_, set)| !set.is_empty())
+            .map(|(i2, set)| (self.grid.rank_of(i2, j), set))
+            .collect()
+    }
+
+    /// Process the received lane-masked frontier F̄ and produce the fold
+    /// blocks per processor-row peer (grid column). An edge list is
+    /// scanned **once per received frontier vertex regardless of how
+    /// many lanes ride it** — the batching win. Probe accounting
+    /// mirrors the single-source kernel: one probe per received vertex
+    /// plus one per edge entry traversed.
+    pub fn discover(&mut self, fbar: &[LaneSet]) -> Vec<LaneSet> {
+        let cols = self.grid.cols();
+        let mut blocks: Vec<Vec<(Vertex, LaneMask)>> = vec![Vec::new(); cols];
+        for set in fbar {
+            for (v, mask) in set.iter() {
+                self.probes += 1;
+                let Some(ci) = self.rg.edges.col_local(v) else {
+                    continue;
+                };
+                for &u in self.rg.edges.neighbors_by_local(ci) {
+                    self.probes += 1;
+                    let mut emit = mask;
+                    if !self.sent.is_empty() {
+                        let rl = self
+                            .rg
+                            .edges
+                            .row_local(u)
+                            .expect("edge-list vertex must be row-indexed");
+                        emit = mask & !self.sent[rl as usize];
+                        if emit == 0 {
+                            continue;
+                        }
+                        self.sent[rl as usize] |= emit;
+                    }
+                    blocks[self.partition.block_col_of(u)].push((u, emit));
+                }
+            }
+        }
+        blocks.into_iter().map(LaneSet::from_pairs).collect()
+    }
+
+    /// Absorb folded lane sets: for each delivered `(vertex, mask)`
+    /// pair, label the not-yet-visited lanes with `next_level` and put
+    /// the fresh memberships on the next frontier. Returns newly
+    /// labeled `(vertex, lane)` memberships. One probe per delivered
+    /// pair (the owned local-index lookup), as in the single-source
+    /// absorb.
+    pub fn absorb(&mut self, nbar: &[LaneSet], next_level: u32) -> u64 {
+        let mut fresh: Vec<(Vertex, LaneMask)> = Vec::new();
+        let mut labeled = 0u64;
+        for set in nbar {
+            for (v, mask) in set.iter() {
+                self.probes += 1;
+                let off = self
+                    .rg
+                    .owned_local(v)
+                    .expect("fold delivered a vertex to a non-owner");
+                let new = mask & !self.visited[off];
+                if new == 0 {
+                    continue;
+                }
+                self.visited[off] |= new;
+                let mut bits = new;
+                while bits != 0 {
+                    let lane = bits.trailing_zeros() as usize;
+                    self.levels[lane][off] = next_level;
+                    bits &= bits - 1;
+                }
+                labeled += new.count_ones() as u64;
+                fresh.push((v, new));
+            }
+        }
+        self.frontier = LaneSet::from_pairs(fresh);
+        labeled
+    }
+
+    /// Take and reset the probe counter (charged once per wave).
+    pub fn take_probes(&mut self) -> u64 {
+        std::mem::take(&mut self.probes)
+    }
+
+    /// The rank's static graph share.
+    pub fn rank_graph(&self) -> &'g RankGraph {
+        self.rg
+    }
+}
+
+/// Gather per-rank lane-major level arrays into per-lane global arrays.
+pub fn gather_lane_levels(states: &[MultiRankState<'_>], lanes: usize, n: u64) -> Vec<Vec<u32>> {
+    let mut out = vec![vec![UNREACHED; n as usize]; lanes];
+    for st in states {
+        let start = st.rank_graph().owned.start as usize;
+        for (lane, lane_out) in out.iter_mut().enumerate() {
+            let src = &st.levels[lane];
+            lane_out[start..start + src.len()].copy_from_slice(src);
+        }
+    }
+    out
+}
+
+/// Run a batched multi-source BFS; panics on communication faults (use
+/// [`try_run`] under a fault plan).
+pub fn run(
+    graph: &DistGraph,
+    world: &mut SimWorld,
+    config: &MultiConfig,
+    sources: &[Vertex],
+) -> MultiBfsResult {
+    try_run(graph, world, config, sources)
+        .unwrap_or_else(|e| panic!("communication fault during batched BFS: {e}"))
+}
+
+/// [`run`] with communication faults surfaced as typed errors.
+pub fn try_run(
+    graph: &DistGraph,
+    world: &mut SimWorld,
+    config: &MultiConfig,
+    sources: &[Vertex],
+) -> Result<MultiBfsResult, CommError> {
+    let grid = world.grid();
+    assert_eq!(grid, graph.grid(), "world and graph grids must match");
+    let lanes = sources.len();
+    assert!(
+        (1..=MAX_LANES).contains(&lanes),
+        "batch must pack 1..=64 sources, got {lanes}"
+    );
+    for &s in sources {
+        assert!(s < graph.spec.n, "source {s} out of range");
+    }
+    let p = grid.len();
+    world.set_parallel_exchange(config.engine.parallel(p));
+
+    let row_groups = Groups::rows_of(grid);
+    let col_groups = Groups::cols_of(grid);
+
+    let mut states: Vec<MultiRankState<'_>> = graph
+        .ranks
+        .iter()
+        .map(|rg| MultiRankState::new(rg, graph.partition, lanes, config.sent_neighbors))
+        .collect();
+    for st in states.iter_mut() {
+        st.init_sources(sources);
+    }
+
+    let time_at_start = world.time();
+    let comm_at_start = world.comm_time();
+    let mut waves = Vec::new();
+    let mut total_probes = 0u64;
+
+    let mut wave: u32 = 0;
+    loop {
+        if config.max_waves > 0 && wave >= config.max_waves {
+            break;
+        }
+        let t0 = world.time();
+
+        // -- 1. termination on global (vertex, lane) frontier mass. The
+        // distinct-vertex count rides the same tree round as a second
+        // word (occupancy telemetry, no extra communication).
+        let pair_counts: Vec<u64> = states.iter().map(|s| s.frontier_pairs()).collect();
+        let vert_counts: Vec<u64> = states.iter().map(|s| s.frontier.len() as u64).collect();
+        let zeros = vec![0u64; p];
+        let (global_pairs, global_verts, _) =
+            world.allreduce_sum3(&pair_counts, &vert_counts, &zeros);
+        world.trace_span(Phase::Termination, wave, t0);
+        if global_pairs == 0 {
+            break;
+        }
+
+        // -- 2. expand over processor-columns, masks riding along.
+        let t_expand = world.time();
+        let sends: Vec<LaneSendList> = config.engine.map_mut(&mut states, |s| s.expand_sends());
+        let fbar = lane_alltoallv(world, OpClass::Expand, &col_groups, sends)?;
+        world.trace_span(Phase::Expand, wave, t_expand);
+
+        // -- 3. local discovery (edge scans shared across lanes).
+        let t_discover = world.time();
+        let blocks: Vec<Vec<LaneSet>> = config
+            .engine
+            .zip_map(&mut states, &fbar, |s, lists| s.discover(lists));
+        drop(fbar);
+        world.trace_span(Phase::Discover, wave, t_discover);
+
+        // -- 4. fold over processor-rows.
+        let t_fold = world.time();
+        let sends: Vec<LaneSendList> = blocks
+            .into_iter()
+            .enumerate()
+            .map(|(rank, bs)| {
+                let i = grid.row_of(rank);
+                bs.into_iter()
+                    .enumerate()
+                    .filter(|(_, b)| !b.is_empty())
+                    .map(|(m, b)| (grid.rank_of(i, m), b))
+                    .collect()
+            })
+            .collect();
+        let nbar = lane_alltoallv(world, OpClass::Fold, &row_groups, sends)?;
+        world.trace_span(Phase::Fold, wave, t_fold);
+
+        // -- 5. absorb + hash charge.
+        let t_absorb = world.time();
+        let _: Vec<u64> = config
+            .engine
+            .zip_map(&mut states, &nbar, |s, lists| s.absorb(lists, wave + 1));
+        drop(nbar);
+        let probes: Vec<u64> = states.iter_mut().map(MultiRankState::take_probes).collect();
+        total_probes += probes.iter().sum::<u64>();
+        world.hash_phase(&probes);
+        world.trace_span(Phase::Absorb, wave, t_absorb);
+        world.trace_span(Phase::Level, wave, t0);
+
+        waves.push(WaveStats {
+            wave,
+            frontier_pairs: global_pairs,
+            frontier_verts: global_verts,
+            sim_time: world.time() - t0,
+        });
+        wave += 1;
+    }
+
+    Ok(MultiBfsResult {
+        lane_levels: gather_lane_levels(&states, lanes, graph.spec.n),
+        sources: sources.to_vec(),
+        waves,
+        sim_time: world.time() - time_at_start,
+        comm_time: world.comm_time() - comm_at_start,
+        total_probes,
+    })
+}
+
+/// Certify every lane of a batched result with the Graph500-style
+/// validator ([`validate::validate_against_spec`]). Returns the
+/// per-lane reports, or the first lane's failure.
+pub fn validate_lanes(
+    spec: &GraphSpec,
+    result: &MultiBfsResult,
+) -> Result<Vec<ValidationReport>, ValidationError> {
+    result
+        .sources
+        .iter()
+        .zip(&result.lane_levels)
+        .map(|(&s, levels)| validate::validate_against_spec(spec, levels, s))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{bfs2d, BfsConfig};
+
+    fn single_levels(graph: &DistGraph, source: Vertex) -> Vec<u32> {
+        let mut world = SimWorld::bluegene(graph.grid());
+        bfs2d::run(graph, &mut world, &BfsConfig::paper_optimized(), source).levels
+    }
+
+    #[test]
+    fn lanes_match_single_source_runs() {
+        let spec = GraphSpec::rmat(2_000, 8.0, 7);
+        let grid = ProcessorGrid::new(2, 3);
+        let graph = DistGraph::build(spec, grid);
+        let sources = [0u64, 17, 17, 999, 1500];
+        let mut world = SimWorld::bluegene(grid);
+        let r = run(&graph, &mut world, &MultiConfig::default(), &sources);
+        assert_eq!(r.lanes(), sources.len());
+        for (lane, &s) in sources.iter().enumerate() {
+            assert_eq!(
+                r.lane_levels[lane],
+                single_levels(&graph, s),
+                "lane {lane} (source {s}) diverged from its standalone run"
+            );
+        }
+        validate_lanes(&spec, &r).expect("validator");
+    }
+
+    #[test]
+    fn sent_cache_off_agrees() {
+        let spec = GraphSpec::poisson(600, 6.0, 3);
+        let grid = ProcessorGrid::new(2, 2);
+        let graph = DistGraph::build(spec, grid);
+        let sources = [5u64, 400];
+        let cfg_on = MultiConfig::default();
+        let cfg_off = MultiConfig {
+            sent_neighbors: false,
+            ..MultiConfig::default()
+        };
+        let mut w1 = SimWorld::bluegene(grid);
+        let mut w2 = SimWorld::bluegene(grid);
+        let a = run(&graph, &mut w1, &cfg_on, &sources);
+        let b = run(&graph, &mut w2, &cfg_off, &sources);
+        assert_eq!(a.lane_levels, b.lane_levels);
+    }
+
+    #[test]
+    fn serial_and_rayon_bit_identical() {
+        let spec = GraphSpec::rmat(1_500, 8.0, 11);
+        let grid = ProcessorGrid::new(4, 4);
+        let graph = DistGraph::build(spec, grid);
+        let sources: Vec<u64> = (0..16).map(|i| (i * 91) % 1_500).collect();
+        let run_with = |engine| {
+            let mut world = SimWorld::bluegene(grid).with_wire_policy(bgl_comm::WirePolicy::auto());
+            let cfg = MultiConfig {
+                engine,
+                ..MultiConfig::default()
+            };
+            let r = run(&graph, &mut world, &cfg, &sources);
+            (r.lane_levels, world.time().to_bits(), r.total_probes)
+        };
+        assert_eq!(
+            run_with(ComputeEngine::Serial),
+            run_with(ComputeEngine::Rayon)
+        );
+    }
+
+    #[test]
+    fn single_lane_batch_equals_single_source() {
+        let spec = GraphSpec::rmat(1_000, 8.0, 21);
+        let grid = ProcessorGrid::new(2, 2);
+        let graph = DistGraph::build(spec, grid);
+        let mut world = SimWorld::bluegene(grid);
+        let r = run(&graph, &mut world, &MultiConfig::default(), &[42]);
+        assert_eq!(r.lane_levels[0], single_levels(&graph, 42));
+    }
+
+    #[test]
+    fn max_waves_truncates() {
+        let spec = GraphSpec::rmat(1_000, 8.0, 21);
+        let grid = ProcessorGrid::new(2, 2);
+        let graph = DistGraph::build(spec, grid);
+        let mut world = SimWorld::bluegene(grid);
+        let cfg = MultiConfig {
+            max_waves: 1,
+            ..MultiConfig::default()
+        };
+        let r = run(&graph, &mut world, &cfg, &[42]);
+        assert!(r.waves.len() <= 1);
+        assert!(r.lane_levels[0].iter().all(|&l| l == UNREACHED || l <= 1));
+    }
+}

@@ -244,6 +244,59 @@ mod tests {
     }
 
     #[test]
+    fn validate_path_on_handcrafted_diamond() {
+        // 0 — 1 — 3
+        //  \— 2 —/     levels from source 0: [0, 1, 1, 2]
+        let adj: Vec<Vec<Vertex>> = vec![vec![1, 2], vec![0, 3], vec![0, 3], vec![1, 2]];
+        let levels = [0u32, 1, 1, 2];
+        // Both arms of the diamond are genuine shortest paths.
+        assert!(validate_path(&adj, &levels, &[0, 1, 3]));
+        assert!(validate_path(&adj, &levels, &[0, 2, 3]));
+        // The trivial s == t path is exactly the source.
+        assert!(validate_path(&adj, &levels, &[0]));
+        // A non-source singleton is not rooted at level 0.
+        assert!(!validate_path(&adj, &levels, &[3]));
+        // 0 → 3 skips a level and is not an edge.
+        assert!(!validate_path(&adj, &levels, &[0, 3]));
+        // 1 → 2 stays at level 1: not downhill-by-one.
+        assert!(!validate_path(&adj, &levels, &[0, 1, 2]));
+    }
+
+    #[test]
+    fn validate_path_rejects_level_skips_on_a_chain() {
+        // 0 — 1 — 2 — 3 with an extra chord 0 — 2.
+        let adj: Vec<Vec<Vertex>> = vec![vec![1, 2], vec![0, 2], vec![0, 1, 3], vec![2]];
+        let levels = [0u32, 1, 1, 2];
+        assert!(validate_path(&adj, &levels, &[0, 2, 3]));
+        // Real edges, but 0 → 1 → 2 → 3 claims 2 at level 2 ≠ 1.
+        assert!(!validate_path(&adj, &levels, &[0, 1, 2, 3]));
+        // Disconnected vertex pair: no edge 1 → 3 at all.
+        assert!(!validate_path(&adj, &levels, &[0, 1, 3]));
+    }
+
+    #[test]
+    fn extract_path_tie_breaks_to_smallest_parent() {
+        // Every hop must choose the globally smallest neighbor at level
+        // l − 1 — the documented deterministic tie-break.
+        let (graph, mut world, levels, adj) = setup(400, 6.0, 19, 2, 3);
+        let target = (0..400u64)
+            .rev()
+            .find(|&v| levels[v as usize] != UNREACHED && levels[v as usize] >= 2)
+            .unwrap();
+        let path = extract_path(&graph, &mut world, &levels, 0, target).unwrap();
+        for w in path.windows(2) {
+            let (parent, child) = (w[0], w[1]);
+            let min_parent = adj[child as usize]
+                .iter()
+                .copied()
+                .filter(|&u| levels[u as usize] + 1 == levels[child as usize])
+                .min()
+                .unwrap();
+            assert_eq!(parent, min_parent, "hop into {child} broke the tie-break");
+        }
+    }
+
+    #[test]
     fn validate_path_rejects_fakes() {
         let (_, _, levels, adj) = setup(200, 6.0, 29, 1, 1);
         // Not starting at the source level.

@@ -1,0 +1,183 @@
+//! LRU cache of full level arrays, keyed by `(graph_id, source)`.
+//!
+//! Every engine-served lane deposits its level array here (behind an
+//! `Arc`, shared with any `FullTraversal` responses). A later
+//! `Distance`/`Path`/`FullTraversal` query on the same source is then
+//! answered without touching the engines at all: distances read
+//! straight out of the array, paths walk level-downhill over the
+//! host-side adjacency oracle (see `server.rs`). The `graph_id` half of
+//! the key fingerprints the loaded [`bgl_graph::GraphSpec`], so a
+//! server restarted on a different graph can never serve stale levels.
+//!
+//! The store is a recency-ordered deque with linear key scans —
+//! serving-layer capacities are tens-to-thousands of entries, where the
+//! scan is noise next to one level array's footprint. Eviction is exact
+//! LRU: hits move to the back, inserts evict the front.
+
+use bgl_graph::Vertex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Cache key: the graph fingerprint and the search root.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheKey {
+    /// Fingerprint of the loaded graph spec.
+    pub graph_id: u64,
+    /// Search root whose levels are cached.
+    pub source: Vertex,
+}
+
+/// Exact-LRU store of level arrays.
+#[derive(Debug, Default)]
+pub struct LruCache {
+    capacity: usize,
+    /// Front = least recently used, back = most recently used.
+    entries: VecDeque<(CacheKey, Arc<Vec<u32>>)>,
+    /// Lookups that found an entry.
+    pub hits: u64,
+    /// Lookups that found nothing.
+    pub misses: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+}
+
+impl LruCache {
+    /// Cache holding at most `capacity` level arrays (0 = disabled:
+    /// every lookup misses, inserts are dropped).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            capacity,
+            entries: VecDeque::new(),
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Whether the cache can hold anything.
+    pub fn enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Look up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: CacheKey) -> Option<Arc<Vec<u32>>> {
+        match self.entries.iter().position(|(k, _)| *k == key) {
+            Some(i) => {
+                self.hits += 1;
+                let entry = self.entries.remove(i).unwrap();
+                let levels = entry.1.clone();
+                self.entries.push_back(entry);
+                Some(levels)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert (or refresh) `key`, evicting the least recently used
+    /// entry if at capacity.
+    pub fn insert(&mut self, key: CacheKey, levels: Arc<Vec<u32>>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some(i) = self.entries.iter().position(|(k, _)| *k == key) {
+            self.entries.remove(i);
+        } else if self.entries.len() >= self.capacity {
+            self.entries.pop_front();
+            self.evictions += 1;
+        }
+        self.entries.push_back((key, levels));
+    }
+
+    /// Maximum resident entries (0 = disabled).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Resident entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(source: u64) -> CacheKey {
+        CacheKey {
+            graph_id: 99,
+            source,
+        }
+    }
+
+    fn levels(tag: u32) -> Arc<Vec<u32>> {
+        Arc::new(vec![tag; 4])
+    }
+
+    #[test]
+    fn hit_miss_and_eviction_order() {
+        let mut c = LruCache::new(2);
+        assert!(c.get(key(1)).is_none());
+        c.insert(key(1), levels(1));
+        c.insert(key(2), levels(2));
+        // Touch 1 so 2 becomes the LRU victim.
+        assert_eq!(c.get(key(1)).unwrap()[0], 1);
+        c.insert(key(3), levels(3));
+        assert!(c.get(key(2)).is_none());
+        assert!(c.get(key(1)).is_some());
+        assert!(c.get(key(3)).is_some());
+        assert_eq!(c.evictions, 1);
+        assert_eq!(c.hits, 3);
+        assert_eq!(c.misses, 2);
+    }
+
+    #[test]
+    fn graph_id_partitions_the_key_space() {
+        let mut c = LruCache::new(4);
+        c.insert(
+            CacheKey {
+                graph_id: 1,
+                source: 7,
+            },
+            levels(1),
+        );
+        assert!(c
+            .get(CacheKey {
+                graph_id: 2,
+                source: 7
+            })
+            .is_none());
+        assert!(c
+            .get(CacheKey {
+                graph_id: 1,
+                source: 7
+            })
+            .is_some());
+    }
+
+    #[test]
+    fn zero_capacity_disables() {
+        let mut c = LruCache::new(0);
+        assert!(!c.enabled());
+        c.insert(key(1), levels(1));
+        assert!(c.get(key(1)).is_none());
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn reinsert_refreshes_instead_of_duplicating() {
+        let mut c = LruCache::new(2);
+        c.insert(key(1), levels(1));
+        c.insert(key(1), levels(9));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(key(1)).unwrap()[0], 9);
+    }
+}

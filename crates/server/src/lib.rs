@@ -1,0 +1,45 @@
+//! # bgl-server — BFS query serving over a resident distributed graph
+//!
+//! The paper's BFS is a one-shot kernel; this crate turns it into a
+//! *service*: one loaded [`bgl_graph::DistGraph`] plus one simulated
+//! runtime serve a stream of BFS queries ([`QueryKind::FullTraversal`],
+//! [`QueryKind::Distance`], [`QueryKind::Path`]). The pieces:
+//!
+//! * [`server::BglServer`] — the serving loop. Pending queries are
+//!   packed, up to `B` distinct sources at a time, into one lane-masked
+//!   multi-source wave ([`bfs_core::multi`]), so one round of
+//!   communication advances every query in the batch;
+//! * [`queue::AdmissionQueue`] — bounded FIFO admission with
+//!   backpressure (typed [`query::AdmissionError`]) and per-query
+//!   deadlines measured on the server's deterministic tick clock;
+//! * [`cache::LruCache`] — result cache keyed by `(graph_id, source)`;
+//!   `Distance`/`Path` hits (and repeat traversals) are answered from
+//!   cached level arrays without touching the engines, charged as a
+//!   modelled memcpy of the response bytes;
+//! * [`workload::WorkloadSpec`] — seeded Zipfian source-popularity
+//!   query generator for benchmarks and the CLI `serve` mode;
+//! * [`stats::ServerStats`] — QPS / latency / batch-occupancy /
+//!   cache-hit accounting, exported as `SERVER_summary.json`.
+//!
+//! Everything is deterministic: batch formation reads only the queue
+//! order and the tick clock (no wall time in any decision path), the
+//! workload is seeded, and the batched engine is bit-identical across
+//! serial/rayon hosts — the same submission sequence always produces
+//! the same responses, clocks, and summary.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod query;
+pub mod queue;
+pub mod server;
+pub mod stats;
+pub mod workload;
+
+pub use cache::LruCache;
+pub use query::{AdmissionError, Outcome, QueryId, QueryKind, Request, Response, ServedBy};
+pub use queue::AdmissionQueue;
+pub use server::{BglServer, ServerConfig};
+pub use stats::ServerStats;
+pub use workload::{QueryMix, WorkloadSpec};

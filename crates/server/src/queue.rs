@@ -1,0 +1,142 @@
+//! Bounded FIFO admission queue with backpressure and deadlines.
+//!
+//! Admission is the only place the server says "no": when the queue is
+//! at capacity, [`AdmissionQueue::submit`] returns
+//! [`AdmissionError::QueueFull`] and the caller is expected to retry
+//! after the server drains a batch — classic bounded-buffer
+//! backpressure, no silent dropping. Deadlines are ticks on the
+//! server's deterministic clock; expiry is *checked at batch-formation
+//! time* (a lazy sweep), so an expired query costs nothing beyond its
+//! queue slot.
+
+use crate::query::{AdmissionError, QueryId, QueryKind, Request};
+use std::collections::VecDeque;
+
+/// Bounded FIFO of pending queries.
+#[derive(Debug)]
+pub struct AdmissionQueue {
+    capacity: usize,
+    q: VecDeque<Request>,
+    next_id: QueryId,
+}
+
+impl AdmissionQueue {
+    /// Empty queue holding at most `capacity` pending queries.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "queue capacity must be at least 1");
+        Self {
+            capacity,
+            q: VecDeque::with_capacity(capacity.min(1024)),
+            next_id: 0,
+        }
+    }
+
+    /// Admit a query at tick `now`, expiring `deadline` ticks later
+    /// (`None` = never). Fails with backpressure when full.
+    pub fn submit(
+        &mut self,
+        kind: QueryKind,
+        now: u64,
+        deadline: Option<u64>,
+    ) -> Result<QueryId, AdmissionError> {
+        if self.q.len() >= self.capacity {
+            return Err(AdmissionError::QueueFull {
+                capacity: self.capacity,
+            });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.q.push_back(Request {
+            id,
+            kind,
+            submitted_tick: now,
+            deadline_tick: deadline.map(|d| now + d),
+        });
+        Ok(id)
+    }
+
+    /// Pop the oldest pending query.
+    pub fn pop(&mut self) -> Option<Request> {
+        self.q.pop_front()
+    }
+
+    /// Return a popped query to the head (batch was full; it keeps its
+    /// place for the next tick).
+    pub fn push_front(&mut self, req: Request) {
+        self.q.push_front(req);
+    }
+
+    /// Pending queries.
+    pub fn len(&self) -> usize {
+        self.q.len()
+    }
+
+    /// Whether nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.q.is_empty()
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total queries ever admitted.
+    pub fn admitted(&self) -> u64 {
+        self.next_id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn q(source: u64) -> QueryKind {
+        QueryKind::FullTraversal { source }
+    }
+
+    #[test]
+    fn fifo_order_and_ids() {
+        let mut aq = AdmissionQueue::new(4);
+        let a = aq.submit(q(1), 0, None).unwrap();
+        let b = aq.submit(q(2), 0, None).unwrap();
+        assert!(a < b);
+        assert_eq!(aq.pop().unwrap().id, a);
+        assert_eq!(aq.pop().unwrap().id, b);
+        assert!(aq.pop().is_none());
+    }
+
+    #[test]
+    fn backpressure_at_capacity() {
+        let mut aq = AdmissionQueue::new(2);
+        aq.submit(q(1), 0, None).unwrap();
+        aq.submit(q(2), 0, None).unwrap();
+        assert_eq!(
+            aq.submit(q(3), 0, None),
+            Err(AdmissionError::QueueFull { capacity: 2 })
+        );
+        aq.pop();
+        aq.submit(q(3), 1, None).unwrap();
+        assert_eq!(aq.admitted(), 3);
+    }
+
+    #[test]
+    fn deadlines_are_absolute_ticks() {
+        let mut aq = AdmissionQueue::new(2);
+        aq.submit(q(1), 10, Some(5)).unwrap();
+        aq.submit(q(2), 10, None).unwrap();
+        assert_eq!(aq.pop().unwrap().deadline_tick, Some(15));
+        assert_eq!(aq.pop().unwrap().deadline_tick, None);
+    }
+
+    #[test]
+    fn push_front_preserves_head() {
+        let mut aq = AdmissionQueue::new(4);
+        aq.submit(q(1), 0, None).unwrap();
+        aq.submit(q(2), 0, None).unwrap();
+        let head = aq.pop().unwrap();
+        let head_id = head.id;
+        aq.push_front(head);
+        assert_eq!(aq.pop().unwrap().id, head_id);
+    }
+}

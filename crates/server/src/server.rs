@@ -1,0 +1,704 @@
+//! The serving loop: deterministic batch formation over the admission
+//! queue, lane-masked multi-source execution, cache fills and hits,
+//! per-batch tracing, and the `SERVER_summary.json` export.
+//!
+//! ## Batch wave
+//!
+//! Each call to [`BglServer::pump`] advances the tick clock by one and
+//! forms at most one batch: requests pop in FIFO order; expired ones
+//! answer immediately; cache hits are served without a lane; the rest
+//! group by source into lanes until `batch_width` distinct sources are
+//! packed (queries sharing a source share a lane for free). The batch
+//! runs as one [`bfs_core::multi`] wave sequence — every lane advances
+//! per communication round — and each lane's level array answers all of
+//! its queries and refills the cache. Batch formation reads only the
+//! queue order and the tick clock: no wall time exists in any decision
+//! path, so a submission sequence fully determines every response and
+//! every clock.
+//!
+//! ## Deadlines
+//!
+//! A query's deadline is an absolute tick; it expires iff the batch
+//! forming tick is strictly past it. Expiry is checked at formation
+//! (lazy), costs no engine work, and produces an
+//! [`Outcome::Expired`] response.
+//!
+//! ## Cache semantics
+//!
+//! Keyed `(graph_id, source)` where `graph_id` fingerprints the loaded
+//! spec. A hit serves `FullTraversal` by handing out the shared level
+//! array, `Distance` by one array read, and `Path` by walking levels
+//! downhill over the host-side adjacency oracle with the same
+//! smallest-parent tie-break as `bfs_core::path::extract_path` — so a
+//! cache-served path is byte-identical to the engine-served one. Hits
+//! are charged as a modelled memcpy of the response bytes at the
+//! source's owner rank.
+
+use crate::cache::{CacheKey, LruCache};
+use crate::query::{AdmissionError, Outcome, QueryId, QueryKind, Request, Response, ServedBy};
+use crate::queue::AdmissionQueue;
+use crate::stats::ServerStats;
+use bfs_core::multi::{self, MultiConfig};
+use bfs_core::path;
+use bfs_core::reference::UNREACHED;
+use bgl_comm::SimWorld;
+use bgl_graph::{DistGraph, GraphFamily, GraphSpec, Vertex};
+use bgl_trace::EventKind;
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+/// Serving configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServerConfig {
+    /// Maximum distinct sources packed into one batch (1..=64).
+    pub batch_width: usize,
+    /// Admission queue capacity (backpressure beyond this).
+    pub queue_capacity: usize,
+    /// Default deadline in ticks granted to every query (`None` =
+    /// queries never expire).
+    pub deadline_ticks: Option<u64>,
+    /// Result-cache capacity in level arrays (0 = cache off).
+    pub cache_capacity: usize,
+    /// Engine configuration for the batched executor.
+    pub multi: MultiConfig,
+    /// Certify every batch lane with the Graph500-style validator
+    /// (panics on failure — a failed certification is an engine bug,
+    /// never a data condition).
+    pub validate_batches: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            batch_width: 16,
+            queue_capacity: 1024,
+            deadline_ticks: None,
+            cache_capacity: 64,
+            multi: MultiConfig::default(),
+            validate_batches: false,
+        }
+    }
+}
+
+/// A BFS query server owning one resident graph and one simulated
+/// runtime.
+pub struct BglServer {
+    graph: DistGraph,
+    world: SimWorld,
+    config: ServerConfig,
+    queue: AdmissionQueue,
+    cache: LruCache,
+    graph_id: u64,
+    tick: u64,
+    batch_seq: u32,
+    stats: ServerStats,
+    /// Host-side adjacency oracle, built lazily for cache-served paths.
+    adjacency: Option<Vec<Vec<Vertex>>>,
+}
+
+impl BglServer {
+    /// Take ownership of a loaded graph and runtime and start serving.
+    pub fn new(graph: DistGraph, world: SimWorld, config: ServerConfig) -> Self {
+        assert!(
+            (1..=bgl_comm::MAX_LANES).contains(&config.batch_width),
+            "batch width must be in 1..=64"
+        );
+        assert_eq!(
+            world.grid(),
+            graph.grid(),
+            "world and graph grids must match"
+        );
+        let graph_id = graph_fingerprint(&graph.spec);
+        Self {
+            queue: AdmissionQueue::new(config.queue_capacity),
+            cache: LruCache::new(config.cache_capacity),
+            graph_id,
+            tick: 0,
+            batch_seq: 0,
+            stats: ServerStats::default(),
+            adjacency: None,
+            graph,
+            world,
+            config,
+        }
+    }
+
+    /// The graph fingerprint used in cache keys.
+    pub fn graph_id(&self) -> u64 {
+        self.graph_id
+    }
+
+    /// The current logical tick.
+    pub fn tick(&self) -> u64 {
+        self.tick
+    }
+
+    /// Aggregate serving statistics.
+    pub fn stats(&self) -> &ServerStats {
+        &self.stats
+    }
+
+    /// The result cache (hit/miss counters live here).
+    pub fn cache(&self) -> &LruCache {
+        &self.cache
+    }
+
+    /// The simulated runtime (clocks, traces, comm stats).
+    pub fn world(&self) -> &SimWorld {
+        &self.world
+    }
+
+    /// Mutable runtime access (e.g. to enable tracing before serving).
+    pub fn world_mut(&mut self) -> &mut SimWorld {
+        &mut self.world
+    }
+
+    /// The resident graph.
+    pub fn graph(&self) -> &DistGraph {
+        &self.graph
+    }
+
+    /// Pending queries in the admission queue.
+    pub fn pending(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Admit a query; `Err` is backpressure (queue full).
+    pub fn submit(&mut self, kind: QueryKind) -> Result<QueryId, AdmissionError> {
+        match self
+            .queue
+            .submit(kind, self.tick, self.config.deadline_ticks)
+        {
+            Ok(id) => {
+                self.stats.submitted += 1;
+                Ok(id)
+            }
+            Err(e) => {
+                self.stats.rejected += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// Advance one tick and serve at most one batch. Returns every
+    /// response completed this tick (expired + cache-served +
+    /// batch-served), in queue order.
+    pub fn pump(&mut self) -> Vec<Response> {
+        self.tick += 1;
+        let now = self.tick;
+        let mut responses: Vec<Response> = Vec::new();
+
+        // -- batch formation: FIFO pops; expiries and cache hits are
+        // served en route and never consume a lane.
+        let mut lanes: Vec<(Vertex, Vec<Request>)> = Vec::new();
+        while let Some(req) = self.queue.pop() {
+            if req.deadline_tick.is_some_and(|d| now > d) {
+                self.stats.expired += 1;
+                self.note_latency(&req, now);
+                responses.push(Response {
+                    id: req.id,
+                    kind: req.kind,
+                    outcome: Outcome::Expired,
+                    served_by: ServedBy::Expired,
+                    submitted_tick: req.submitted_tick,
+                    completed_tick: now,
+                    sim_service_time: 0.0,
+                });
+                continue;
+            }
+            let source = req.kind.source();
+            if self.cache.enabled() {
+                let key = CacheKey {
+                    graph_id: self.graph_id,
+                    source,
+                };
+                if let Some(levels) = self.cache.get(key) {
+                    let r = self.serve_from_cache(req, &levels, now);
+                    responses.push(r);
+                    continue;
+                }
+            }
+            if let Some(lane) = lanes.iter_mut().find(|(s, _)| *s == source) {
+                lane.1.push(req);
+            } else if lanes.len() < self.config.batch_width {
+                lanes.push((source, vec![req]));
+            } else {
+                self.queue.push_front(req);
+                break;
+            }
+        }
+        if lanes.is_empty() {
+            return responses;
+        }
+
+        // -- one lane-masked wave advances every query in the batch.
+        let sources: Vec<Vertex> = lanes.iter().map(|(s, _)| *s).collect();
+        let t0 = self.world.time();
+        let result = multi::run(&self.graph, &mut self.world, &self.config.multi, &sources);
+        let t1 = self.world.time();
+        let batch = self.batch_seq;
+        self.batch_seq += 1;
+        self.world.trace_mut().world_event(
+            EventKind::Batch {
+                batch,
+                lanes: sources.len() as u32,
+            },
+            t0,
+            t1,
+        );
+        if self.config.validate_batches {
+            multi::validate_lanes(&self.graph.spec, &result)
+                .unwrap_or_else(|e| panic!("batch {batch} failed Graph500 validation: {e:?}"));
+            self.stats.validated_batches += 1;
+        }
+        let batch_sim = t1 - t0;
+        self.stats.batches += 1;
+        self.stats.lanes_total += sources.len() as u64;
+        self.stats.max_occupancy = self.stats.max_occupancy.max(sources.len() as u64);
+        self.stats.waves_total += result.waves.len() as u64;
+        self.stats.engine_sim_time += batch_sim;
+
+        let mut lane_levels = result.lane_levels;
+        for (lane, (source, reqs)) in lanes.into_iter().enumerate() {
+            let levels = Arc::new(std::mem::take(&mut lane_levels[lane]));
+            self.cache.insert(
+                CacheKey {
+                    graph_id: self.graph_id,
+                    source,
+                },
+                levels.clone(),
+            );
+            for req in reqs {
+                self.stats.served_engine += 1;
+                self.note_kind(&req.kind);
+                self.note_latency(&req, now);
+                let outcome = self.answer(&req.kind, &levels, true);
+                responses.push(Response {
+                    id: req.id,
+                    kind: req.kind,
+                    outcome,
+                    served_by: ServedBy::Batch {
+                        batch,
+                        lane: lane as u8,
+                    },
+                    submitted_tick: req.submitted_tick,
+                    completed_tick: now,
+                    sim_service_time: batch_sim,
+                });
+            }
+        }
+        responses
+    }
+
+    /// Pump until the queue drains; returns all responses in completion
+    /// order.
+    pub fn run_to_completion(&mut self) -> Vec<Response> {
+        let mut out = Vec::new();
+        while !self.queue.is_empty() {
+            out.extend(self.pump());
+        }
+        out
+    }
+
+    /// Produce an outcome from a level array. `via_engine` selects the
+    /// path extraction route: the distributed three-round protocol
+    /// (charged as control traffic) for engine-served queries, the
+    /// host-side downhill walk for cache hits — both produce the same
+    /// path (same smallest-parent tie-break).
+    fn answer(&mut self, kind: &QueryKind, levels: &Arc<Vec<u32>>, via_engine: bool) -> Outcome {
+        match *kind {
+            QueryKind::FullTraversal { .. } => Outcome::Levels(levels.clone()),
+            QueryKind::Distance { target, .. } => Outcome::Distance(level_of(levels, target)),
+            QueryKind::Path { source, target } => {
+                let p = if via_engine {
+                    path::extract_path(&self.graph, &mut self.world, levels, source, target)
+                } else {
+                    self.walk_path(levels, source, target)
+                };
+                Outcome::Path(p)
+            }
+        }
+    }
+
+    /// Serve one request from a cached level array, charging a modelled
+    /// memcpy of the response bytes at the source owner's rank.
+    fn serve_from_cache(&mut self, req: Request, levels: &Arc<Vec<u32>>, now: u64) -> Response {
+        let t0 = self.world.time();
+        let outcome = self.answer(&req.kind, levels, false);
+        let bytes = match &outcome {
+            Outcome::Levels(l) => 4 * l.len() as u64,
+            Outcome::Distance(_) => 8,
+            Outcome::Path(p) => 8 * p.as_ref().map_or(1, Vec::len) as u64,
+            Outcome::Expired => unreachable!("cache cannot expire a query"),
+        };
+        let owner = self.graph.partition.owner_of(req.kind.source());
+        let mut per_rank = vec![0u64; self.world.p()];
+        per_rank[owner] = bytes;
+        self.world.memcpy_phase(&per_rank);
+        let dt = self.world.time() - t0;
+        self.stats.served_cache += 1;
+        self.stats.cache_sim_time += dt;
+        self.note_kind(&req.kind);
+        self.note_latency(&req, now);
+        Response {
+            id: req.id,
+            kind: req.kind,
+            outcome,
+            served_by: ServedBy::Cache,
+            submitted_tick: req.submitted_tick,
+            completed_tick: now,
+            sim_service_time: dt,
+        }
+    }
+
+    /// Host-side shortest path from cached levels: walk from `target`
+    /// downhill, taking at each hop the smallest neighbor one level
+    /// closer to the source — `extract_path`'s tie-break, minus the
+    /// message rounds.
+    fn walk_path(&mut self, levels: &[u32], source: Vertex, target: Vertex) -> Option<Vec<Vertex>> {
+        if levels[target as usize] == UNREACHED {
+            return None;
+        }
+        if self.adjacency.is_none() {
+            self.adjacency = Some(bgl_graph::dist::adjacency(&self.graph.spec));
+        }
+        let adj = self.adjacency.as_ref().unwrap();
+        let mut path = vec![target];
+        let mut cur = target;
+        while cur != source {
+            let l = levels[cur as usize];
+            let parent = adj[cur as usize]
+                .iter()
+                .copied()
+                .filter(|&u| levels[u as usize] == l - 1)
+                .min()
+                .expect("a reached vertex at level l has a parent at level l-1");
+            path.push(parent);
+            cur = parent;
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    fn note_kind(&mut self, kind: &QueryKind) {
+        match kind {
+            QueryKind::FullTraversal { .. } => self.stats.kind_full += 1,
+            QueryKind::Distance { .. } => self.stats.kind_distance += 1,
+            QueryKind::Path { .. } => self.stats.kind_path += 1,
+        }
+    }
+
+    fn note_latency(&mut self, req: &Request, now: u64) {
+        let lat = now - req.submitted_tick;
+        self.stats.latency_ticks_sum += lat;
+        self.stats.latency_ticks_max = self.stats.latency_ticks_max.max(lat);
+    }
+
+    /// Hand-rolled `SERVER_summary.json` (the serving layer follows the
+    /// bench idiom: no serde in the artifact path).
+    pub fn summary_json(&self) -> String {
+        let s = &self.stats;
+        let mut j = String::from("{\n");
+        let _ = writeln!(j, "  \"graph\": {{");
+        let _ = writeln!(j, "    \"n\": {},", self.graph.spec.n);
+        let _ = writeln!(j, "    \"graph_id\": {},", self.graph_id);
+        let _ = writeln!(
+            j,
+            "    \"grid\": \"{}x{}\"",
+            self.graph.grid().rows(),
+            self.graph.grid().cols()
+        );
+        let _ = writeln!(j, "  }},");
+        let _ = writeln!(j, "  \"config\": {{");
+        let _ = writeln!(j, "    \"batch_width\": {},", self.config.batch_width);
+        let _ = writeln!(j, "    \"queue_capacity\": {},", self.config.queue_capacity);
+        let _ = writeln!(
+            j,
+            "    \"deadline_ticks\": {},",
+            self.config
+                .deadline_ticks
+                .map_or("null".to_string(), |d| d.to_string())
+        );
+        let _ = writeln!(j, "    \"cache_capacity\": {}", self.config.cache_capacity);
+        let _ = writeln!(j, "  }},");
+        let _ = writeln!(j, "  \"ticks\": {},", self.tick);
+        let _ = writeln!(j, "  \"submitted\": {},", s.submitted);
+        let _ = writeln!(j, "  \"rejected\": {},", s.rejected);
+        let _ = writeln!(j, "  \"served_engine\": {},", s.served_engine);
+        let _ = writeln!(j, "  \"served_cache\": {},", s.served_cache);
+        let _ = writeln!(j, "  \"expired\": {},", s.expired);
+        let _ = writeln!(j, "  \"kinds\": {{");
+        let _ = writeln!(j, "    \"full\": {},", s.kind_full);
+        let _ = writeln!(j, "    \"distance\": {},", s.kind_distance);
+        let _ = writeln!(j, "    \"path\": {}", s.kind_path);
+        let _ = writeln!(j, "  }},");
+        let _ = writeln!(j, "  \"batches\": {},", s.batches);
+        let _ = writeln!(j, "  \"validated_batches\": {},", s.validated_batches);
+        let _ = writeln!(j, "  \"waves_total\": {},", s.waves_total);
+        let _ = writeln!(j, "  \"occupancy_mean\": {:.3},", s.occupancy_mean());
+        let _ = writeln!(j, "  \"occupancy_max\": {},", s.max_occupancy);
+        let _ = writeln!(j, "  \"cache\": {{");
+        let _ = writeln!(j, "    \"hits\": {},", self.cache.hits);
+        let _ = writeln!(j, "    \"misses\": {},", self.cache.misses);
+        let _ = writeln!(j, "    \"evictions\": {},", self.cache.evictions);
+        let _ = writeln!(j, "    \"resident\": {}", self.cache.len());
+        let _ = writeln!(j, "  }},");
+        let _ = writeln!(j, "  \"engine_sim_s\": {:.9},", s.engine_sim_time);
+        let _ = writeln!(j, "  \"cache_sim_s\": {:.9},", s.cache_sim_time);
+        let _ = writeln!(j, "  \"qps_simulated\": {:.3},", s.qps());
+        let _ = writeln!(
+            j,
+            "  \"engine_s_per_query\": {:.9},",
+            s.engine_time_per_query()
+        );
+        let _ = writeln!(
+            j,
+            "  \"cache_s_per_query\": {:.9},",
+            s.cache_time_per_query()
+        );
+        let _ = writeln!(
+            j,
+            "  \"latency_ticks_mean\": {:.3},",
+            s.latency_ticks_mean()
+        );
+        let _ = writeln!(j, "  \"latency_ticks_max\": {}", s.latency_ticks_max);
+        j.push_str("}\n");
+        j
+    }
+}
+
+/// FNV-1a fingerprint of a graph spec: stable across runs, sensitive to
+/// every generator input, so cache keys from a different resident graph
+/// can never collide into service.
+pub fn graph_fingerprint(spec: &GraphSpec) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    let mut eat = |w: u64| {
+        for b in w.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(PRIME);
+        }
+    };
+    eat(spec.n);
+    eat(spec.avg_degree.to_bits());
+    eat(spec.seed);
+    match spec.family {
+        GraphFamily::Poisson => eat(1),
+        GraphFamily::RMat { a, b, c } => {
+            eat(2);
+            eat(a.to_bits());
+            eat(b.to_bits());
+            eat(c.to_bits());
+        }
+        GraphFamily::SmallWorld { rewire } => {
+            eat(3);
+            eat(rewire.to_bits());
+        }
+    }
+    h
+}
+
+/// Read a distance out of a level array (`None` = unreached).
+fn level_of(levels: &[u32], v: Vertex) -> Option<u32> {
+    let l = levels[v as usize];
+    (l != UNREACHED).then_some(l)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bfs_core::{bfs2d, BfsConfig};
+    use bgl_comm::ProcessorGrid;
+
+    fn build(n: u64, seed: u64) -> (DistGraph, SimWorld) {
+        let spec = GraphSpec::rmat(n, 8.0, seed);
+        let grid = ProcessorGrid::new(2, 3);
+        (DistGraph::build(spec, grid), SimWorld::bluegene(grid))
+    }
+
+    fn server(config: ServerConfig) -> BglServer {
+        let (graph, world) = build(2_000, 5);
+        BglServer::new(graph, world, config)
+    }
+
+    #[test]
+    fn batch_serving_matches_single_source() {
+        let mut srv = server(ServerConfig {
+            cache_capacity: 0,
+            validate_batches: true,
+            ..ServerConfig::default()
+        });
+        let (graph, _) = build(2_000, 5);
+        for s in [0u64, 33, 500, 1999] {
+            srv.submit(QueryKind::FullTraversal { source: s }).unwrap();
+        }
+        let responses = srv.run_to_completion();
+        assert_eq!(responses.len(), 4);
+        assert_eq!(srv.stats().batches, 1);
+        for r in &responses {
+            let Outcome::Levels(levels) = &r.outcome else {
+                panic!("expected levels");
+            };
+            let mut w = SimWorld::bluegene(graph.grid());
+            let single = bfs2d::run(
+                &graph,
+                &mut w,
+                &BfsConfig::paper_optimized(),
+                r.kind.source(),
+            );
+            assert_eq!(**levels, single.levels, "source {}", r.kind.source());
+        }
+    }
+
+    #[test]
+    fn cache_hits_skip_the_engines_and_agree() {
+        let mut srv = server(ServerConfig::default());
+        let s = 42u64;
+        srv.submit(QueryKind::Distance {
+            source: s,
+            target: 7,
+        })
+        .unwrap();
+        let first = srv.run_to_completion();
+        assert_eq!(srv.stats().batches, 1);
+        // Same source again: no new batch may run.
+        srv.submit(QueryKind::Distance {
+            source: s,
+            target: 7,
+        })
+        .unwrap();
+        srv.submit(QueryKind::Path {
+            source: s,
+            target: 7,
+        })
+        .unwrap();
+        let again = srv.run_to_completion();
+        assert_eq!(srv.stats().batches, 1, "cache hit must not re-run engines");
+        assert_eq!(srv.stats().served_cache, 2);
+        assert_eq!(again[0].served_by, ServedBy::Cache);
+        assert_eq!(first[0].outcome, again[0].outcome);
+        // The cached path agrees with the engine-extracted one.
+        let mut srv2 = server(ServerConfig {
+            cache_capacity: 0,
+            ..ServerConfig::default()
+        });
+        srv2.submit(QueryKind::Path {
+            source: s,
+            target: 7,
+        })
+        .unwrap();
+        let engine = srv2.run_to_completion();
+        assert_eq!(engine[0].outcome, again[1].outcome);
+    }
+
+    #[test]
+    fn shared_sources_share_a_lane() {
+        let mut srv = server(ServerConfig {
+            batch_width: 2,
+            cache_capacity: 0,
+            ..ServerConfig::default()
+        });
+        srv.submit(QueryKind::Distance {
+            source: 1,
+            target: 9,
+        })
+        .unwrap();
+        srv.submit(QueryKind::Distance {
+            source: 1,
+            target: 10,
+        })
+        .unwrap();
+        srv.submit(QueryKind::Distance {
+            source: 2,
+            target: 9,
+        })
+        .unwrap();
+        let rs = srv.pump();
+        assert_eq!(rs.len(), 3, "three queries fit two lanes");
+        assert_eq!(srv.stats().batches, 1);
+        assert_eq!(srv.stats().lanes_total, 2);
+    }
+
+    #[test]
+    fn overflow_waits_for_the_next_tick() {
+        let mut srv = server(ServerConfig {
+            batch_width: 2,
+            cache_capacity: 0,
+            ..ServerConfig::default()
+        });
+        for s in [1u64, 2, 3] {
+            srv.submit(QueryKind::Distance {
+                source: s,
+                target: 0,
+            })
+            .unwrap();
+        }
+        let first = srv.pump();
+        assert_eq!(first.len(), 2);
+        assert_eq!(srv.pending(), 1);
+        let second = srv.pump();
+        assert_eq!(second.len(), 1);
+        assert_eq!(srv.stats().batches, 2);
+    }
+
+    #[test]
+    fn deadlines_expire_lazily() {
+        let mut srv = server(ServerConfig {
+            deadline_ticks: Some(0),
+            cache_capacity: 0,
+            ..ServerConfig::default()
+        });
+        srv.submit(QueryKind::Distance {
+            source: 1,
+            target: 2,
+        })
+        .unwrap();
+        // Deadline is tick 0; the first pump runs at tick 1 > 0.
+        let rs = srv.pump();
+        assert_eq!(rs[0].outcome, Outcome::Expired);
+        assert_eq!(srv.stats().expired, 1);
+        assert_eq!(srv.stats().batches, 0);
+    }
+
+    #[test]
+    fn backpressure_counts_rejections() {
+        let mut srv = server(ServerConfig {
+            queue_capacity: 1,
+            ..ServerConfig::default()
+        });
+        srv.submit(QueryKind::Distance {
+            source: 1,
+            target: 2,
+        })
+        .unwrap();
+        assert!(srv
+            .submit(QueryKind::Distance {
+                source: 2,
+                target: 3
+            })
+            .is_err());
+        assert_eq!(srv.stats().rejected, 1);
+    }
+
+    #[test]
+    fn fingerprint_separates_specs() {
+        let a = graph_fingerprint(&GraphSpec::rmat(1000, 8.0, 1));
+        let b = graph_fingerprint(&GraphSpec::rmat(1000, 8.0, 2));
+        let c = graph_fingerprint(&GraphSpec::poisson(1000, 8.0, 1));
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, graph_fingerprint(&GraphSpec::rmat(1000, 8.0, 1)));
+    }
+
+    #[test]
+    fn summary_json_parses() {
+        let mut srv = server(ServerConfig::default());
+        srv.submit(QueryKind::FullTraversal { source: 3 }).unwrap();
+        srv.run_to_completion();
+        let j = srv.summary_json();
+        bgl_trace::json::parse(&j).expect("summary must be valid JSON");
+        assert!(j.contains("\"qps_simulated\""));
+        assert!(j.contains("\"occupancy_mean\""));
+    }
+}

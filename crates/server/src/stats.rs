@@ -1,0 +1,132 @@
+//! Serving-side accounting: QPS, latency, batch occupancy, cache
+//! effectiveness. All counters are exact and deterministic (driven by
+//! the tick clock and simulated time, never wall time).
+
+/// Aggregate counters for one server lifetime.
+#[derive(Debug, Clone, Default)]
+pub struct ServerStats {
+    /// Queries admitted to the queue.
+    pub submitted: u64,
+    /// Submissions refused with backpressure.
+    pub rejected: u64,
+    /// Queries answered by a batched engine wave.
+    pub served_engine: u64,
+    /// Queries answered from the result cache.
+    pub served_cache: u64,
+    /// Queries whose deadline passed in the queue.
+    pub expired: u64,
+    /// Multi-source batches executed.
+    pub batches: u64,
+    /// Sum of batch occupancies (lanes actually used).
+    pub lanes_total: u64,
+    /// Largest batch occupancy seen.
+    pub max_occupancy: u64,
+    /// Total BFS waves (levels) across all batches.
+    pub waves_total: u64,
+    /// Batches whose every lane passed Graph500-style validation.
+    pub validated_batches: u64,
+    /// Simulated seconds spent in batched engine waves.
+    pub engine_sim_time: f64,
+    /// Simulated seconds spent serving cache hits (modelled response
+    /// copies) and path walks.
+    pub cache_sim_time: f64,
+    /// Sum of per-query latencies in ticks (admission → completion).
+    pub latency_ticks_sum: u64,
+    /// Largest per-query latency in ticks.
+    pub latency_ticks_max: u64,
+    /// Served `FullTraversal` queries.
+    pub kind_full: u64,
+    /// Served `Distance` queries.
+    pub kind_distance: u64,
+    /// Served `Path` queries.
+    pub kind_path: u64,
+}
+
+impl ServerStats {
+    /// Queries answered (engine + cache; excludes expirations).
+    pub fn served_total(&self) -> u64 {
+        self.served_engine + self.served_cache
+    }
+
+    /// Mean lanes per batch.
+    pub fn occupancy_mean(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.lanes_total as f64 / self.batches as f64
+        }
+    }
+
+    /// Served queries per simulated second of total serving time.
+    pub fn qps(&self) -> f64 {
+        let t = self.engine_sim_time + self.cache_sim_time;
+        if t == 0.0 {
+            0.0
+        } else {
+            self.served_total() as f64 / t
+        }
+    }
+
+    /// Mean simulated seconds of engine time per engine-served query.
+    pub fn engine_time_per_query(&self) -> f64 {
+        if self.served_engine == 0 {
+            0.0
+        } else {
+            self.engine_sim_time / self.served_engine as f64
+        }
+    }
+
+    /// Mean simulated seconds per cache-served query.
+    pub fn cache_time_per_query(&self) -> f64 {
+        if self.served_cache == 0 {
+            0.0
+        } else {
+            self.cache_sim_time / self.served_cache as f64
+        }
+    }
+
+    /// Mean per-query latency in ticks.
+    pub fn latency_ticks_mean(&self) -> f64 {
+        let done = self.served_total() + self.expired;
+        if done == 0 {
+            0.0
+        } else {
+            self.latency_ticks_sum as f64 / done as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_rates() {
+        let s = ServerStats {
+            served_engine: 8,
+            served_cache: 2,
+            batches: 4,
+            lanes_total: 10,
+            engine_sim_time: 2.0,
+            cache_sim_time: 0.5,
+            latency_ticks_sum: 30,
+            ..ServerStats::default()
+        };
+        assert_eq!(s.served_total(), 10);
+        assert!((s.occupancy_mean() - 2.5).abs() < 1e-12);
+        assert!((s.qps() - 4.0).abs() < 1e-12);
+        assert!((s.engine_time_per_query() - 0.25).abs() < 1e-12);
+        assert!((s.cache_time_per_query() - 0.25).abs() < 1e-12);
+        assert!((s.latency_ticks_mean() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_denominators_are_zero() {
+        let s = ServerStats::default();
+        assert_eq!(s.qps(), 0.0);
+        assert_eq!(s.occupancy_mean(), 0.0);
+        assert_eq!(s.engine_time_per_query(), 0.0);
+        assert_eq!(s.cache_time_per_query(), 0.0);
+        assert_eq!(s.latency_ticks_mean(), 0.0);
+    }
+}

@@ -1,0 +1,187 @@
+//! Seeded Zipfian query-workload generator.
+//!
+//! Real query traffic is popularity-skewed: a few sources (landmarks,
+//! hub entities) dominate. The generator draws sources from a Zipf
+//! distribution over a pool of `hot_sources` candidates spread evenly
+//! across the vertex id space (rank `r` has weight `1/r^theta`), and
+//! query kinds from a configurable mix. Everything flows from one
+//! seeded ChaCha stream — the same spec always produces the same query
+//! sequence, which is what makes the serving benchmarks and the CI
+//! gates deterministic.
+
+use crate::query::QueryKind;
+use bgl_graph::Vertex;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Relative frequencies of the three query kinds (need not sum to 1;
+/// they are normalized).
+#[derive(Debug, Clone, Copy)]
+pub struct QueryMix {
+    /// Weight of [`QueryKind::FullTraversal`].
+    pub full: f64,
+    /// Weight of [`QueryKind::Distance`].
+    pub distance: f64,
+    /// Weight of [`QueryKind::Path`].
+    pub path: f64,
+}
+
+impl Default for QueryMix {
+    /// Distance-heavy, the realistic serving shape: point lookups
+    /// dominate, full traversals are rare analytical queries.
+    fn default() -> Self {
+        Self {
+            full: 0.1,
+            distance: 0.6,
+            path: 0.3,
+        }
+    }
+}
+
+/// A deterministic query workload.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkloadSpec {
+    /// Number of queries to generate.
+    pub queries: usize,
+    /// Size of the Zipf candidate-source pool.
+    pub hot_sources: usize,
+    /// Zipf exponent θ (0 = uniform over the pool; 1 ≈ classic web
+    /// skew).
+    pub theta: f64,
+    /// Query-kind mix.
+    pub mix: QueryMix,
+    /// ChaCha seed.
+    pub seed: u64,
+}
+
+impl WorkloadSpec {
+    /// A Zipf(θ=1) workload of `queries` queries over a 16-source pool.
+    pub fn zipf(queries: usize, seed: u64) -> Self {
+        Self {
+            queries,
+            hot_sources: 16,
+            theta: 1.0,
+            mix: QueryMix::default(),
+            seed,
+        }
+    }
+
+    /// The candidate source pool for a graph of `n` vertices: pool
+    /// rank `r` maps to vertex `r·⌊n/pool⌋`, spreading the hot set
+    /// across the ownership partition (and therefore across processor
+    /// rows/columns).
+    pub fn source_pool(&self, n: u64) -> Vec<Vertex> {
+        let pool = (self.hot_sources.max(1) as u64).min(n);
+        let stride = (n / pool).max(1);
+        (0..pool).map(|r| r * stride).collect()
+    }
+
+    /// Generate the query sequence for a graph of `n` vertices.
+    pub fn generate(&self, n: u64) -> Vec<QueryKind> {
+        assert!(n >= 1, "workload needs a non-empty graph");
+        let sources = self.source_pool(n);
+        // Zipf CDF over pool ranks: weight(r) = 1/(r+1)^theta.
+        let mut cdf = Vec::with_capacity(sources.len());
+        let mut acc = 0.0f64;
+        for r in 0..sources.len() {
+            acc += 1.0 / ((r + 1) as f64).powf(self.theta);
+            cdf.push(acc);
+        }
+        let total = acc;
+
+        let (wf, wd, wp) = (
+            self.mix.full.max(0.0),
+            self.mix.distance.max(0.0),
+            self.mix.path.max(0.0),
+        );
+        let wsum = wf + wd + wp;
+        assert!(wsum > 0.0, "query mix must have positive total weight");
+
+        let mut rng = ChaCha8Rng::seed_from_u64(self.seed);
+        (0..self.queries)
+            .map(|_| {
+                let u = rng.gen::<f64>() * total;
+                let idx = cdf.partition_point(|&c| c < u).min(sources.len() - 1);
+                let source = sources[idx];
+                let k = rng.gen::<f64>() * wsum;
+                if k < wf {
+                    QueryKind::FullTraversal { source }
+                } else {
+                    let target = rng.gen_range(0..n);
+                    if k < wf + wd {
+                        QueryKind::Distance { source, target }
+                    } else {
+                        QueryKind::Path { source, target }
+                    }
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_for_a_seed() {
+        let spec = WorkloadSpec::zipf(100, 7);
+        assert_eq!(spec.generate(10_000), spec.generate(10_000));
+        let other = WorkloadSpec { seed: 8, ..spec };
+        assert_ne!(spec.generate(10_000), other.generate(10_000));
+    }
+
+    #[test]
+    fn sources_come_from_the_pool_and_skew_to_the_head() {
+        let spec = WorkloadSpec {
+            queries: 2_000,
+            hot_sources: 8,
+            theta: 1.0,
+            mix: QueryMix::default(),
+            seed: 3,
+        };
+        let pool = spec.source_pool(80_000);
+        assert_eq!(pool.len(), 8);
+        let qs = spec.generate(80_000);
+        let mut counts = vec![0usize; pool.len()];
+        for q in &qs {
+            let i = pool.iter().position(|&s| s == q.source()).expect("in pool");
+            counts[i] += 1;
+        }
+        // Zipf head dominates the tail.
+        assert!(counts[0] > counts[7] * 2, "no skew: {counts:?}");
+    }
+
+    #[test]
+    fn mix_extremes() {
+        let spec = WorkloadSpec {
+            queries: 50,
+            hot_sources: 4,
+            theta: 0.0,
+            mix: QueryMix {
+                full: 1.0,
+                distance: 0.0,
+                path: 0.0,
+            },
+            seed: 1,
+        };
+        assert!(spec
+            .generate(1_000)
+            .iter()
+            .all(|q| matches!(q, QueryKind::FullTraversal { .. })));
+    }
+
+    #[test]
+    fn pool_clamps_to_small_graphs() {
+        let spec = WorkloadSpec {
+            queries: 10,
+            hot_sources: 1_000,
+            theta: 0.5,
+            mix: QueryMix::default(),
+            seed: 1,
+        };
+        let pool = spec.source_pool(6);
+        assert_eq!(pool.len(), 6);
+        assert!(spec.generate(6).iter().all(|q| q.source() < 6));
+    }
+}

@@ -52,6 +52,7 @@ fn push_event(out: &mut String, tid: usize, ev: &TraceEvent) {
         EventKind::Checkpoint { level } => (format!("checkpoint @{level}"), "resilience"),
         EventKind::RankDeath { rank, .. } => (format!("rank {rank} died"), "fault"),
         EventKind::Recovery { rank } => (format!("recover rank {rank}"), "resilience"),
+        EventKind::Batch { batch, .. } => (format!("batch {batch}"), "server"),
     };
     let instant = matches!(
         ev.kind,
@@ -101,6 +102,9 @@ fn push_event(out: &mut String, tid: usize, ev: &TraceEvent) {
         }
         EventKind::Recovery { rank } => {
             let _ = write!(out, "\"rank\":{rank}");
+        }
+        EventKind::Batch { lanes, .. } => {
+            let _ = write!(out, "\"lanes\":{lanes}");
         }
     }
     out.push_str("}}");

@@ -155,6 +155,10 @@ pub enum EventKind {
     /// its parity group's surviving logs + shard or (degraded mode)
     /// restored wholesale from the last full checkpoint.
     Recovery { rank: u32 },
+    /// One multi-source batch served by `bgl-server`: `lanes` sources
+    /// advanced together through the wave whose phase spans this event
+    /// encloses. `batch` is the server's batch sequence number.
+    Batch { batch: u32, lanes: u32 },
 }
 
 /// One recorded event: a kind over `[t0, t1]` (seconds on the run's

@@ -4,18 +4,26 @@
 //! ```text
 //! bgl-bfs search --n 100000 --k 10 --rows 8 --cols 8 --source 0 [--target 99]
 //! bgl-bfs path   --n 100000 --k 10 --rows 8 --cols 8 --source 0 --target 99
+//! bgl-bfs serve  --n 60000 --k 16 --rows 8 --cols 8 --batch 16 --queries 64
 //! bgl-bfs theory --n 40000000 --p 400
 //! bgl-bfs memory --per-rank 100000 --k 10 --rows 128 --cols 256
 //! bgl-bfs info
 //! ```
+//!
+//! Each command accepts a fixed flag set; unknown flags and
+//! contradictory combinations (for instance `--bidir` with fault
+//! injection, or `--dead-at` without a `--dead-rank` to kill) are
+//! rejected with a diagnostic and a non-zero exit instead of being
+//! silently ignored.
 
 use bgl_bfs::comm::{ChunkPolicy, WireMode, WirePolicy};
-use bgl_bfs::core::{bfs2d, bidir, memory, path, theory, validate, ComputeEngine};
+use bgl_bfs::core::{bfs2d, bidir, memory, multi, path, theory, validate, ComputeEngine};
+use bgl_bfs::server::QueryMix;
 use bgl_bfs::torus::MachineConfig;
 use bgl_bfs::trace::write_artifacts;
 use bgl_bfs::{
-    BfsConfig, DirectionMode, DirectionPolicy, DistGraph, FaultPlan, GraphSpec, ProcessorGrid,
-    ResilientConfig, SimWorld, TraceDetail,
+    BfsConfig, BglServer, DirectionMode, DirectionPolicy, DistGraph, FaultPlan, GraphSpec,
+    ProcessorGrid, ResilientConfig, ServerConfig, SimWorld, TraceDetail, WorkloadSpec,
 };
 use std::collections::HashMap;
 use std::path::Path;
@@ -45,7 +53,15 @@ COMMANDS
            tracing: [--trace] [--trace-out results/trace] [--trace-level span|event] —
            writes TRACE_chrome.json + TRACE_summary.json and prints the per-level
            critical path and the hottest torus links
-  path     extract a shortest path (flags as search, --target required)
+  path     extract a shortest path (--n --k --seed --rows --cols --source --target)
+  serve    run a Zipfian query workload through the batched query server
+           graph: --n --k --seed --rows --cols
+           server: [--batch B<=64] [--queue-cap Q] [--deadline TICKS] [--cache-cap C]
+           [--engine serial|rayon|auto] [--wire auto|raw|delta|bitmap] [--validate]
+           workload: [--queries N] [--hot POOL] [--theta T] [--workload-seed S]
+           [--arrivals PER_TICK]
+           output: [--summary-out SERVER_summary.json] — QPS, latency, batch
+           occupancy, and cache stats from the simulated clock
   theory   print the §3.1 message-length analysis (--n --p [--kmax])
   memory   per-node memory feasibility (--per-rank --k --rows --cols [--chunk])
   info     machine presets
@@ -98,6 +114,124 @@ impl Flags {
     fn has(&self, key: &str) -> bool {
         self.0.contains_key(key)
     }
+}
+
+/// Flags shared by every graph-building command.
+const GRAPH_FLAGS: &[&str] = &["n", "k", "seed", "rows", "cols"];
+/// Fault-injection flags (they select the resilient engine).
+const FAULT_FLAGS: &[&str] = &[
+    "drop-rate",
+    "dead-rank",
+    "dead-at",
+    "fault-seed",
+    "parity-group",
+];
+
+/// The flag set each command accepts. Anything outside the list is a
+/// typo or a flag for a different command — reject it loudly rather
+/// than silently computing something else than the user asked for.
+fn allowed_flags(cmd: &str) -> Option<Vec<&'static str>> {
+    let mut v: Vec<&str> = match cmd {
+        "search" => [
+            GRAPH_FLAGS,
+            FAULT_FLAGS,
+            &[
+                "source",
+                "target",
+                "bidir",
+                "engine",
+                "engine-threads",
+                "direction",
+                "levels",
+                "wire",
+                "validate",
+                "trace",
+                "trace-out",
+                "trace-level",
+            ],
+        ]
+        .concat(),
+        "path" => [GRAPH_FLAGS, &["source", "target"]].concat(),
+        "serve" => [
+            GRAPH_FLAGS,
+            &[
+                "batch",
+                "queue-cap",
+                "deadline",
+                "cache-cap",
+                "engine",
+                "engine-threads",
+                "wire",
+                "validate",
+                "queries",
+                "hot",
+                "theta",
+                "workload-seed",
+                "arrivals",
+                "summary-out",
+            ],
+        ]
+        .concat(),
+        "theory" => vec!["n", "p", "kmax"],
+        "memory" => vec!["per-rank", "k", "rows", "cols", "chunk"],
+        "info" => vec![],
+        _ => return None,
+    };
+    v.sort_unstable();
+    Some(v)
+}
+
+/// First problem with this command's flags, if any: an unknown flag or
+/// a contradictory combination. `None` means the invocation is clean.
+fn flag_error(cmd: &str, flags: &Flags) -> Option<String> {
+    let allowed = allowed_flags(cmd)?;
+    let mut keys: Vec<&str> = flags.0.keys().map(String::as_str).collect();
+    keys.sort_unstable();
+    for key in keys {
+        if !allowed.contains(&key) {
+            return Some(format!(
+                "--{key} is not a flag of `{cmd}` (it accepts: {})",
+                allowed
+                    .iter()
+                    .map(|f| format!("--{f}"))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+            ));
+        }
+    }
+    if cmd != "search" {
+        return None;
+    }
+    // `search` has modes that cannot be combined.
+    if flags.has("bidir") {
+        if let Some(f) = FAULT_FLAGS.iter().find(|f| flags.has(f)) {
+            return Some(format!(
+                "--bidir runs the fault-free bi-directional engine; --{f} requires the \
+                 resilient uni-directional search — drop one of them"
+            ));
+        }
+        if flags.has("direction") {
+            return Some(
+                "--bidir and --direction contradict: direction optimization applies to the \
+                 uni-directional search only"
+                    .to_string(),
+            );
+        }
+    }
+    if flags.has("dead-at") && !flags.has("dead-rank") {
+        return Some(
+            "--dead-at names a death level but no --dead-rank to kill; add --dead-rank R"
+                .to_string(),
+        );
+    }
+    if flags.has("parity-group") && !flags.has("drop-rate") && !flags.has("dead-rank") {
+        return Some(
+            "--parity-group configures the resilient engine but no fault is injected; add \
+             --drop-rate P or --dead-rank R"
+                .to_string(),
+        );
+    }
+    None
 }
 
 fn engine_from(flags: &Flags) -> ComputeEngine {
@@ -266,9 +400,7 @@ fn cmd_search(flags: &Flags) {
     }
 
     if flags.has("bidir") {
-        if faulty {
-            eprintln!("warning: fault injection applies to the plain search only; ignoring");
-        }
+        // Contradictory fault flags were rejected before dispatch.
         let target = flags.u64("target", spec.n - 1).min(spec.n - 1);
         let r = bidir::run(
             &graph,
@@ -441,6 +573,100 @@ fn cmd_path(flags: &Flags) {
     }
 }
 
+fn cmd_serve(flags: &Flags) {
+    let spec = spec_from(flags);
+    let grid = grid_from(flags);
+    let config = ServerConfig {
+        batch_width: flags.u64("batch", 16) as usize,
+        queue_capacity: flags.u64("queue-cap", 1024) as usize,
+        deadline_ticks: flags.has("deadline").then(|| flags.u64("deadline", 8)),
+        cache_capacity: flags.u64("cache-cap", 64) as usize,
+        multi: multi::MultiConfig {
+            engine: engine_from(flags),
+            ..multi::MultiConfig::default()
+        },
+        validate_batches: flags.has("validate"),
+    };
+    let wspec = WorkloadSpec {
+        queries: flags.u64("queries", 64) as usize,
+        hot_sources: flags.u64("hot", 16) as usize,
+        theta: flags.f64("theta", 1.0),
+        mix: QueryMix::default(),
+        seed: flags.u64("workload-seed", 99),
+    };
+    let arrivals = flags.u64("arrivals", 4).max(1) as usize;
+    println!(
+        "G(n={}, k={}) on {}x{} — serving {} Zipf(θ={}) queries, batch width {}, \
+         {} arriving per tick…",
+        spec.n,
+        spec.avg_degree,
+        grid.rows(),
+        grid.cols(),
+        wspec.queries,
+        wspec.theta,
+        config.batch_width,
+        arrivals
+    );
+    let workload = wspec.generate(spec.n);
+    let graph = DistGraph::build(spec, grid);
+    let world = SimWorld::bluegene(grid).with_wire_policy(wire_policy_from(flags));
+    let mut srv = BglServer::new(graph, world, config);
+    for chunk in workload.chunks(arrivals) {
+        for &q in chunk {
+            if srv.submit(q).is_err() {
+                eprintln!("warning: queue full, query rejected (raise --queue-cap)");
+            }
+        }
+        srv.pump();
+    }
+    srv.run_to_completion();
+
+    let s = srv.stats();
+    println!(
+        "served {} of {} queries in {} ticks: {} by engine batches, {} from cache, \
+         {} expired, {} rejected",
+        s.served_total(),
+        s.submitted + s.rejected,
+        srv.tick(),
+        s.served_engine,
+        s.served_cache,
+        s.expired,
+        s.rejected
+    );
+    println!(
+        "batches: {} ({} validated), mean occupancy {:.2}, {} waves, engine {:.3} ms sim, \
+         cache {:.3} ms sim",
+        s.batches,
+        s.validated_batches,
+        s.occupancy_mean(),
+        s.waves_total,
+        s.engine_sim_time * 1e3,
+        s.cache_sim_time * 1e3
+    );
+    println!(
+        "qps (simulated): {:.1}; latency mean {:.2} ticks, max {}",
+        s.qps(),
+        s.latency_ticks_mean(),
+        s.latency_ticks_max
+    );
+    let c = srv.cache();
+    println!(
+        "cache: {} hits / {} misses, {} evictions (capacity {})",
+        c.hits,
+        c.misses,
+        c.evictions,
+        c.capacity()
+    );
+    let out = flags
+        .0
+        .get("summary-out")
+        .cloned()
+        .unwrap_or_else(|| "SERVER_summary.json".to_string());
+    std::fs::write(&out, srv.summary_json())
+        .unwrap_or_else(|e| panic!("--summary-out {out:?}: {e}"));
+    println!("wrote {out}");
+}
+
 fn cmd_theory(flags: &Flags) {
     let n = flags.u64("n", 40_000_000) as f64;
     let p = flags.u64("p", 400) as f64;
@@ -537,9 +763,14 @@ fn main() {
         return;
     };
     let flags = Flags::parse(&args[1..]);
+    if let Some(problem) = flag_error(cmd, &flags) {
+        eprintln!("error: {problem}");
+        std::process::exit(2);
+    }
     match cmd.as_str() {
         "search" => cmd_search(&flags),
         "path" => cmd_path(&flags),
+        "serve" => cmd_serve(&flags),
         "theory" => cmd_theory(&flags),
         "memory" => cmd_memory(&flags),
         "info" => cmd_info(),
@@ -613,5 +844,72 @@ mod tests {
     #[should_panic(expected = "--direction")]
     fn bad_direction_rejected() {
         direction_from(&flags("--direction sideways"));
+    }
+
+    #[test]
+    fn clean_invocations_pass_flag_validation() {
+        // The CI smoke invocations, among others, must stay accepted.
+        for (cmd, line) in [
+            (
+                "search",
+                "--n 30000 --k 8 --rows 2 --cols 4 --drop-rate 0.1 --dead-rank 3 --dead-at 4 \
+                 --parity-group 4 --direction adaptive --validate",
+            ),
+            (
+                "search",
+                "--n 50000 --k 8 --rows 4 --cols 4 --trace --trace-out /tmp/t --wire auto",
+            ),
+            ("search", "--source 0 --target 99 --bidir --engine rayon"),
+            ("path", "--n 1000 --source 0 --target 99"),
+            (
+                "serve",
+                "--n 8000 --batch 8 --queries 16 --cache-cap 8 --deadline 6 --summary-out /tmp/s",
+            ),
+            ("theory", "--n 40000000 --p 400 --kmax 1e4"),
+            ("memory", "--per-rank 100000 --k 10 --chunk 0"),
+            ("info", ""),
+            ("definitely-not-a-command", "--whatever x"),
+        ] {
+            assert_eq!(flag_error(cmd, &flags(line)), None, "{cmd} {line}");
+        }
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_per_command() {
+        // A search flag is not a path/theory flag, and typos don't pass.
+        for (cmd, line, mention) in [
+            ("search", "--n 100 --sorce 5", "--sorce"),
+            ("path", "--n 100 --drop-rate 0.1", "--drop-rate"),
+            ("path", "--trace", "--trace"),
+            ("serve", "--n 100 --direction adaptive", "--direction"),
+            ("theory", "--rows 4", "--rows"),
+            ("info", "--n 100", "--n"),
+        ] {
+            let e = flag_error(cmd, &flags(line)).expect(cmd);
+            assert!(e.contains(mention), "{cmd}: {e}");
+        }
+    }
+
+    #[test]
+    fn contradictory_search_combinations_are_rejected() {
+        for (line, mention) in [
+            ("--bidir --drop-rate 0.1", "--bidir"),
+            ("--bidir --dead-rank 3", "--bidir"),
+            ("--bidir --parity-group 4", "--bidir"),
+            ("--bidir --direction adaptive", "--direction"),
+            ("--dead-at 4", "--dead-rank"),
+            ("--parity-group 4", "--parity-group"),
+        ] {
+            let e = flag_error("search", &flags(line)).expect(line);
+            assert!(e.contains(mention), "{line}: {e}");
+        }
+        // The same flags in working combinations stay accepted.
+        for line in [
+            "--dead-rank 3 --dead-at 4",
+            "--parity-group 4 --drop-rate 0.05",
+            "--bidir --target 9",
+        ] {
+            assert_eq!(flag_error("search", &flags(line)), None, "{line}");
+        }
     }
 }

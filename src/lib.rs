@@ -8,7 +8,9 @@
 //! * [`graph`] (`bgl-graph`) — distributed Poisson/R-MAT graphs;
 //! * [`core`] (`bfs-core`) — the BFS algorithms and theory;
 //! * [`trace`] (`bgl-trace`) — structured tracing: Chrome trace export,
-//!   torus link heatmaps, critical-path analysis.
+//!   torus link heatmaps, critical-path analysis;
+//! * [`server`] (`bgl-server`) — the batched query-serving layer
+//!   (multi-source lane-masked BFS, admission queue, result cache).
 //!
 //! See the workspace README for a tour and `examples/` for runnable
 //! entry points (`cargo run --release --example quickstart`).
@@ -18,6 +20,7 @@
 pub use bfs_core as core;
 pub use bgl_comm as comm;
 pub use bgl_graph as graph;
+pub use bgl_server as server;
 pub use bgl_torus as torus;
 pub use bgl_trace as trace;
 
@@ -30,4 +33,5 @@ pub use bgl_comm::{
     ChaosSpec, CommError, FaultPlan, ProcessorGrid, SimWorld, WireFormat, WireMode, WirePolicy,
 };
 pub use bgl_graph::{DistGraph, GraphSpec};
+pub use bgl_server::{BglServer, ServerConfig, WorkloadSpec};
 pub use bgl_trace::{CriticalPath, LinkHeatmap, TraceDetail};
