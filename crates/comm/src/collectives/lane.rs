@@ -42,13 +42,32 @@ pub fn lane_alltoallv(
                 groups.locate(to).0,
                 "lane all-to-all destination {to} is outside {from}'s group"
             );
-            if set.is_empty() {
-                continue;
-            }
-            let (verts, masks) = set.into_payloads();
-            flat.push((from, to, verts));
-            flat.push((from, to, masks));
+            flat.push((from, to, set));
         }
+    }
+    lane_exchange(world, class, flat)
+}
+
+/// Execute one round of lane-set point-to-point sends with no group
+/// structure — the control-shaped twin of [`lane_alltoallv`], used by
+/// the batched path walk whose reply round crosses both rows and
+/// columns (candidate owners answer the walked vertex's owner wherever
+/// it sits on the grid). Each non-empty set still travels as two
+/// payloads (sorted vertex list on the codec frames, mask words raw),
+/// and faults, retransmits, and α–β–hop charges apply unchanged.
+pub fn lane_exchange(
+    world: &mut SimWorld,
+    class: OpClass,
+    sends: Vec<(usize, usize, LaneSet)>,
+) -> Result<Vec<Vec<LaneSet>>, CommError> {
+    let mut flat = Vec::new();
+    for (from, to, set) in sends {
+        if set.is_empty() {
+            continue;
+        }
+        let (verts, masks) = set.into_payloads();
+        flat.push((from, to, verts));
+        flat.push((from, to, masks));
     }
     let inboxes = world.exchange(class, flat)?;
     Ok(inboxes

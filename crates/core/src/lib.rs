@@ -73,6 +73,7 @@ pub use config::{BfsConfig, DirectionMode, DirectionPolicy, ExpandStrategy, Fold
 pub use engine::ComputeEngine;
 pub use multi::{MultiBfsResult, MultiConfig, MultiRankState};
 pub use parity::{GroupShard, ParityGroups};
+pub use path::{MultiPathConfig, MultiPathResult};
 pub use reference::UNREACHED;
 pub use stats::{LevelDirection, LevelStats, RunStats};
 pub use threaded_run::{

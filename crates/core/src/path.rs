@@ -22,8 +22,10 @@
 //! communication.
 
 use crate::reference::UNREACHED;
-use bgl_comm::{OpClass, SimWorld, Vert};
+use bgl_comm::collectives::lane::lane_exchange;
+use bgl_comm::{CommError, LaneMask, LaneSet, OpClass, Phase, SimWorld, Vert, MAX_LANES};
 use bgl_graph::{DistGraph, Vertex};
+use std::collections::BTreeMap;
 
 /// Extract one shortest path `source → target` given the global level
 /// array produced by a BFS from `source`. Returns `None` when the
@@ -127,6 +129,296 @@ pub fn extract_path(
     }
     path.reverse();
     Some(path)
+}
+
+/// Knobs for the batched walk ([`try_multi`]).
+#[derive(Debug, Clone)]
+pub struct MultiPathConfig {
+    /// Control-exchange attempts per round before the transient error
+    /// propagates (each retry charges exponential recovery backoff).
+    pub retry_attempts: u32,
+}
+
+impl Default for MultiPathConfig {
+    fn default() -> Self {
+        MultiPathConfig { retry_attempts: 4 }
+    }
+}
+
+/// Outcome of one batched walk: per-lane paths plus the wave's shape
+/// and its clock deltas over the call.
+#[derive(Debug, Clone)]
+pub struct MultiPathResult {
+    /// Per-lane extracted path, in `targets` order; `None` where the
+    /// target was not reached. Byte-identical to what a standalone
+    /// [`extract_path`] returns for the same target.
+    pub paths: Vec<Option<Vec<Vertex>>>,
+    /// Walk hops executed — the depth of the deepest reached target.
+    pub hops: u32,
+    /// Control rounds executed (three per hop, shared by every lane).
+    pub rounds: u64,
+    /// Simulated seconds this walk added to the world's clock.
+    pub sim_time: f64,
+    /// Communication seconds this walk added (subset of `sim_time`).
+    pub comm_time: f64,
+}
+
+/// Extract up to [`MAX_LANES`] shortest paths from one BFS level array
+/// in a single lane-masked batched walk. Panics on communication
+/// errors; see [`try_multi`] for the fallible form.
+pub fn multi(
+    graph: &DistGraph,
+    world: &mut SimWorld,
+    levels: &[u32],
+    source: Vertex,
+    targets: &[Vertex],
+) -> MultiPathResult {
+    try_multi(
+        graph,
+        world,
+        levels,
+        source,
+        targets,
+        &MultiPathConfig::default(),
+    )
+    .expect("control traffic retries exhausted")
+}
+
+/// Batched downhill walk: every target is a *lane* (bit `l` of a
+/// [`LaneMask`]) and all active lanes share each of the three per-hop
+/// control rounds of the [`extract_path`] protocol:
+///
+/// 1. **announce** — each lane's current vertex travels to its owner's
+///    processor-column, lanes parked on the same vertex merging into
+///    one mask word;
+/// 2. **forward** — column peers ship partial neighbor lists (with the
+///    query masks attached) to the neighbors' owners in their
+///    processor-row;
+/// 3. **reply** — owners filter candidates one level below each lane's
+///    *own* current level (lanes sit at different depths, but the level
+///    array is global, so every rank tracks each lane's level locally),
+///    then send per-rank per-lane minima back to the lane's owner.
+///
+/// The lane's parent is the minimum over replies — the same smallest-
+/// parent tie-break as [`extract_path`], so every lane's path is
+/// byte-identical to its standalone extraction. Lanes whose walks reach
+/// the source drop out of later hops; the wave ends when the deepest
+/// lane arrives. Rounds are [`OpClass::Control`] (faultable only under
+/// [`SimWorld::set_control_faultable`]); transient failures retry with
+/// recovery backoff; each hop is bracketed by a [`Phase::PathWalk`]
+/// span.
+pub fn try_multi(
+    graph: &DistGraph,
+    world: &mut SimWorld,
+    levels: &[u32],
+    source: Vertex,
+    targets: &[Vertex],
+    config: &MultiPathConfig,
+) -> Result<MultiPathResult, CommError> {
+    let grid = world.grid();
+    assert_eq!(grid, graph.grid(), "world and graph grids must match");
+    assert_eq!(
+        levels.len() as u64,
+        graph.spec.n,
+        "level array size mismatch"
+    );
+    assert!(
+        !targets.is_empty() && targets.len() <= MAX_LANES,
+        "batched walk takes 1..={MAX_LANES} targets, got {}",
+        targets.len()
+    );
+    debug_assert_eq!(
+        levels[source as usize], 0,
+        "levels must be rooted at source"
+    );
+
+    let t_start = world.time();
+    let c_start = world.comm_time();
+    let b = targets.len();
+
+    // Lane l walks from targets[l]; unreached targets never activate.
+    let mut paths: Vec<Option<Vec<Vertex>>> = targets
+        .iter()
+        .map(|&t| (levels[t as usize] != UNREACHED).then(|| vec![t]))
+        .collect();
+    let mut cur: Vec<Vertex> = targets.to_vec();
+    let mut active: LaneMask = 0;
+    for (l, &t) in targets.iter().enumerate() {
+        if levels[t as usize] != UNREACHED && t != source {
+            active |= 1 << l;
+        }
+    }
+
+    let mut hops = 0u32;
+    let mut rounds = 0u64;
+    while active != 0 {
+        let t0 = world.time();
+
+        // Round 1 (expand-shaped): announce each lane's current vertex
+        // to its owner's processor-column. Lanes at the same vertex
+        // share one wire word; distinct vertices to the same
+        // destination share one message.
+        let mut announce: BTreeMap<(usize, usize), Vec<(Vert, LaneMask)>> = BTreeMap::new();
+        for (l, &v) in cur.iter().enumerate() {
+            if active & (1 << l) == 0 {
+                continue;
+            }
+            let owner = graph.partition.owner_of(v);
+            let col = grid.col_of(owner);
+            for i in 0..grid.rows() {
+                announce
+                    .entry((owner, grid.rank_of(i, col)))
+                    .or_default()
+                    .push((v, 1 << l));
+            }
+        }
+        // Each active lane sits one level below its parent; owners
+        // filter round-3 candidates against these (lane levels differ,
+        // the level array does not).
+        let want: Vec<u32> = (0..b)
+            .map(|l| {
+                if active & (1 << l) != 0 {
+                    levels[cur[l] as usize] - 1
+                } else {
+                    UNREACHED
+                }
+            })
+            .collect();
+        let inboxes = lane_exchange_with_retry(world, assemble(announce), config.retry_attempts)?;
+        rounds += 1;
+
+        // Round 2 (fold-shaped): column peers forward each queried
+        // vertex's partial neighbor list — masks attached — to the
+        // neighbors' owners within their processor-row.
+        let mut forwards: BTreeMap<(usize, usize), Vec<(Vert, LaneMask)>> = BTreeMap::new();
+        for (rank, sets) in inboxes.iter().enumerate() {
+            if sets.is_empty() {
+                continue;
+            }
+            let mut queries = LaneSet::new();
+            for s in sets {
+                queries.union_in(s);
+            }
+            let rg = &graph.ranks[rank];
+            let row = grid.row_of(rank);
+            for (v, mask) in queries.iter() {
+                for &u in rg.edges.neighbors_of(v) {
+                    forwards
+                        .entry((rank, grid.rank_of(row, graph.partition.block_col_of(u))))
+                        .or_default()
+                        .push((u, mask));
+                }
+            }
+        }
+        let inboxes = lane_exchange_with_retry(world, assemble(forwards), config.retry_attempts)?;
+        rounds += 1;
+
+        // Round 3: owners keep candidates exactly one level below the
+        // asking lane's current vertex and reply the per-rank minimum
+        // to that lane's owner.
+        let mut replies: BTreeMap<(usize, usize), Vec<(Vert, LaneMask)>> = BTreeMap::new();
+        for (rank, sets) in inboxes.iter().enumerate() {
+            if sets.is_empty() {
+                continue;
+            }
+            let mut cands = LaneSet::new();
+            for s in sets {
+                cands.union_in(s);
+            }
+            let mut best: Vec<Option<Vert>> = vec![None; b];
+            for (u, mask) in cands.iter() {
+                debug_assert_eq!(graph.partition.owner_of(u), rank);
+                debug_assert_eq!(mask & !active, 0, "mask bits for inactive lanes");
+                let mut m = mask;
+                while m != 0 {
+                    let l = m.trailing_zeros() as usize;
+                    m &= m - 1;
+                    if levels[u as usize] == want[l] {
+                        best[l] = Some(best[l].map_or(u, |x: Vert| x.min(u)));
+                    }
+                }
+            }
+            for (l, cand) in best.iter().enumerate() {
+                if let Some(u) = cand {
+                    replies
+                        .entry((rank, graph.partition.owner_of(cur[l])))
+                        .or_default()
+                        .push((*u, 1 << l));
+                }
+            }
+        }
+        let inboxes = lane_exchange_with_retry(world, assemble(replies), config.retry_attempts)?;
+        rounds += 1;
+
+        // Resolve every active lane's parent at its owner: the global
+        // minimum over per-rank minima — extract_path's tie-break.
+        let mut next_active = active;
+        for l in 0..b {
+            if active & (1 << l) == 0 {
+                continue;
+            }
+            let owner = graph.partition.owner_of(cur[l]);
+            let parent = inboxes[owner]
+                .iter()
+                .flat_map(|s| s.iter())
+                .filter(|&(_, m)| m & (1 << l) != 0)
+                .map(|(u, _)| u)
+                .min()
+                .expect("a reached vertex at level l must have a parent at level l-1");
+            paths[l]
+                .as_mut()
+                .expect("active lane has a path")
+                .push(parent);
+            cur[l] = parent;
+            if parent == source {
+                next_active &= !(1 << l);
+            }
+        }
+        active = next_active;
+        world.trace_span(Phase::PathWalk, hops, t0);
+        hops += 1;
+    }
+
+    for p in paths.iter_mut().flatten() {
+        p.reverse();
+    }
+    Ok(MultiPathResult {
+        paths,
+        hops,
+        rounds,
+        sim_time: world.time() - t_start,
+        comm_time: world.comm_time() - c_start,
+    })
+}
+
+/// Collapse per-destination `(vertex, mask)` accumulators into wire
+/// lane sets, in deterministic `(from, to)` order.
+fn assemble(map: BTreeMap<(usize, usize), Vec<(Vert, LaneMask)>>) -> Vec<(usize, usize, LaneSet)> {
+    map.into_iter()
+        .map(|((from, to), pairs)| (from, to, LaneSet::from_pairs(pairs)))
+        .collect()
+}
+
+/// Lane-set twin of `bfs2d`'s control retry: transient failures charge
+/// exponential backoff and re-roll the control fault schedule; permanent
+/// errors propagate immediately.
+fn lane_exchange_with_retry(
+    world: &mut SimWorld,
+    sends: Vec<(usize, usize, LaneSet)>,
+    attempts: u32,
+) -> Result<Vec<Vec<LaneSet>>, CommError> {
+    let mut last = None;
+    for retry in 0..attempts.max(1) {
+        match lane_exchange(world, OpClass::Control, sends.clone()) {
+            Ok(inboxes) => return Ok(inboxes),
+            Err(e @ (CommError::Unreachable { .. } | CommError::Timeout { .. })) => {
+                world.charge_recovery_backoff(retry);
+                last = Some(e);
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Err(last.expect("attempts >= 1 so at least one attempt ran"))
 }
 
 /// Validate that `path` is a genuine path in the graph described by
@@ -294,6 +586,141 @@ mod tests {
                 .unwrap();
             assert_eq!(parent, min_parent, "hop into {child} broke the tie-break");
         }
+    }
+
+    #[test]
+    fn multi_is_byte_identical_to_extract_path_lane_by_lane() {
+        let (graph, mut world, levels, _) = setup(400, 6.0, 19, 2, 3);
+        // Mixed depths, a duplicate lane, the source itself, and the
+        // deepest reached vertex.
+        let deep = (0..400u64)
+            .rev()
+            .filter(|&v| levels[v as usize] != UNREACHED)
+            .max_by_key(|&v| levels[v as usize])
+            .unwrap();
+        let targets = vec![5u64, 100, 250, 399, 250, 0, deep];
+        let batched = multi(&graph, &mut world, &levels, 0, &targets);
+        assert_eq!(batched.paths.len(), targets.len());
+        let mut seq = SimWorld::bluegene(world.grid());
+        for (l, &t) in targets.iter().enumerate() {
+            let solo = extract_path(&graph, &mut seq, &levels, 0, t);
+            assert_eq!(batched.paths[l], solo, "lane {l} target {t}");
+        }
+        assert_eq!(
+            batched.hops, levels[deep as usize],
+            "wave runs to the deepest lane"
+        );
+        assert_eq!(batched.rounds, 3 * batched.hops as u64);
+    }
+
+    #[test]
+    fn multi_handles_unreached_and_trivial_lanes() {
+        let (graph, mut world, levels, _) = setup(300, 1.2, 3, 2, 2);
+        let unreached = (0..300u64)
+            .find(|&v| levels[v as usize] == UNREACHED)
+            .unwrap();
+        let reached = (0..300u64)
+            .rev()
+            .find(|&v| levels[v as usize] != UNREACHED && levels[v as usize] >= 1)
+            .unwrap();
+        let r = multi(&graph, &mut world, &levels, 0, &[unreached, 0, reached]);
+        assert_eq!(r.paths[0], None);
+        assert_eq!(r.paths[1], Some(vec![0]));
+        assert_eq!(
+            r.paths[2].as_ref().map(|p| p.len() as u32),
+            Some(levels[reached as usize] + 1)
+        );
+    }
+
+    #[test]
+    fn multi_all_trivial_runs_zero_rounds() {
+        let (graph, mut world, levels, _) = setup(100, 5.0, 7, 1, 2);
+        let before = world.time();
+        let r = multi(&graph, &mut world, &levels, 0, &[0, 0]);
+        assert_eq!(r.paths, vec![Some(vec![0]), Some(vec![0])]);
+        assert_eq!((r.hops, r.rounds), (0, 0));
+        assert_eq!(world.time(), before);
+    }
+
+    #[test]
+    fn multi_beats_sequential_extraction_on_the_clock() {
+        let (graph, mut world, levels, _) = setup(500, 6.0, 23, 2, 3);
+        let targets: Vec<u64> = (0..500u64)
+            .rev()
+            .filter(|&v| levels[v as usize] != UNREACHED && levels[v as usize] >= 2)
+            .take(16)
+            .collect();
+        let batched = multi(&graph, &mut world, &levels, 0, &targets);
+        let mut seq = SimWorld::bluegene(world.grid());
+        let t0 = seq.time();
+        for &t in &targets {
+            let _ = extract_path(&graph, &mut seq, &levels, 0, t);
+        }
+        let sequential = seq.time() - t0;
+        assert!(
+            batched.sim_time < sequential,
+            "batched {} vs sequential {}",
+            batched.sim_time,
+            sequential
+        );
+    }
+
+    #[test]
+    fn multi_survives_lossy_control_rounds_unchanged() {
+        use bgl_comm::FaultPlan;
+        let spec = bgl_graph::GraphSpec::poisson(400, 6.0, 19);
+        let grid = ProcessorGrid::new(2, 3);
+        let graph = DistGraph::build(spec, grid);
+        let mut clean = SimWorld::bluegene(grid);
+        let result = bfs2d::run(&graph, &mut clean, &BfsConfig::default(), 0);
+        let levels = result.levels;
+        let targets = vec![399u64, 250, 100];
+        let want = multi(&graph, &mut clean, &levels, 0, &targets).paths;
+
+        let plan = FaultPlan::seeded(29)
+            .with_control_drop_prob(0.4)
+            .with_control_duplicate_prob(0.2);
+        let mut faulty = SimWorld::bluegene(grid)
+            .with_fault_plan(plan)
+            .with_faulty_control();
+        let got = try_multi(
+            &graph,
+            &mut faulty,
+            &levels,
+            0,
+            &targets,
+            &MultiPathConfig::default(),
+        )
+        .expect("retries ride out lossy control rounds");
+        assert_eq!(got.paths, want, "faults must not change extracted paths");
+    }
+
+    #[test]
+    fn multi_emits_path_walk_spans() {
+        use bgl_comm::{EventKind, TraceDetail};
+        let (graph, _, levels, _) = setup(400, 6.0, 19, 2, 3);
+        let mut world = SimWorld::bluegene(ProcessorGrid::new(2, 3));
+        world.enable_trace(TraceDetail::Span);
+        let target = (0..400u64)
+            .rev()
+            .find(|&v| levels[v as usize] != UNREACHED && levels[v as usize] >= 2)
+            .unwrap();
+        let r = multi(&graph, &mut world, &levels, 0, &[target]);
+        let trace = world.take_trace().unwrap();
+        let spans = trace
+            .events()
+            .iter()
+            .filter(|(_, e)| {
+                matches!(
+                    e.kind,
+                    EventKind::Span {
+                        phase: Phase::PathWalk,
+                        ..
+                    }
+                )
+            })
+            .count();
+        assert_eq!(spans as u32, r.hops);
     }
 
     #[test]

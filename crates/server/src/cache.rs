@@ -1,18 +1,34 @@
-//! LRU cache of full level arrays, keyed by `(graph_id, source)`.
+//! Cost-aware result cache of full level arrays, keyed by
+//! `(graph_id, source)`.
 //!
 //! Every engine-served lane deposits its level array here (behind an
-//! `Arc`, shared with any `FullTraversal` responses). A later
-//! `Distance`/`Path`/`FullTraversal` query on the same source is then
-//! answered without touching the engines at all: distances read
-//! straight out of the array, paths walk level-downhill over the
-//! host-side adjacency oracle (see `server.rs`). The `graph_id` half of
-//! the key fingerprints the loaded [`bgl_graph::GraphSpec`], so a
-//! server restarted on a different graph can never serve stale levels.
+//! `Arc`, shared with any `FullTraversal` responses) together with the
+//! simulated cost of recomputing it — the lane's share of its batch's
+//! engine time. A later `Distance`/`Path`/`FullTraversal` query on the
+//! same source is then answered without re-running the engines:
+//! distances read straight out of the array, paths walk the distributed
+//! batched protocol over the cached levels (see `server.rs`). The
+//! `graph_id` half of the key fingerprints the loaded
+//! [`bgl_graph::GraphSpec`], so a server restarted on a different graph
+//! can never serve stale levels.
 //!
-//! The store is a recency-ordered deque with linear key scans —
+//! ## Eviction: GreedyDual-Size over an exact-LRU deque
+//!
+//! Plain LRU treats a lane that cost fifty waves to compute the same as
+//! one that cost two. Admission instead assigns each entry the
+//! GreedyDual-Size priority `H = L + cost / footprint` — recomputation
+//! cost (simulated seconds) per resident byte, on top of the cache's
+//! inflation clock `L`. Hits refresh `H` against the current clock;
+//! eviction removes the minimum-`H` entry and advances `L` to the
+//! victim's priority, so entries age out unless their value keeps being
+//! re-proven. When every entry carries the same weight the priorities
+//! collapse onto the recency order and the scan (front-to-back, first
+//! strict minimum wins) evicts the front — exactly the LRU the serving
+//! layer shipped with.
+//!
+//! The store stays a recency-ordered deque with linear key scans —
 //! serving-layer capacities are tens-to-thousands of entries, where the
-//! scan is noise next to one level array's footprint. Eviction is exact
-//! LRU: hits move to the back, inserts evict the front.
+//! scan is noise next to one level array's footprint.
 
 use bgl_graph::Vertex;
 use std::collections::VecDeque;
@@ -27,12 +43,27 @@ pub struct CacheKey {
     pub source: Vertex,
 }
 
-/// Exact-LRU store of level arrays.
+/// One resident level array with its eviction weight.
+#[derive(Debug)]
+struct Entry {
+    key: CacheKey,
+    levels: Arc<Vec<u32>>,
+    /// Simulated seconds to recompute this array (lane share of its
+    /// batch's engine time).
+    cost: f64,
+    /// GreedyDual-Size priority: clock-at-touch + cost / footprint.
+    priority: f64,
+}
+
+/// Cost-aware store of level arrays (GreedyDual-Size admission over an
+/// exact-LRU recency deque).
 #[derive(Debug, Default)]
-pub struct LruCache {
+pub struct ResultCache {
     capacity: usize,
+    /// Inflation clock: rises to the victim's priority on eviction.
+    clock: f64,
     /// Front = least recently used, back = most recently used.
-    entries: VecDeque<(CacheKey, Arc<Vec<u32>>)>,
+    entries: VecDeque<Entry>,
     /// Lookups that found an entry.
     pub hits: u64,
     /// Lookups that found nothing.
@@ -41,16 +72,18 @@ pub struct LruCache {
     pub evictions: u64,
 }
 
-impl LruCache {
+/// Byte footprint a cached level array occupies (4 bytes per vertex).
+fn footprint(levels: &[u32]) -> f64 {
+    (4 * levels.len()) as f64
+}
+
+impl ResultCache {
     /// Cache holding at most `capacity` level arrays (0 = disabled:
     /// every lookup misses, inserts are dropped).
     pub fn new(capacity: usize) -> Self {
         Self {
             capacity,
-            entries: VecDeque::new(),
-            hits: 0,
-            misses: 0,
-            evictions: 0,
+            ..Self::default()
         }
     }
 
@@ -59,13 +92,15 @@ impl LruCache {
         self.capacity > 0
     }
 
-    /// Look up `key`, refreshing its recency on a hit.
+    /// Look up `key`, refreshing its recency and its priority against
+    /// the current inflation clock on a hit.
     pub fn get(&mut self, key: CacheKey) -> Option<Arc<Vec<u32>>> {
-        match self.entries.iter().position(|(k, _)| *k == key) {
+        match self.entries.iter().position(|e| e.key == key) {
             Some(i) => {
                 self.hits += 1;
-                let entry = self.entries.remove(i).unwrap();
-                let levels = entry.1.clone();
+                let mut entry = self.entries.remove(i).unwrap();
+                entry.priority = self.clock + entry.cost / footprint(&entry.levels);
+                let levels = entry.levels.clone();
                 self.entries.push_back(entry);
                 Some(levels)
             }
@@ -76,19 +111,40 @@ impl LruCache {
         }
     }
 
-    /// Insert (or refresh) `key`, evicting the least recently used
-    /// entry if at capacity.
-    pub fn insert(&mut self, key: CacheKey, levels: Arc<Vec<u32>>) {
+    /// Insert (or refresh) `key` with the simulated recomputation cost
+    /// `cost`, evicting the minimum-priority entry if at capacity.
+    pub fn insert(&mut self, key: CacheKey, levels: Arc<Vec<u32>>, cost: f64) {
         if self.capacity == 0 {
             return;
         }
-        if let Some(i) = self.entries.iter().position(|(k, _)| *k == key) {
+        if let Some(i) = self.entries.iter().position(|e| e.key == key) {
             self.entries.remove(i);
         } else if self.entries.len() >= self.capacity {
-            self.entries.pop_front();
-            self.evictions += 1;
+            self.evict();
         }
-        self.entries.push_back((key, levels));
+        let priority = self.clock + cost / footprint(&levels);
+        self.entries.push_back(Entry {
+            key,
+            levels,
+            cost,
+            priority,
+        });
+    }
+
+    /// Remove the minimum-priority entry and advance the inflation
+    /// clock to its priority. Ties resolve to the *earliest* (least
+    /// recently used) entry — the strict `<` scan front-to-back — so
+    /// equal weights reduce to exact LRU.
+    fn evict(&mut self) {
+        let mut victim = 0;
+        for (i, e) in self.entries.iter().enumerate() {
+            if e.priority < self.entries[victim].priority {
+                victim = i;
+            }
+        }
+        let gone = self.entries.remove(victim).unwrap();
+        self.clock = self.clock.max(gone.priority);
+        self.evictions += 1;
     }
 
     /// Maximum resident entries (0 = disabled).
@@ -104,6 +160,11 @@ impl LruCache {
     /// Whether nothing is cached.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// Total bytes of resident level arrays.
+    pub fn resident_bytes(&self) -> u64 {
+        self.entries.iter().map(|e| 4 * e.levels.len() as u64).sum()
     }
 }
 
@@ -123,14 +184,14 @@ mod tests {
     }
 
     #[test]
-    fn hit_miss_and_eviction_order() {
-        let mut c = LruCache::new(2);
+    fn equal_weights_reduce_to_exact_lru() {
+        let mut c = ResultCache::new(2);
         assert!(c.get(key(1)).is_none());
-        c.insert(key(1), levels(1));
-        c.insert(key(2), levels(2));
+        c.insert(key(1), levels(1), 1.0);
+        c.insert(key(2), levels(2), 1.0);
         // Touch 1 so 2 becomes the LRU victim.
         assert_eq!(c.get(key(1)).unwrap()[0], 1);
-        c.insert(key(3), levels(3));
+        c.insert(key(3), levels(3), 1.0);
         assert!(c.get(key(2)).is_none());
         assert!(c.get(key(1)).is_some());
         assert!(c.get(key(3)).is_some());
@@ -140,14 +201,54 @@ mod tests {
     }
 
     #[test]
+    fn expensive_entries_outlive_recent_cheap_ones() {
+        let mut c = ResultCache::new(2);
+        c.insert(key(1), levels(1), 100.0);
+        c.insert(key(2), levels(2), 0.001);
+        // 2 is more recent, but 1 is two orders of magnitude costlier
+        // to recompute: the cheap entry is the victim.
+        c.insert(key(3), levels(3), 0.001);
+        assert!(c.get(key(2)).is_none(), "cheap recent entry evicted");
+        assert!(c.get(key(1)).is_some(), "expensive entry retained");
+    }
+
+    #[test]
+    fn inflation_clock_ages_out_stale_expensive_entries() {
+        let mut c = ResultCache::new(2);
+        c.insert(key(1), levels(1), 10.0);
+        // A stream of cheap entries keeps evicting each other, driving
+        // the clock up past the stale expensive entry's priority.
+        for s in 2..50u64 {
+            c.insert(key(s), levels(s as u32), 5.0);
+        }
+        assert!(
+            c.get(key(1)).is_none(),
+            "unreferenced entry must age out no matter its cost"
+        );
+    }
+
+    #[test]
+    fn hits_reprove_value_against_the_clock() {
+        let mut c = ResultCache::new(2);
+        c.insert(key(1), levels(1), 2.0);
+        for s in 2..20u64 {
+            c.insert(key(s), levels(s as u32), 2.0);
+            // Entry 1 is re-touched each round: its priority tracks the
+            // rising clock and the churning newcomers lose instead.
+            assert!(c.get(key(1)).is_some(), "after inserting {s}");
+        }
+    }
+
+    #[test]
     fn graph_id_partitions_the_key_space() {
-        let mut c = LruCache::new(4);
+        let mut c = ResultCache::new(4);
         c.insert(
             CacheKey {
                 graph_id: 1,
                 source: 7,
             },
             levels(1),
+            1.0,
         );
         assert!(c
             .get(CacheKey {
@@ -165,19 +266,20 @@ mod tests {
 
     #[test]
     fn zero_capacity_disables() {
-        let mut c = LruCache::new(0);
+        let mut c = ResultCache::new(0);
         assert!(!c.enabled());
-        c.insert(key(1), levels(1));
+        c.insert(key(1), levels(1), 1.0);
         assert!(c.get(key(1)).is_none());
         assert!(c.is_empty());
     }
 
     #[test]
     fn reinsert_refreshes_instead_of_duplicating() {
-        let mut c = LruCache::new(2);
-        c.insert(key(1), levels(1));
-        c.insert(key(1), levels(9));
+        let mut c = ResultCache::new(2);
+        c.insert(key(1), levels(1), 1.0);
+        c.insert(key(1), levels(9), 1.0);
         assert_eq!(c.len(), 1);
+        assert_eq!(c.resident_bytes(), 16);
         assert_eq!(c.get(key(1)).unwrap()[0], 9);
     }
 }

@@ -12,10 +12,13 @@
 //! * [`queue::AdmissionQueue`] — bounded FIFO admission with
 //!   backpressure (typed [`query::AdmissionError`]) and per-query
 //!   deadlines measured on the server's deterministic tick clock;
-//! * [`cache::LruCache`] — result cache keyed by `(graph_id, source)`;
-//!   `Distance`/`Path` hits (and repeat traversals) are answered from
-//!   cached level arrays without touching the engines, charged as a
-//!   modelled memcpy of the response bytes;
+//! * [`cache::ResultCache`] — cost-aware result cache keyed by
+//!   `(graph_id, source)` (GreedyDual-Size: eviction weighs
+//!   recomputation cost per resident byte, degenerating to exact LRU
+//!   under equal weights); `Distance` hits and repeat traversals are
+//!   answered from cached level arrays as a modelled memcpy, and `Path`
+//!   hits are grouped into lane-masked batched walks
+//!   ([`bfs_core::path::multi`]) over the cached arrays;
 //! * [`workload::WorkloadSpec`] — seeded Zipfian source-popularity
 //!   query generator for benchmarks and the CLI `serve` mode;
 //! * [`stats::ServerStats`] — QPS / latency / batch-occupancy /
@@ -37,9 +40,9 @@ pub mod server;
 pub mod stats;
 pub mod workload;
 
-pub use cache::LruCache;
+pub use cache::ResultCache;
 pub use query::{AdmissionError, Outcome, QueryId, QueryKind, Request, Response, ServedBy};
 pub use queue::AdmissionQueue;
 pub use server::{BglServer, ServerConfig};
 pub use stats::ServerStats;
-pub use workload::{QueryMix, WorkloadSpec};
+pub use workload::{ArrivalProcess, QueryMix, WorkloadSpec};

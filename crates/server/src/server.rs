@@ -26,22 +26,26 @@
 //! ## Cache semantics
 //!
 //! Keyed `(graph_id, source)` where `graph_id` fingerprints the loaded
-//! spec. A hit serves `FullTraversal` by handing out the shared level
-//! array, `Distance` by one array read, and `Path` by walking levels
-//! downhill over the host-side adjacency oracle with the same
-//! smallest-parent tie-break as `bfs_core::path::extract_path` — so a
-//! cache-served path is byte-identical to the engine-served one. Hits
-//! are charged as a modelled memcpy of the response bytes at the
-//! source's owner rank.
+//! spec; admission and eviction weigh each entry by its recomputation
+//! cost per resident byte (see [`crate::cache`]). A hit serves
+//! `FullTraversal` by handing out the shared level array and `Distance`
+//! by one array read — both charged as a modelled memcpy of the
+//! response bytes at the source's owner rank. `Path` hits (and `Path`
+//! queries answered by a fresh batch lane) are grouped by source and
+//! served by the distributed lane-masked batched walk
+//! ([`bfs_core::path::multi`]): up to 64 targets against one level
+//! array share each of the three per-hop control rounds, charged to the
+//! α–β–hop model and bracketed by `Phase::PathWalk` spans — and every
+//! lane is byte-identical to a standalone `extract_path`.
 
-use crate::cache::{CacheKey, LruCache};
+use crate::cache::{CacheKey, ResultCache};
 use crate::query::{AdmissionError, Outcome, QueryId, QueryKind, Request, Response, ServedBy};
 use crate::queue::AdmissionQueue;
 use crate::stats::ServerStats;
 use bfs_core::multi::{self, MultiConfig};
 use bfs_core::path;
 use bfs_core::reference::UNREACHED;
-use bgl_comm::SimWorld;
+use bgl_comm::{SimWorld, MAX_LANES};
 use bgl_graph::{DistGraph, GraphFamily, GraphSpec, Vertex};
 use bgl_trace::EventKind;
 use std::fmt::Write as _;
@@ -87,13 +91,11 @@ pub struct BglServer {
     world: SimWorld,
     config: ServerConfig,
     queue: AdmissionQueue,
-    cache: LruCache,
+    cache: ResultCache,
     graph_id: u64,
     tick: u64,
     batch_seq: u32,
     stats: ServerStats,
-    /// Host-side adjacency oracle, built lazily for cache-served paths.
-    adjacency: Option<Vec<Vec<Vertex>>>,
 }
 
 impl BglServer {
@@ -111,12 +113,11 @@ impl BglServer {
         let graph_id = graph_fingerprint(&graph.spec);
         Self {
             queue: AdmissionQueue::new(config.queue_capacity),
-            cache: LruCache::new(config.cache_capacity),
+            cache: ResultCache::new(config.cache_capacity),
             graph_id,
             tick: 0,
             batch_seq: 0,
             stats: ServerStats::default(),
-            adjacency: None,
             graph,
             world,
             config,
@@ -139,7 +140,7 @@ impl BglServer {
     }
 
     /// The result cache (hit/miss counters live here).
-    pub fn cache(&self) -> &LruCache {
+    pub fn cache(&self) -> &ResultCache {
         &self.cache
     }
 
@@ -181,16 +182,24 @@ impl BglServer {
     }
 
     /// Advance one tick and serve at most one batch. Returns every
-    /// response completed this tick (expired + cache-served +
-    /// batch-served), in queue order.
+    /// response completed this tick: expirations and non-path cache
+    /// hits in queue order, then cache-hit path walks (grouped by
+    /// source), then batch-served responses lane by lane.
     pub fn pump(&mut self) -> Vec<Response> {
         self.tick += 1;
         let now = self.tick;
+        let depth = self.queue.len() as u64;
+        self.stats.queue_depth_sum += depth;
+        self.stats.queue_depth_samples += 1;
+        self.stats.queue_depth_max = self.stats.queue_depth_max.max(depth);
         let mut responses: Vec<Response> = Vec::new();
 
         // -- batch formation: FIFO pops; expiries and cache hits are
-        // served en route and never consume a lane.
+        // served en route and never consume a lane. Cache-hit Path
+        // queries group by source into lane waves of the batched walk
+        // instead of being answered one by one.
         let mut lanes: Vec<(Vertex, Vec<Request>)> = Vec::new();
+        let mut cached_walks: Vec<(Vertex, Arc<Vec<u32>>, Vec<Request>)> = Vec::new();
         while let Some(req) = self.queue.pop() {
             if req.deadline_tick.is_some_and(|d| now > d) {
                 self.stats.expired += 1;
@@ -213,8 +222,15 @@ impl BglServer {
                     source,
                 };
                 if let Some(levels) = self.cache.get(key) {
-                    let r = self.serve_from_cache(req, &levels, now);
-                    responses.push(r);
+                    if matches!(req.kind, QueryKind::Path { .. }) {
+                        match cached_walks.iter_mut().find(|(s, _, _)| *s == source) {
+                            Some(group) => group.2.push(req),
+                            None => cached_walks.push((source, levels, vec![req])),
+                        }
+                    } else {
+                        let r = self.serve_from_cache(req, &levels, now);
+                        responses.push(r);
+                    }
                     continue;
                 }
             }
@@ -226,6 +242,20 @@ impl BglServer {
                 self.queue.push_front(req);
                 break;
             }
+        }
+
+        // -- cache-hit path walks: one batched wave sequence per cached
+        // level array, all targets sharing the per-hop control rounds.
+        for (source, levels, reqs) in cached_walks {
+            self.serve_path_walks(
+                source,
+                &levels,
+                reqs,
+                ServedBy::Cache,
+                0.0,
+                now,
+                &mut responses,
+            );
         }
         if lanes.is_empty() {
             return responses;
@@ -258,6 +288,9 @@ impl BglServer {
         self.stats.waves_total += result.waves.len() as u64;
         self.stats.engine_sim_time += batch_sim;
 
+        // Each lane's recomputation cost is its share of the wave: the
+        // cache's eviction weight for the level array it deposited.
+        let lane_cost = batch_sim / sources.len() as f64;
         let mut lane_levels = result.lane_levels;
         for (lane, (source, reqs)) in lanes.into_iter().enumerate() {
             let levels = Arc::new(std::mem::take(&mut lane_levels[lane]));
@@ -267,24 +300,42 @@ impl BglServer {
                     source,
                 },
                 levels.clone(),
+                lane_cost,
             );
+            let served_by = ServedBy::Batch {
+                batch,
+                lane: lane as u8,
+            };
+            let mut path_reqs: Vec<Request> = Vec::new();
             for req in reqs {
+                if matches!(req.kind, QueryKind::Path { .. }) {
+                    path_reqs.push(req);
+                    continue;
+                }
                 self.stats.served_engine += 1;
                 self.note_kind(&req.kind);
                 self.note_latency(&req, now);
-                let outcome = self.answer(&req.kind, &levels, true);
+                let outcome = self.answer(&req.kind, &levels);
                 responses.push(Response {
                     id: req.id,
                     kind: req.kind,
                     outcome,
-                    served_by: ServedBy::Batch {
-                        batch,
-                        lane: lane as u8,
-                    },
+                    served_by,
                     submitted_tick: req.submitted_tick,
                     completed_tick: now,
                     sim_service_time: batch_sim,
                 });
+            }
+            if !path_reqs.is_empty() {
+                self.serve_path_walks(
+                    source,
+                    &levels,
+                    path_reqs,
+                    served_by,
+                    batch_sim,
+                    now,
+                    &mut responses,
+                );
             }
         }
         responses
@@ -300,37 +351,93 @@ impl BglServer {
         out
     }
 
-    /// Produce an outcome from a level array. `via_engine` selects the
-    /// path extraction route: the distributed three-round protocol
-    /// (charged as control traffic) for engine-served queries, the
-    /// host-side downhill walk for cache hits — both produce the same
-    /// path (same smallest-parent tie-break).
-    fn answer(&mut self, kind: &QueryKind, levels: &Arc<Vec<u32>>, via_engine: bool) -> Outcome {
+    /// Produce an outcome from a level array. `Path` queries never come
+    /// through here — they are grouped into batched walk waves
+    /// ([`BglServer::serve_path_walks`]).
+    fn answer(&self, kind: &QueryKind, levels: &Arc<Vec<u32>>) -> Outcome {
         match *kind {
             QueryKind::FullTraversal { .. } => Outcome::Levels(levels.clone()),
             QueryKind::Distance { target, .. } => Outcome::Distance(level_of(levels, target)),
-            QueryKind::Path { source, target } => {
-                let p = if via_engine {
-                    path::extract_path(&self.graph, &mut self.world, levels, source, target)
+            QueryKind::Path { .. } => unreachable!("path queries are served by batched walks"),
+        }
+    }
+
+    /// Serve a group of `Path` requests sharing one `(source, levels)`
+    /// pair with the distributed lane-masked batched walk: up to
+    /// [`MAX_LANES`] targets per wave share each per-hop control round.
+    /// `base_sim` is simulated time the requests already waited on (the
+    /// engine wave that produced `levels`, zero for cache hits).
+    #[allow(clippy::too_many_arguments)]
+    fn serve_path_walks(
+        &mut self,
+        source: Vertex,
+        levels: &Arc<Vec<u32>>,
+        reqs: Vec<Request>,
+        served_by: ServedBy,
+        base_sim: f64,
+        now: u64,
+        responses: &mut Vec<Response>,
+    ) {
+        for chunk in reqs.chunks(MAX_LANES) {
+            let targets: Vec<Vertex> = chunk
+                .iter()
+                .map(|r| match r.kind {
+                    QueryKind::Path { target, .. } => target,
+                    _ => unreachable!("walk groups hold only path queries"),
+                })
+                .collect();
+            let result = path::multi(&self.graph, &mut self.world, levels, source, &targets);
+            self.stats.path_walks += 1;
+            self.stats.path_walk_lanes += targets.len() as u64;
+            self.stats.path_walk_hops += u64::from(result.hops);
+            self.stats.path_walk_rounds += result.rounds;
+            self.stats.path_walk_sim_time += result.sim_time;
+            for (req, p) in chunk.iter().zip(result.paths) {
+                if served_by == ServedBy::Cache {
+                    self.stats.served_cache += 1;
+                    self.stats.cache_hit_path += 1;
+                    self.stats.cache_bytes_path += 8 * p.as_ref().map_or(1, Vec::len) as u64;
                 } else {
-                    self.walk_path(levels, source, target)
-                };
-                Outcome::Path(p)
+                    self.stats.served_engine += 1;
+                }
+                self.note_kind(&req.kind);
+                self.note_latency(req, now);
+                responses.push(Response {
+                    id: req.id,
+                    kind: req.kind,
+                    outcome: Outcome::Path(p),
+                    served_by,
+                    submitted_tick: req.submitted_tick,
+                    completed_tick: now,
+                    sim_service_time: base_sim + result.sim_time,
+                });
             }
         }
     }
 
-    /// Serve one request from a cached level array, charging a modelled
-    /// memcpy of the response bytes at the source owner's rank.
+    /// Serve one `FullTraversal`/`Distance` request from a cached level
+    /// array, charging a modelled memcpy of the response bytes at the
+    /// source owner's rank.
     fn serve_from_cache(&mut self, req: Request, levels: &Arc<Vec<u32>>, now: u64) -> Response {
         let t0 = self.world.time();
-        let outcome = self.answer(&req.kind, levels, false);
+        let outcome = self.answer(&req.kind, levels);
         let bytes = match &outcome {
             Outcome::Levels(l) => 4 * l.len() as u64,
             Outcome::Distance(_) => 8,
-            Outcome::Path(p) => 8 * p.as_ref().map_or(1, Vec::len) as u64,
+            Outcome::Path(_) => unreachable!("path hits go through the batched walk"),
             Outcome::Expired => unreachable!("cache cannot expire a query"),
         };
+        match &req.kind {
+            QueryKind::FullTraversal { .. } => {
+                self.stats.cache_hit_full += 1;
+                self.stats.cache_bytes_full += bytes;
+            }
+            QueryKind::Distance { .. } => {
+                self.stats.cache_hit_distance += 1;
+                self.stats.cache_bytes_distance += bytes;
+            }
+            QueryKind::Path { .. } => unreachable!("path hits go through the batched walk"),
+        }
         let owner = self.graph.partition.owner_of(req.kind.source());
         let mut per_rank = vec![0u64; self.world.p()];
         per_rank[owner] = bytes;
@@ -349,35 +456,6 @@ impl BglServer {
             completed_tick: now,
             sim_service_time: dt,
         }
-    }
-
-    /// Host-side shortest path from cached levels: walk from `target`
-    /// downhill, taking at each hop the smallest neighbor one level
-    /// closer to the source — `extract_path`'s tie-break, minus the
-    /// message rounds.
-    fn walk_path(&mut self, levels: &[u32], source: Vertex, target: Vertex) -> Option<Vec<Vertex>> {
-        if levels[target as usize] == UNREACHED {
-            return None;
-        }
-        if self.adjacency.is_none() {
-            self.adjacency = Some(bgl_graph::dist::adjacency(&self.graph.spec));
-        }
-        let adj = self.adjacency.as_ref().unwrap();
-        let mut path = vec![target];
-        let mut cur = target;
-        while cur != source {
-            let l = levels[cur as usize];
-            let parent = adj[cur as usize]
-                .iter()
-                .copied()
-                .filter(|&u| levels[u as usize] == l - 1)
-                .min()
-                .expect("a reached vertex at level l has a parent at level l-1");
-            path.push(parent);
-            cur = parent;
-        }
-        path.reverse();
-        Some(path)
     }
 
     fn note_kind(&mut self, kind: &QueryKind) {
@@ -437,14 +515,51 @@ impl BglServer {
         let _ = writeln!(j, "  \"waves_total\": {},", s.waves_total);
         let _ = writeln!(j, "  \"occupancy_mean\": {:.3},", s.occupancy_mean());
         let _ = writeln!(j, "  \"occupancy_max\": {},", s.max_occupancy);
+        let _ = writeln!(j, "  \"queue_depth_mean\": {:.3},", s.queue_depth_mean());
+        let _ = writeln!(j, "  \"queue_depth_max\": {},", s.queue_depth_max);
+        let _ = writeln!(j, "  \"path_walk\": {{");
+        let _ = writeln!(j, "    \"waves\": {},", s.path_walks);
+        let _ = writeln!(j, "    \"lanes\": {},", s.path_walk_lanes);
+        let _ = writeln!(
+            j,
+            "    \"occupancy_mean\": {:.3},",
+            s.path_walk_occupancy_mean()
+        );
+        let _ = writeln!(j, "    \"hops\": {},", s.path_walk_hops);
+        let _ = writeln!(j, "    \"rounds\": {},", s.path_walk_rounds);
+        let _ = writeln!(j, "    \"sim_s\": {:.9}", s.path_walk_sim_time);
+        let _ = writeln!(j, "  }},");
         let _ = writeln!(j, "  \"cache\": {{");
         let _ = writeln!(j, "    \"hits\": {},", self.cache.hits);
         let _ = writeln!(j, "    \"misses\": {},", self.cache.misses);
         let _ = writeln!(j, "    \"evictions\": {},", self.cache.evictions);
-        let _ = writeln!(j, "    \"resident\": {}", self.cache.len());
+        let _ = writeln!(j, "    \"resident\": {},", self.cache.len());
+        let _ = writeln!(
+            j,
+            "    \"resident_bytes\": {},",
+            self.cache.resident_bytes()
+        );
+        let _ = writeln!(j, "    \"by_class\": {{");
+        let _ = writeln!(
+            j,
+            "      \"full\": {{ \"hits\": {}, \"bytes\": {} }},",
+            s.cache_hit_full, s.cache_bytes_full
+        );
+        let _ = writeln!(
+            j,
+            "      \"distance\": {{ \"hits\": {}, \"bytes\": {} }},",
+            s.cache_hit_distance, s.cache_bytes_distance
+        );
+        let _ = writeln!(
+            j,
+            "      \"path\": {{ \"hits\": {}, \"bytes\": {} }}",
+            s.cache_hit_path, s.cache_bytes_path
+        );
+        let _ = writeln!(j, "    }}");
         let _ = writeln!(j, "  }},");
         let _ = writeln!(j, "  \"engine_sim_s\": {:.9},", s.engine_sim_time);
         let _ = writeln!(j, "  \"cache_sim_s\": {:.9},", s.cache_sim_time);
+        let _ = writeln!(j, "  \"path_walk_sim_s\": {:.9},", s.path_walk_sim_time);
         let _ = writeln!(j, "  \"qps_simulated\": {:.3},", s.qps());
         let _ = writeln!(
             j,
@@ -679,6 +794,93 @@ mod tests {
             })
             .is_err());
         assert_eq!(srv.stats().rejected, 1);
+    }
+
+    #[test]
+    fn path_misses_share_one_batched_walk_wave() {
+        let mut srv = server(ServerConfig {
+            cache_capacity: 0,
+            ..ServerConfig::default()
+        });
+        let s = 11u64;
+        for t in [7u64, 900, 1500, 42] {
+            srv.submit(QueryKind::Path {
+                source: s,
+                target: t,
+            })
+            .unwrap();
+        }
+        let rs = srv.run_to_completion();
+        assert_eq!(rs.len(), 4);
+        assert_eq!(srv.stats().batches, 1, "one lane serves all four");
+        assert_eq!(
+            srv.stats().path_walks,
+            1,
+            "four targets share one walk wave"
+        );
+        assert_eq!(srv.stats().path_walk_lanes, 4);
+        assert_eq!(
+            srv.stats().path_walk_rounds,
+            3 * srv.stats().path_walk_hops,
+            "three control rounds per hop, shared by every lane"
+        );
+        // Each batched-walk path is byte-identical to a standalone
+        // extraction over the same levels.
+        let (graph, mut w) = build(2_000, 5);
+        let single = bfs2d::run(&graph, &mut w, &BfsConfig::paper_optimized(), s);
+        for r in &rs {
+            let QueryKind::Path { target, .. } = r.kind else {
+                panic!("expected path kind");
+            };
+            let mut pw = SimWorld::bluegene(graph.grid());
+            let want = bfs_core::path::extract_path(&graph, &mut pw, &single.levels, s, target);
+            assert_eq!(r.outcome, Outcome::Path(want), "target {target}");
+        }
+    }
+
+    #[test]
+    fn cached_path_hits_walk_distributedly_without_a_batch() {
+        let mut srv = server(ServerConfig::default());
+        let s = 42u64;
+        srv.submit(QueryKind::FullTraversal { source: s }).unwrap();
+        srv.run_to_completion();
+        assert_eq!(srv.stats().batches, 1);
+        let walks_before = srv.stats().path_walks;
+        for t in [7u64, 1999, 300] {
+            srv.submit(QueryKind::Path {
+                source: s,
+                target: t,
+            })
+            .unwrap();
+        }
+        let rs = srv.run_to_completion();
+        assert_eq!(srv.stats().batches, 1, "cache hits must not re-run engines");
+        assert_eq!(srv.stats().path_walks, walks_before + 1);
+        assert_eq!(srv.stats().cache_hit_path, 3);
+        assert!(srv.stats().cache_bytes_path > 0);
+        for r in &rs {
+            assert_eq!(r.served_by, ServedBy::Cache);
+            assert!(matches!(r.outcome, Outcome::Path(_)));
+        }
+    }
+
+    #[test]
+    fn queue_depth_is_sampled_per_pump() {
+        let mut srv = server(ServerConfig {
+            batch_width: 1,
+            cache_capacity: 0,
+            ..ServerConfig::default()
+        });
+        for s in [1u64, 2, 3] {
+            srv.submit(QueryKind::Distance {
+                source: s,
+                target: 0,
+            })
+            .unwrap();
+        }
+        srv.run_to_completion();
+        assert_eq!(srv.stats().queue_depth_max, 3);
+        assert_eq!(srv.stats().queue_depth_samples, 3);
     }
 
     #[test]

@@ -28,8 +28,36 @@ pub struct ServerStats {
     /// Simulated seconds spent in batched engine waves.
     pub engine_sim_time: f64,
     /// Simulated seconds spent serving cache hits (modelled response
-    /// copies) and path walks.
+    /// copies).
     pub cache_sim_time: f64,
+    /// Lane-masked batched path-walk waves executed.
+    pub path_walks: u64,
+    /// Path lanes advanced across all walk waves.
+    pub path_walk_lanes: u64,
+    /// Walk hops executed (each shared by every active lane).
+    pub path_walk_hops: u64,
+    /// Control rounds spent in walk waves (three per hop).
+    pub path_walk_rounds: u64,
+    /// Simulated seconds spent in batched path walks.
+    pub path_walk_sim_time: f64,
+    /// Cache hits that served a `FullTraversal`.
+    pub cache_hit_full: u64,
+    /// Cache hits that served a `Distance`.
+    pub cache_hit_distance: u64,
+    /// Cache hits that served a `Path`.
+    pub cache_hit_path: u64,
+    /// Response bytes served from cache to `FullTraversal` queries.
+    pub cache_bytes_full: u64,
+    /// Response bytes served from cache to `Distance` queries.
+    pub cache_bytes_distance: u64,
+    /// Response bytes served from cache to `Path` queries.
+    pub cache_bytes_path: u64,
+    /// Sum of queue depths sampled at each pump (open-loop pressure).
+    pub queue_depth_sum: u64,
+    /// Pumps that sampled the queue depth.
+    pub queue_depth_samples: u64,
+    /// Deepest queue seen at a pump.
+    pub queue_depth_max: u64,
     /// Sum of per-query latencies in ticks (admission → completion).
     pub latency_ticks_sum: u64,
     /// Largest per-query latency in ticks.
@@ -57,13 +85,32 @@ impl ServerStats {
         }
     }
 
-    /// Served queries per simulated second of total serving time.
+    /// Served queries per simulated second of total serving time
+    /// (engine waves + cache copies + batched path walks).
     pub fn qps(&self) -> f64 {
-        let t = self.engine_sim_time + self.cache_sim_time;
+        let t = self.engine_sim_time + self.cache_sim_time + self.path_walk_sim_time;
         if t == 0.0 {
             0.0
         } else {
             self.served_total() as f64 / t
+        }
+    }
+
+    /// Mean path lanes per walk wave (batching effectiveness).
+    pub fn path_walk_occupancy_mean(&self) -> f64 {
+        if self.path_walks == 0 {
+            0.0
+        } else {
+            self.path_walk_lanes as f64 / self.path_walks as f64
+        }
+    }
+
+    /// Mean queue depth over all pump samples.
+    pub fn queue_depth_mean(&self) -> f64 {
+        if self.queue_depth_samples == 0 {
+            0.0
+        } else {
+            self.queue_depth_sum as f64 / self.queue_depth_samples as f64
         }
     }
 
@@ -128,5 +175,24 @@ mod tests {
         assert_eq!(s.engine_time_per_query(), 0.0);
         assert_eq!(s.cache_time_per_query(), 0.0);
         assert_eq!(s.latency_ticks_mean(), 0.0);
+        assert_eq!(s.path_walk_occupancy_mean(), 0.0);
+        assert_eq!(s.queue_depth_mean(), 0.0);
+    }
+
+    #[test]
+    fn walk_time_feeds_qps() {
+        let s = ServerStats {
+            served_engine: 4,
+            engine_sim_time: 1.0,
+            path_walk_sim_time: 1.0,
+            path_walks: 2,
+            path_walk_lanes: 7,
+            queue_depth_sum: 9,
+            queue_depth_samples: 3,
+            ..ServerStats::default()
+        };
+        assert!((s.qps() - 2.0).abs() < 1e-12);
+        assert!((s.path_walk_occupancy_mean() - 3.5).abs() < 1e-12);
+        assert!((s.queue_depth_mean() - 3.0).abs() < 1e-12);
     }
 }

@@ -1,13 +1,18 @@
-//! Seeded Zipfian query-workload generator.
+//! Seeded Zipfian query-workload generator and open-loop arrival
+//! processes.
 //!
 //! Real query traffic is popularity-skewed: a few sources (landmarks,
 //! hub entities) dominate. The generator draws sources from a Zipf
 //! distribution over a pool of `hot_sources` candidates spread evenly
 //! across the vertex id space (rank `r` has weight `1/r^theta`), and
-//! query kinds from a configurable mix. Everything flows from one
-//! seeded ChaCha stream — the same spec always produces the same query
-//! sequence, which is what makes the serving benchmarks and the CI
-//! gates deterministic.
+//! query kinds from a configurable mix. [`ArrivalProcess`] then decides
+//! *when* those queries hit the admission queue: a fixed count per tick
+//! (closed-loop chunking), a Poisson stream, or a bursty on/off stream
+//! that concentrates the same mean rate into occasional floods — the
+//! regimes that stress queue depth and deadline-miss rates. Everything
+//! flows from seeded ChaCha streams — the same spec always produces
+//! the same query and arrival sequences, which is what makes the
+//! serving benchmarks and the CI gates deterministic.
 
 use crate::query::QueryKind;
 use bgl_graph::Vertex;
@@ -119,6 +124,84 @@ impl WorkloadSpec {
     }
 }
 
+/// When queries arrive at the admission queue, measured in queries per
+/// server tick. All variants are open-loop: arrivals do not react to
+/// queue depth, so backpressure and deadline misses are properties of
+/// the schedule, not of the measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ArrivalProcess {
+    /// Exactly `per_tick` queries every tick (the closed-loop chunking
+    /// the serve mode shipped with).
+    Fixed {
+        /// Queries delivered each tick.
+        per_tick: usize,
+    },
+    /// Poisson(`mean`) arrivals per tick: independent ticks, the
+    /// textbook open-loop stream.
+    Poisson {
+        /// Mean arrivals per tick (λ).
+        mean: f64,
+    },
+    /// Bursty on/off stream with the same long-run `mean`: each tick is
+    /// a burst tick with probability `1/burst`, delivering
+    /// Poisson(`mean`·`burst`) queries; all other ticks deliver none.
+    /// Larger `burst` concentrates the load into rarer, taller floods.
+    Bursty {
+        /// Long-run mean arrivals per tick.
+        mean: f64,
+        /// Burst factor (≥ 1; 1 degenerates to `Poisson`).
+        burst: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Deterministic arrival schedule delivering exactly `total`
+    /// queries: entry `t` is how many queries arrive at tick `t`. The
+    /// last tick is clamped so the schedule never over- or
+    /// under-delivers.
+    pub fn schedule(&self, total: usize, seed: u64) -> Vec<usize> {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let mut ticks = Vec::new();
+        let mut remaining = total;
+        while remaining > 0 {
+            let drawn = match *self {
+                ArrivalProcess::Fixed { per_tick } => per_tick.max(1),
+                ArrivalProcess::Poisson { mean } => poisson_draw(&mut rng, mean.max(1e-9)),
+                ArrivalProcess::Bursty { mean, burst } => {
+                    let burst = burst.max(1.0);
+                    if rng.gen::<f64>() < 1.0 / burst {
+                        poisson_draw(&mut rng, (mean * burst).max(1e-9))
+                    } else {
+                        0
+                    }
+                }
+            };
+            let take = drawn.min(remaining);
+            ticks.push(take);
+            remaining -= take;
+        }
+        if ticks.is_empty() {
+            ticks.push(0);
+        }
+        ticks
+    }
+}
+
+/// Knuth's product-of-uniforms Poisson sampler — exact, and cheap at
+/// the per-tick means the serving sweeps use (λ ≲ 100).
+fn poisson_draw(rng: &mut ChaCha8Rng, lambda: f64) -> usize {
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0f64;
+    loop {
+        p *= rng.gen::<f64>();
+        if p <= l {
+            return k;
+        }
+        k += 1;
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -169,6 +252,48 @@ mod tests {
             .generate(1_000)
             .iter()
             .all(|q| matches!(q, QueryKind::FullTraversal { .. })));
+    }
+
+    #[test]
+    fn arrival_schedules_are_seeded_and_exact() {
+        for proc in [
+            ArrivalProcess::Fixed { per_tick: 3 },
+            ArrivalProcess::Poisson { mean: 2.5 },
+            ArrivalProcess::Bursty {
+                mean: 2.5,
+                burst: 8.0,
+            },
+        ] {
+            let a = proc.schedule(200, 17);
+            assert_eq!(a.iter().sum::<usize>(), 200, "{proc:?}");
+            assert_eq!(a, proc.schedule(200, 17), "{proc:?} must be seeded");
+        }
+        assert_ne!(
+            ArrivalProcess::Poisson { mean: 2.5 }.schedule(200, 17),
+            ArrivalProcess::Poisson { mean: 2.5 }.schedule(200, 18),
+        );
+    }
+
+    #[test]
+    fn bursty_floods_are_taller_and_rarer() {
+        let mean = 2.0;
+        let smooth = ArrivalProcess::Poisson { mean }.schedule(2_000, 5);
+        let bursty = ArrivalProcess::Bursty { mean, burst: 10.0 }.schedule(2_000, 5);
+        let peak = |v: &[usize]| v.iter().copied().max().unwrap_or(0);
+        assert!(
+            peak(&bursty) > peak(&smooth),
+            "burst peak {} vs poisson peak {}",
+            peak(&bursty),
+            peak(&smooth)
+        );
+        let idle = |v: &[usize]| v.iter().filter(|&&c| c == 0).count() as f64 / v.len() as f64;
+        assert!(idle(&bursty) > idle(&smooth));
+    }
+
+    #[test]
+    fn fixed_schedule_chunks_evenly() {
+        let a = ArrivalProcess::Fixed { per_tick: 4 }.schedule(10, 0);
+        assert_eq!(a, vec![4, 4, 2]);
     }
 
     #[test]

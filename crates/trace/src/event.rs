@@ -34,6 +34,10 @@ pub enum Phase {
     Checkpoint,
     /// A checkpoint recovery: revive, regenerate, replay (resilient runs).
     Recovery,
+    /// One hop of the lane-masked batched path walk: the three control
+    /// rounds (announce / forward / reply) that advance every active
+    /// path-extraction lane one step toward the source.
+    PathWalk,
 }
 
 impl Phase {
@@ -49,6 +53,7 @@ impl Phase {
             Phase::Absorb => "absorb",
             Phase::Checkpoint => "checkpoint",
             Phase::Recovery => "recovery",
+            Phase::PathWalk => "path_walk",
         }
     }
 }

@@ -18,7 +18,7 @@
 
 use bgl_bfs::comm::{ChunkPolicy, WireMode, WirePolicy};
 use bgl_bfs::core::{bfs2d, bidir, memory, multi, path, theory, validate, ComputeEngine};
-use bgl_bfs::server::QueryMix;
+use bgl_bfs::server::{ArrivalProcess, QueryMix};
 use bgl_bfs::torus::MachineConfig;
 use bgl_bfs::trace::write_artifacts;
 use bgl_bfs::{
@@ -53,15 +53,19 @@ COMMANDS
            tracing: [--trace] [--trace-out results/trace] [--trace-level span|event] —
            writes TRACE_chrome.json + TRACE_summary.json and prints the per-level
            critical path and the hottest torus links
-  path     extract a shortest path (--n --k --seed --rows --cols --source --target)
+  path     extract shortest paths (--n --k --seed --rows --cols --source)
+           one walk: [--target T]; batched lane wave (up to 64 targets sharing
+           each control round): [--targets T1,T2,...]; [--wire auto|raw|delta|bitmap]
   serve    run a Zipfian query workload through the batched query server
            graph: --n --k --seed --rows --cols
            server: [--batch B<=64] [--queue-cap Q] [--deadline TICKS] [--cache-cap C]
            [--engine serial|rayon|auto] [--wire auto|raw|delta|bitmap] [--validate]
            workload: [--queries N] [--hot POOL] [--theta T] [--workload-seed S]
-           [--arrivals PER_TICK]
+           arrivals: [--arrivals PER_TICK] [--arrival-process fixed|poisson|bursty]
+           [--burst F] [--arrival-seed S] — seeded open-loop streams for queue-depth
+           and deadline-miss sweeps
            output: [--summary-out SERVER_summary.json] — QPS, latency, batch
-           occupancy, and cache stats from the simulated clock
+           occupancy, path-walk, and per-class cache stats from the simulated clock
   theory   print the §3.1 message-length analysis (--n --p [--kmax])
   memory   per-node memory feasibility (--per-rank --k --rows --cols [--chunk])
   info     machine presets
@@ -151,7 +155,7 @@ fn allowed_flags(cmd: &str) -> Option<Vec<&'static str>> {
             ],
         ]
         .concat(),
-        "path" => [GRAPH_FLAGS, &["source", "target"]].concat(),
+        "path" => [GRAPH_FLAGS, &["source", "target", "targets", "wire"]].concat(),
         "serve" => [
             GRAPH_FLAGS,
             &[
@@ -168,6 +172,9 @@ fn allowed_flags(cmd: &str) -> Option<Vec<&'static str>> {
                 "theta",
                 "workload-seed",
                 "arrivals",
+                "arrival-process",
+                "burst",
+                "arrival-seed",
                 "summary-out",
             ],
         ]
@@ -198,6 +205,23 @@ fn flag_error(cmd: &str, flags: &Flags) -> Option<String> {
                     .join(" ")
             ));
         }
+    }
+    if cmd == "path" && flags.has("target") && flags.has("targets") {
+        return Some(
+            "--target and --targets contradict: one names a single walk, the other a \
+             batched lane wave — pick one"
+                .to_string(),
+        );
+    }
+    if cmd == "serve" {
+        let process = flags.0.get("arrival-process").map(String::as_str);
+        if flags.has("burst") && process != Some("bursty") {
+            return Some(
+                "--burst shapes the bursty arrival process; add --arrival-process bursty"
+                    .to_string(),
+            );
+        }
+        return None;
     }
     if cmd != "search" {
         return None;
@@ -554,10 +578,53 @@ fn cmd_path(flags: &Flags) {
     let spec = spec_from(flags);
     let grid = grid_from(flags);
     let source = flags.u64("source", 0).min(spec.n - 1);
-    let target = flags.u64("target", spec.n - 1).min(spec.n - 1);
     let graph = DistGraph::build(spec, grid);
-    let mut world = SimWorld::bluegene(grid);
+    let mut world = SimWorld::bluegene(grid).with_wire_policy(wire_policy_from(flags));
     let r = bfs2d::run(&graph, &mut world, &BfsConfig::paper_optimized(), source);
+
+    if let Some(list) = flags.0.get("targets") {
+        // Batched lane wave: every target shares each per-hop control
+        // round of the walk.
+        let targets: Vec<u64> = list
+            .split(',')
+            .filter(|s| !s.is_empty())
+            .map(|s| {
+                s.trim()
+                    .parse::<u64>()
+                    .unwrap_or_else(|_| panic!("--targets: bad vertex {s:?}"))
+                    .min(spec.n - 1)
+            })
+            .collect();
+        assert!(
+            !targets.is_empty() && targets.len() <= bgl_bfs::comm::MAX_LANES,
+            "--targets takes 1..={} comma-separated vertices",
+            bgl_bfs::comm::MAX_LANES
+        );
+        let batched = path::multi(&graph, &mut world, &r.levels, source, &targets);
+        println!(
+            "batched walk: {} lanes, {} hops, {} control rounds, {:.3} ms sim",
+            targets.len(),
+            batched.hops,
+            batched.rounds,
+            batched.sim_time * 1e3
+        );
+        for (t, p) in targets.iter().zip(&batched.paths) {
+            match p {
+                Some(p) => println!(
+                    "  {t}: {} hops: {}",
+                    p.len() - 1,
+                    p.iter()
+                        .map(u64::to_string)
+                        .collect::<Vec<_>>()
+                        .join(" -> ")
+                ),
+                None => println!("  {t}: not reachable from {source}"),
+            }
+        }
+        return;
+    }
+
+    let target = flags.u64("target", spec.n - 1).min(spec.n - 1);
     match path::extract_path(&graph, &mut world, &r.levels, source, target) {
         Some(p) => {
             println!("shortest path ({} hops):", p.len() - 1);
@@ -594,10 +661,20 @@ fn cmd_serve(flags: &Flags) {
         mix: QueryMix::default(),
         seed: flags.u64("workload-seed", 99),
     };
-    let arrivals = flags.u64("arrivals", 4).max(1) as usize;
+    let per_tick = flags.u64("arrivals", 4).max(1) as usize;
+    let mean = flags.f64("arrivals", per_tick as f64);
+    let process = match flags.0.get("arrival-process").map(String::as_str) {
+        None | Some("fixed") => ArrivalProcess::Fixed { per_tick },
+        Some("poisson") => ArrivalProcess::Poisson { mean },
+        Some("bursty") => ArrivalProcess::Bursty {
+            mean,
+            burst: flags.f64("burst", 8.0),
+        },
+        Some(other) => panic!("--arrival-process: {other:?} (expected fixed, poisson, or bursty)"),
+    };
     println!(
         "G(n={}, k={}) on {}x{} — serving {} Zipf(θ={}) queries, batch width {}, \
-         {} arriving per tick…",
+         arrivals {:?}…",
         spec.n,
         spec.avg_degree,
         grid.rows(),
@@ -605,14 +682,16 @@ fn cmd_serve(flags: &Flags) {
         wspec.queries,
         wspec.theta,
         config.batch_width,
-        arrivals
+        process
     );
     let workload = wspec.generate(spec.n);
+    let schedule = process.schedule(workload.len(), flags.u64("arrival-seed", 7));
     let graph = DistGraph::build(spec, grid);
     let world = SimWorld::bluegene(grid).with_wire_policy(wire_policy_from(flags));
     let mut srv = BglServer::new(graph, world, config);
-    for chunk in workload.chunks(arrivals) {
-        for &q in chunk {
+    let mut pending = workload.into_iter();
+    for count in schedule {
+        for q in pending.by_ref().take(count) {
             if srv.submit(q).is_err() {
                 eprintln!("warning: queue full, query rejected (raise --queue-cap)");
             }
@@ -644,10 +723,21 @@ fn cmd_serve(flags: &Flags) {
         s.cache_sim_time * 1e3
     );
     println!(
-        "qps (simulated): {:.1}; latency mean {:.2} ticks, max {}",
+        "path walks: {} waves, {} lanes (mean {:.2}), {} hops, {} rounds, {:.3} ms sim",
+        s.path_walks,
+        s.path_walk_lanes,
+        s.path_walk_occupancy_mean(),
+        s.path_walk_hops,
+        s.path_walk_rounds,
+        s.path_walk_sim_time * 1e3
+    );
+    println!(
+        "qps (simulated): {:.1}; latency mean {:.2} ticks, max {}; queue depth mean {:.2}, max {}",
         s.qps(),
         s.latency_ticks_mean(),
-        s.latency_ticks_max
+        s.latency_ticks_max,
+        s.queue_depth_mean(),
+        s.queue_depth_max
     );
     let c = srv.cache();
     println!(
@@ -861,9 +951,18 @@ mod tests {
             ),
             ("search", "--source 0 --target 99 --bidir --engine rayon"),
             ("path", "--n 1000 --source 0 --target 99"),
+            ("path", "--n 1000 --source 0 --targets 5,9,99 --wire delta"),
             (
                 "serve",
                 "--n 8000 --batch 8 --queries 16 --cache-cap 8 --deadline 6 --summary-out /tmp/s",
+            ),
+            (
+                "serve",
+                "--n 8000 --queries 32 --arrivals 3 --arrival-process poisson --arrival-seed 5",
+            ),
+            (
+                "serve",
+                "--n 8000 --queries 32 --arrival-process bursty --burst 10 --arrival-seed 3",
             ),
             ("theory", "--n 40000000 --p 400 --kmax 1e4"),
             ("memory", "--per-rank 100000 --k 10 --chunk 0"),
@@ -911,5 +1010,20 @@ mod tests {
         ] {
             assert_eq!(flag_error("search", &flags(line)), None, "{line}");
         }
+    }
+
+    #[test]
+    fn contradictory_path_and_serve_combinations_are_rejected() {
+        let e = flag_error("path", &flags("--target 5 --targets 1,2")).expect("path");
+        assert!(e.contains("--targets"), "{e}");
+        let e = flag_error("serve", &flags("--burst 10")).expect("serve");
+        assert!(e.contains("--burst"), "{e}");
+        let e = flag_error("serve", &flags("--burst 10 --arrival-process poisson")).expect("serve");
+        assert!(e.contains("--burst"), "{e}");
+        // --burst is fine once the process actually is bursty.
+        assert_eq!(
+            flag_error("serve", &flags("--burst 10 --arrival-process bursty")),
+            None
+        );
     }
 }

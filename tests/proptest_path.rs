@@ -1,0 +1,132 @@
+//! Property-based checks on the lane-masked batched path walk
+//! (`bfs_core::path::multi`): on random graphs, grids, and target
+//! batches (duplicates and unreached targets included), every lane of a
+//! batched walk is byte-identical to its standalone `extract_path`,
+//! whichever host engine built the level array and whichever wire codec
+//! carries the rounds — and lossy control rounds (drops + duplicates)
+//! retry without changing a single extracted path.
+
+use bgl_bfs::core::{bfs2d, path, BfsConfig, ComputeEngine};
+use bgl_bfs::{DistGraph, FaultPlan, GraphSpec, ProcessorGrid, SimWorld, WirePolicy};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+enum Family {
+    Poisson,
+    Rmat,
+}
+
+fn any_engine() -> impl Strategy<Value = ComputeEngine> {
+    prop_oneof![
+        Just(ComputeEngine::Serial),
+        Just(ComputeEngine::Rayon),
+        Just(ComputeEngine::Auto),
+    ]
+}
+
+fn any_wire() -> impl Strategy<Value = WirePolicy> {
+    prop_oneof![Just(WirePolicy::raw()), Just(WirePolicy::auto())]
+}
+
+fn any_family() -> impl Strategy<Value = Family> {
+    prop_oneof![Just(Family::Poisson), Just(Family::Rmat)]
+}
+
+/// Small random instances: n in the hundreds keeps a proptest case in
+/// the low milliseconds while still crossing rank boundaries on every
+/// grid shape. Sparse Poisson families routinely leave vertices
+/// unreached, exercising the never-activated lanes.
+fn instance() -> impl Strategy<Value = (GraphSpec, ProcessorGrid)> {
+    (
+        any_family(),
+        200u64..900,
+        2.0f64..8.0,
+        0u64..1_000,
+        1usize..4,
+        1usize..4,
+    )
+        .prop_map(|(family, n, k, seed, rows, cols)| {
+            let spec = match family {
+                Family::Poisson => GraphSpec::poisson(n, k, seed),
+                Family::Rmat => GraphSpec::rmat(n, k, seed),
+            };
+            (spec, ProcessorGrid::new(rows, cols))
+        })
+}
+
+/// 1..=8 targets, drawn with replacement so duplicate-target batches
+/// (two lanes walking the same downhill chain) are exercised; the
+/// source itself may be drawn, exercising trivial lanes.
+fn targets(n_max: u64) -> impl Strategy<Value = Vec<u64>> {
+    proptest::collection::vec(0..n_max, 1..=8)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Batched lanes ≡ standalone extractions, across engines × wires.
+    #[test]
+    fn lanes_equal_standalone_extractions(
+        (spec, grid) in instance(),
+        source in 0u64..200,
+        tgts in targets(200),
+        engine in any_engine(),
+        wire in any_wire(),
+    ) {
+        let source = source % spec.n;
+        let tgts: Vec<u64> = tgts.into_iter().map(|t| t % spec.n).collect();
+        let graph = DistGraph::build(spec, grid);
+        let mut bfs_world = SimWorld::bluegene(grid).with_wire_policy(wire);
+        let levels = bfs2d::run(
+            &graph,
+            &mut bfs_world,
+            &BfsConfig::paper_optimized().with_engine(engine),
+            source,
+        )
+        .levels;
+
+        let mut world = SimWorld::bluegene(grid).with_wire_policy(wire);
+        let r = path::multi(&graph, &mut world, &levels, source, &tgts);
+        prop_assert_eq!(r.paths.len(), tgts.len());
+        prop_assert_eq!(r.rounds, 3 * u64::from(r.hops), "three rounds per hop");
+        for (lane, &t) in tgts.iter().enumerate() {
+            let mut w = SimWorld::bluegene(grid).with_wire_policy(wire);
+            let single = path::extract_path(&graph, &mut w, &levels, source, t);
+            prop_assert_eq!(
+                &r.paths[lane],
+                &single,
+                "lane {} (target {}) diverged", lane, t
+            );
+        }
+    }
+
+    /// Lossy control rounds (drops and duplicates) are retried away:
+    /// the faulty-world walk returns exactly the clean-world paths.
+    #[test]
+    fn lossy_control_rounds_leave_paths_unchanged(
+        (spec, grid) in instance(),
+        source in 0u64..200,
+        tgts in targets(200),
+        fault_seed in 0u64..1_000,
+        drop in 0.05f64..0.4,
+        dup in 0.0f64..0.2,
+    ) {
+        let source = source % spec.n;
+        let tgts: Vec<u64> = tgts.into_iter().map(|t| t % spec.n).collect();
+        let graph = DistGraph::build(spec, grid);
+        let mut clean = SimWorld::bluegene(grid);
+        let levels = bfs2d::run(&graph, &mut clean, &BfsConfig::paper_optimized(), source).levels;
+        let want = path::multi(&graph, &mut clean, &levels, source, &tgts).paths;
+
+        let plan = FaultPlan::seeded(fault_seed)
+            .with_control_drop_prob(drop)
+            .with_control_duplicate_prob(dup);
+        let mut faulty = SimWorld::bluegene(grid)
+            .with_fault_plan(plan)
+            .with_faulty_control();
+        let config = path::MultiPathConfig { retry_attempts: 16 };
+        let got = path::try_multi(&graph, &mut faulty, &levels, source, &tgts, &config)
+            .expect("retries ride out lossy control rounds");
+        prop_assert_eq!(got.paths, want, "faults must not change extracted paths");
+    }
+}
