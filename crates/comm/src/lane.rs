@@ -51,6 +51,7 @@ impl LaneSet {
         };
         for (v, m) in pairs {
             if set.verts.last() == Some(&v) {
+                // bgl-lint: allow(r1, reason = "verts and masks grow in lockstep, so a matched verts.last() implies masks is non-empty")
                 *set.masks.last_mut().unwrap() |= m;
             } else {
                 set.verts.push(v);

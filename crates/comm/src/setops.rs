@@ -67,6 +67,7 @@ pub fn union_into(a: &mut Vec<Vert>, b: &[Vert]) -> usize {
         return 0;
     }
     // Fast path: disjoint ranges append without a merge pass.
+    // bgl-lint: allow(r1, reason = "the is_empty early-return above guarantees `a` is non-empty here")
     if *a.last().unwrap() < b[0] {
         a.extend_from_slice(b);
         return 0;

@@ -391,6 +391,7 @@ pub fn encode(payload: &[Vert], policy: &WirePolicy) -> Vec<u8> {
         }
         WireFormat::Bitmap => {
             let first = payload[0];
+            // bgl-lint: allow(r1, reason = "choose() returns Raw for empty payloads, so the Bitmap arm sees at least one element")
             let last = *payload.last().unwrap();
             let words = bitmap_words(first, last);
             push_varint(&mut out, first);

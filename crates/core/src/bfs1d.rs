@@ -21,17 +21,32 @@ use bgl_comm::collectives::{
     alltoall::alltoallv, reduce_scatter::reduce_scatter_union_ring, two_phase::two_phase_fold,
     Groups,
 };
-use bgl_comm::{OpClass, Phase, SimWorld, Vert};
+use bgl_comm::{CommError, OpClass, Phase, SimWorld, Vert};
 use bgl_graph::{DistGraph, Vertex};
 
 /// Run Algorithm 1 from `source`. The graph must be distributed on a
 /// `1 × P` grid (the conventional 1D partitioning).
+///
+/// Panics on a communication fault — the 1D reference path is meant
+/// for fault-free worlds; use [`try_run`] to handle faults.
 pub fn run(
     graph: &DistGraph,
     world: &mut SimWorld,
     config: &BfsConfig,
     source: Vertex,
 ) -> BfsResult {
+    try_run(graph, world, config, source)
+        // bgl-lint: allow(r1, reason = "documented infallible convenience wrapper; fault-injecting callers use try_run")
+        .unwrap_or_else(|e| panic!("communication fault during 1D BFS: {e} (use try_run)"))
+}
+
+/// [`run`] with communication faults surfaced as typed errors.
+pub fn try_run(
+    graph: &DistGraph,
+    world: &mut SimWorld,
+    config: &BfsConfig,
+    source: Vertex,
+) -> Result<BfsResult, CommError> {
     let grid = world.grid();
     assert_eq!(grid, graph.grid(), "world and graph grids must match");
     assert_eq!(
@@ -98,21 +113,21 @@ pub fn run(
                     })
                     .collect();
                 FoldOut::PerSender(
-                    alltoallv(world, OpClass::Fold, &row_groups, sends)
-                        .expect("1D BFS runs fault-free")
+                    alltoallv(world, OpClass::Fold, &row_groups, sends)?
                         .into_iter()
                         .map(|inbox| inbox.into_iter().map(|(_, pl)| pl).collect())
                         .collect(),
                 )
             }
-            FoldStrategy::ReduceScatterUnion => FoldOut::Union(
-                reduce_scatter_union_ring(world, OpClass::Fold, &row_groups, blocks)
-                    .expect("1D BFS runs fault-free"),
-            ),
-            FoldStrategy::TwoPhaseRing => FoldOut::Union(
-                two_phase_fold(world, OpClass::Fold, &row_groups, blocks)
-                    .expect("1D BFS runs fault-free"),
-            ),
+            FoldStrategy::ReduceScatterUnion => FoldOut::Union(reduce_scatter_union_ring(
+                world,
+                OpClass::Fold,
+                &row_groups,
+                blocks,
+            )?),
+            FoldStrategy::TwoPhaseRing => {
+                FoldOut::Union(two_phase_fold(world, OpClass::Fold, &row_groups, blocks)?)
+            }
         };
 
         world.trace_span(Phase::Fold, level, t_fold);
@@ -178,7 +193,7 @@ pub fn run(
 
     let levels = gather_levels(&states, graph.spec.n);
     let reached = states.iter().map(|s| s.reached()).sum();
-    BfsResult {
+    Ok(BfsResult {
         stats: RunStats {
             levels: level_records,
             sim_time: world.time(),
@@ -191,7 +206,7 @@ pub fn run(
         },
         target_level,
         levels,
-    }
+    })
 }
 
 #[cfg(test)]

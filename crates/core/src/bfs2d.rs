@@ -190,6 +190,7 @@ pub fn run(
     source: Vertex,
 ) -> BfsResult {
     try_run(graph, world, config, source).unwrap_or_else(|e| {
+        // bgl-lint: allow(r1, reason = "documented infallible convenience wrapper; fault-injecting callers use try_run or run_resilient")
         panic!(
             "communication fault during BFS: {e} (use try_run or run_resilient with a FaultPlan)"
         )
@@ -464,6 +465,7 @@ fn control_exchange_with_retry(
             Err(e) => return Err(e),
         }
     }
+    // bgl-lint: allow(r1, reason = "attempts.max(1) guarantees the loop body ran and set `last` before falling through")
     Err(last.expect("attempts >= 1 so at least one attempt ran"))
 }
 

@@ -27,7 +27,7 @@ use bgl_comm::collectives::{
     two_phase::{two_phase_expand, two_phase_fold},
     Groups,
 };
-use bgl_comm::{OpClass, Phase, SimWorld, Vert};
+use bgl_comm::{CommError, OpClass, Phase, SimWorld, Vert};
 use bgl_graph::{DistGraph, Vertex};
 
 /// Outcome of a bi-directional search.
@@ -47,6 +47,9 @@ enum Side {
 }
 
 /// Run a bi-directional search between `source` and `target`.
+///
+/// Panics on a communication fault — bi-directional search is meant
+/// for fault-free worlds; use [`try_run`] to handle faults.
 pub fn run(
     graph: &DistGraph,
     world: &mut SimWorld,
@@ -54,13 +57,27 @@ pub fn run(
     source: Vertex,
     target: Vertex,
 ) -> BidirResult {
+    try_run(graph, world, config, source, target).unwrap_or_else(|e| {
+        // bgl-lint: allow(r1, reason = "documented infallible convenience wrapper; fault-injecting callers use try_run")
+        panic!("communication fault during bi-directional search: {e} (use try_run)")
+    })
+}
+
+/// [`run`] with communication faults surfaced as typed errors.
+pub fn try_run(
+    graph: &DistGraph,
+    world: &mut SimWorld,
+    config: &BfsConfig,
+    source: Vertex,
+    target: Vertex,
+) -> Result<BidirResult, CommError> {
     let grid = world.grid();
     assert_eq!(grid, graph.grid(), "world and graph grids must match");
     assert!(source < graph.spec.n && target < graph.spec.n);
     let p = grid.len();
 
     if source == target {
-        return BidirResult {
+        return Ok(BidirResult {
             distance: Some(0),
             stats: RunStats {
                 levels: Vec::new(),
@@ -72,7 +89,7 @@ pub fn run(
                 comm: world.stats.clone(),
                 p,
             },
-        };
+        });
     }
 
     let row_groups = Groups::rows_of(grid);
@@ -139,8 +156,7 @@ pub fn run(
                 let sends: Vec<Vec<(usize, Vec<Vert>)>> = config
                     .engine
                     .map_mut(states, RankState::expand_sends_targeted);
-                alltoallv(world, OpClass::Expand, &col_groups, sends)
-                    .expect("bidirectional search runs fault-free")
+                alltoallv(world, OpClass::Expand, &col_groups, sends)?
                     .into_iter()
                     .map(|inbox| inbox.into_iter().map(|(_, pl)| pl).collect())
                     .collect()
@@ -148,8 +164,7 @@ pub fn run(
             ExpandStrategy::AllGatherRing => {
                 let contributions: Vec<Vec<Vert>> =
                     states.iter().map(|s| s.frontier.clone()).collect();
-                allgather_ring(world, OpClass::Expand, &col_groups, contributions)
-                    .expect("bidirectional search runs fault-free")
+                allgather_ring(world, OpClass::Expand, &col_groups, contributions)?
                     .into_iter()
                     .map(|parts| parts.into_iter().map(|(_, pl)| pl).collect())
                     .collect()
@@ -157,8 +172,7 @@ pub fn run(
             ExpandStrategy::TwoPhaseRing => {
                 let contributions: Vec<Vec<Vert>> =
                     states.iter().map(|s| s.frontier.clone()).collect();
-                two_phase_expand(world, OpClass::Expand, &col_groups, contributions)
-                    .expect("bidirectional search runs fault-free")
+                two_phase_expand(world, OpClass::Expand, &col_groups, contributions)?
                     .into_iter()
                     .map(|parts| parts.into_iter().map(|(_, pl)| pl).collect())
                     .collect()
@@ -188,21 +202,21 @@ pub fn run(
                     })
                     .collect();
                 FoldOut::PerSender(
-                    alltoallv(world, OpClass::Fold, &row_groups, sends)
-                        .expect("bidirectional search runs fault-free")
+                    alltoallv(world, OpClass::Fold, &row_groups, sends)?
                         .into_iter()
                         .map(|inbox| inbox.into_iter().map(|(_, pl)| pl).collect())
                         .collect(),
                 )
             }
-            FoldStrategy::ReduceScatterUnion => FoldOut::Union(
-                reduce_scatter_union_ring(world, OpClass::Fold, &row_groups, blocks)
-                    .expect("bidirectional search runs fault-free"),
-            ),
-            FoldStrategy::TwoPhaseRing => FoldOut::Union(
-                two_phase_fold(world, OpClass::Fold, &row_groups, blocks)
-                    .expect("bidirectional search runs fault-free"),
-            ),
+            FoldStrategy::ReduceScatterUnion => FoldOut::Union(reduce_scatter_union_ring(
+                world,
+                OpClass::Fold,
+                &row_groups,
+                blocks,
+            )?),
+            FoldStrategy::TwoPhaseRing => {
+                FoldOut::Union(two_phase_fold(world, OpClass::Fold, &row_groups, blocks)?)
+            }
         };
         world.trace_span(Phase::Fold, iter, t_fold);
         let t_absorb = world.time();
@@ -268,7 +282,7 @@ pub fn run(
 
     let reached: u64 = st_s.iter().map(|s| s.reached()).sum::<u64>()
         + st_t.iter().map(|s| s.reached()).sum::<u64>();
-    BidirResult {
+    Ok(BidirResult {
         distance: (candidate != u64::MAX).then_some(candidate as u32),
         stats: RunStats {
             levels: level_records,
@@ -280,7 +294,7 @@ pub fn run(
             comm: world.stats.clone(),
             p,
         },
-    }
+    })
 }
 
 #[cfg(test)]

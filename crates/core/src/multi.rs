@@ -201,7 +201,7 @@ impl<'g> MultiRankState<'g> {
                             .rg
                             .edges
                             .row_local(u)
-                            .expect("edge-list vertex must be row-indexed");
+                            .expect("edge-list vertex must be row-indexed"); // bgl-lint: allow(r1, reason = "CSR construction row-indexes every edge endpoint; a miss is a partitioning bug")
                         emit = mask & !self.sent[rl as usize];
                         if emit == 0 {
                             continue;
@@ -230,7 +230,7 @@ impl<'g> MultiRankState<'g> {
                 let off = self
                     .rg
                     .owned_local(v)
-                    .expect("fold delivered a vertex to a non-owner");
+                    .expect("fold delivered a vertex to a non-owner"); // bgl-lint: allow(r1, reason = "fold routes by block_col_of, so delivery to a non-owner is a partitioning bug")
                 let new = mask & !self.visited[off];
                 if new == 0 {
                     continue;
@@ -283,6 +283,7 @@ pub fn run(
     sources: &[Vertex],
 ) -> MultiBfsResult {
     try_run(graph, world, config, sources)
+        // bgl-lint: allow(r1, reason = "documented infallible convenience wrapper; fault-injecting callers use try_run")
         .unwrap_or_else(|e| panic!("communication fault during batched BFS: {e}"))
 }
 

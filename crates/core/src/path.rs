@@ -31,6 +31,9 @@ use std::collections::BTreeMap;
 /// array produced by a BFS from `source`. Returns `None` when the
 /// target was not reached. The returned path starts at `source`, ends
 /// at `target`, and has `levels[target] + 1` vertices.
+///
+/// Panics on a communication fault; see [`try_extract_path`] for the
+/// fallible form.
 pub fn extract_path(
     graph: &DistGraph,
     world: &mut SimWorld,
@@ -38,6 +41,19 @@ pub fn extract_path(
     source: Vertex,
     target: Vertex,
 ) -> Option<Vec<Vertex>> {
+    try_extract_path(graph, world, levels, source, target)
+        // bgl-lint: allow(r1, reason = "documented infallible convenience wrapper; fault-injecting callers use try_extract_path")
+        .unwrap_or_else(|e| panic!("communication fault during path extraction: {e}"))
+}
+
+/// [`extract_path`] with communication faults surfaced as typed errors.
+pub fn try_extract_path(
+    graph: &DistGraph,
+    world: &mut SimWorld,
+    levels: &[u32],
+    source: Vertex,
+    target: Vertex,
+) -> Result<Option<Vec<Vertex>>, CommError> {
     let grid = world.grid();
     assert_eq!(grid, graph.grid(), "world and graph grids must match");
     assert_eq!(
@@ -46,7 +62,7 @@ pub fn extract_path(
         "level array size mismatch"
     );
     if levels[target as usize] == UNREACHED {
-        return None;
+        return Ok(None);
     }
     debug_assert_eq!(
         levels[source as usize], 0,
@@ -67,9 +83,7 @@ pub fn extract_path(
         let announce: Vec<(usize, usize, Vec<Vert>)> = (0..grid.rows())
             .map(|i| (owner, grid.rank_of(i, col), vec![cur]))
             .collect();
-        let inboxes = world
-            .exchange(OpClass::Control, announce)
-            .expect("control traffic is fault-exempt");
+        let inboxes = world.exchange(OpClass::Control, announce)?;
 
         // Round 2 (fold-shaped): column peers forward cur's partial
         // neighbor lists to the neighbors' owners.
@@ -94,9 +108,7 @@ pub fn extract_path(
                 }
             }
         }
-        let inboxes = world
-            .exchange(OpClass::Control, forwards)
-            .expect("control traffic is fault-exempt");
+        let inboxes = world.exchange(OpClass::Control, forwards)?;
 
         // Round 3: owners filter candidates at level l-1 and reply to
         // cur's owner; take the smallest for determinism.
@@ -115,20 +127,18 @@ pub fn extract_path(
                 replies.push((rank, owner, vec![u]));
             }
         }
-        let inboxes = world
-            .exchange(OpClass::Control, replies)
-            .expect("control traffic is fault-exempt");
+        let inboxes = world.exchange(OpClass::Control, replies)?;
         let parent = inboxes[owner]
             .iter()
             .flat_map(|(_, list)| list.iter().copied())
             .min()
-            .expect("a reached vertex at level l must have a parent at level l-1");
+            .expect("a reached vertex at level l must have a parent at level l-1"); // bgl-lint: allow(r1, reason = "a valid BFS labelling guarantees a level l-1 parent for every level l vertex; an empty reply is a labelling bug")
 
         path.push(parent);
         cur = parent;
     }
     path.reverse();
-    Some(path)
+    Ok(Some(path))
 }
 
 /// Knobs for the batched walk ([`try_multi`]).
@@ -181,7 +191,7 @@ pub fn multi(
         targets,
         &MultiPathConfig::default(),
     )
-    .expect("control traffic retries exhausted")
+    .expect("control traffic retries exhausted") // bgl-lint: allow(r1, reason = "documented infallible convenience wrapper; fault-injecting callers use try_multi")
 }
 
 /// Batched downhill walk: every target is a *lane* (bit `l` of a
@@ -364,10 +374,10 @@ pub fn try_multi(
                 .filter(|&(_, m)| m & (1 << l) != 0)
                 .map(|(u, _)| u)
                 .min()
-                .expect("a reached vertex at level l must have a parent at level l-1");
+                .expect("a reached vertex at level l must have a parent at level l-1"); // bgl-lint: allow(r1, reason = "a valid BFS labelling guarantees a level l-1 parent for every level l vertex; an empty reply is a labelling bug")
             paths[l]
                 .as_mut()
-                .expect("active lane has a path")
+                .expect("active lane has a path") // bgl-lint: allow(r1, reason = "paths[l] is initialized Some for every lane in the active mask")
                 .push(parent);
             cur[l] = parent;
             if parent == source {
@@ -418,6 +428,7 @@ fn lane_exchange_with_retry(
             Err(e) => return Err(e),
         }
     }
+    // bgl-lint: allow(r1, reason = "attempts.max(1) guarantees the loop body ran and set `last` before falling through")
     Err(last.expect("attempts >= 1 so at least one attempt ran"))
 }
 

@@ -132,7 +132,7 @@ impl<'g> RankState<'g> {
                             .rg
                             .edges
                             .row_local(u)
-                            .expect("edge-list vertex must be row-indexed");
+                            .expect("edge-list vertex must be row-indexed"); // bgl-lint: allow(r1, reason = "CSR construction row-indexes every edge endpoint; a miss is a partitioning bug")
                         if self.sent[rl as usize] {
                             continue;
                         }
@@ -162,7 +162,7 @@ impl<'g> RankState<'g> {
                 let off = self
                     .rg
                     .owned_local(v)
-                    .expect("fold delivered a vertex to a non-owner");
+                    .expect("fold delivered a vertex to a non-owner"); // bgl-lint: allow(r1, reason = "fold routes by block_col_of, so delivery to a non-owner is a partitioning bug")
                 if self.levels[off] == UNREACHED {
                     self.levels[off] = next_level;
                     fresh.push(v);
@@ -187,7 +187,7 @@ impl<'g> RankState<'g> {
             let off = self
                 .rg
                 .owned_local(v)
-                .expect("fold delivered a vertex to a non-owner");
+                .expect("fold delivered a vertex to a non-owner"); // bgl-lint: allow(r1, reason = "fold routes by block_col_of, so delivery to a non-owner is a partitioning bug")
             if self.levels[off] == UNREACHED {
                 self.levels[off] = next_level;
                 fresh.push(v);

@@ -67,6 +67,7 @@ pub fn run_threaded(graph: &DistGraph, source: Vertex, use_sent: bool) -> Vec<u3
     let per_rank = run_threaded_with_faults(graph, source, use_sent, FaultPlan::none());
     let mut levels = vec![UNREACHED; graph.spec.n as usize];
     for out in per_rank {
+        // bgl-lint: allow(r1, reason = "FaultPlan::none() means no rank can die or time out, so every per-rank result is Ok")
         let out = out.expect("fault-free threaded run cannot fail");
         let s = out.owned_start as usize;
         levels[s..s + out.levels.len()].copy_from_slice(&out.levels);
@@ -98,6 +99,7 @@ pub fn run_threaded_traced(
     let mut buffer = TraceBuffer::new(p, DEFAULT_RING_CAPACITY);
     let mut levels = vec![UNREACHED; graph.spec.n as usize];
     for (rank, out) in per_rank.into_iter().enumerate() {
+        // bgl-lint: allow(r1, reason = "FaultPlan::none() means no rank can die or time out, so every per-rank result is Ok")
         let out = out.expect("fault-free threaded run cannot fail");
         let s = out.owned_start as usize;
         levels[s..s + out.levels.len()].copy_from_slice(&out.levels);

@@ -23,7 +23,7 @@ use crate::config::BfsConfig;
 use crate::reference::UNREACHED;
 use crate::stats::{LevelStats, RunStats};
 use bgl_comm::collectives::{alltoall::alltoallv, Groups};
-use bgl_comm::{OpClass, SimWorld, Vert};
+use bgl_comm::{CommError, OpClass, SimWorld, Vert};
 use bgl_graph::{DistGraph, RankGraph, TwoDPartition, Vertex};
 
 /// Parent label meaning "no parent" (unreached, or the source itself
@@ -86,7 +86,7 @@ impl<'g> TreeRankState<'g> {
                             .rg
                             .edges
                             .row_local(u)
-                            .expect("edge-list vertex must be row-indexed")
+                            .expect("edge-list vertex must be row-indexed") // bgl-lint: allow(r1, reason = "CSR construction row-indexes every edge endpoint; a miss is a partitioning bug")
                             as usize;
                         if self.sent[rl] {
                             continue;
@@ -114,7 +114,7 @@ impl<'g> TreeRankState<'g> {
                 let off = self
                     .rg
                     .owned_local(u)
-                    .expect("fold delivered a vertex to a non-owner");
+                    .expect("fold delivered a vertex to a non-owner"); // bgl-lint: allow(r1, reason = "fold routes by block_col_of, so delivery to a non-owner is a partitioning bug")
                 if self.levels[off] == UNREACHED {
                     self.levels[off] = next_level;
                     self.parents[off] = parent;
@@ -152,12 +152,28 @@ impl<'g> TreeRankState<'g> {
 /// Run a tree-building BFS from `source`. Only the `sent_neighbors` and
 /// `max_levels` fields of `config` apply (the fold is always the direct
 /// targeted all-to-all — see module docs).
+///
+/// Panics on a communication fault — tree construction is meant for
+/// fault-free worlds; use [`try_run_tree`] to handle faults.
 pub fn run_tree(
     graph: &DistGraph,
     world: &mut SimWorld,
     config: &BfsConfig,
     source: Vertex,
 ) -> TreeResult {
+    try_run_tree(graph, world, config, source).unwrap_or_else(|e| {
+        // bgl-lint: allow(r1, reason = "documented infallible convenience wrapper; fault-injecting callers use try_run_tree")
+        panic!("communication fault during tree construction: {e} (use try_run_tree)")
+    })
+}
+
+/// [`run_tree`] with communication faults surfaced as typed errors.
+pub fn try_run_tree(
+    graph: &DistGraph,
+    world: &mut SimWorld,
+    config: &BfsConfig,
+    source: Vertex,
+) -> Result<TreeResult, CommError> {
     let grid = world.grid();
     assert_eq!(grid, graph.grid(), "world and graph grids must match");
     assert!(source < graph.spec.n, "source out of range");
@@ -173,6 +189,7 @@ pub fn run_tree(
     {
         let owner = graph.partition.owner_of(source);
         let st = &mut states[owner];
+        // bgl-lint: allow(r1, reason = "st is states[owner_of(source)], so the owner lookup cannot miss")
         let off = st.rg.owned_local(source).unwrap();
         st.levels[off] = 0;
         st.parents[off] = source;
@@ -199,8 +216,7 @@ pub fn run_tree(
         // Expand (targeted, unchanged).
         let sends: Vec<Vec<(usize, Vec<Vert>)>> =
             states.iter().map(|s| s.expand_sends(grid)).collect();
-        let fbar: Vec<Vec<Vec<Vert>>> = alltoallv(world, OpClass::Expand, &col_groups, sends)
-            .expect("tree construction runs fault-free")
+        let fbar: Vec<Vec<Vec<Vert>>> = alltoallv(world, OpClass::Expand, &col_groups, sends)?
             .into_iter()
             .map(|inbox| inbox.into_iter().map(|(_, pl)| pl).collect())
             .collect();
@@ -226,8 +242,7 @@ pub fn run_tree(
                     .collect()
             })
             .collect();
-        let nbar: Vec<Vec<Vec<Vert>>> = alltoallv(world, OpClass::Fold, &row_groups, fold_sends)
-            .expect("tree construction runs fault-free")
+        let nbar: Vec<Vec<Vec<Vert>>> = alltoallv(world, OpClass::Fold, &row_groups, fold_sends)?
             .into_iter()
             .map(|inbox| inbox.into_iter().map(|(_, pl)| pl).collect())
             .collect();
@@ -273,7 +288,7 @@ pub fn run_tree(
         parents[start..start + st.parents.len()].copy_from_slice(&st.parents);
         reached += st.levels.iter().filter(|&&l| l != UNREACHED).count() as u64;
     }
-    TreeResult {
+    Ok(TreeResult {
         levels,
         parents,
         stats: RunStats {
@@ -286,7 +301,7 @@ pub fn run_tree(
             comm: world.stats.clone(),
             p,
         },
-    }
+    })
 }
 
 /// Graph500-style tree validation: levels are BFS distances, every

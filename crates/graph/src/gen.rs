@@ -232,6 +232,7 @@ pub fn rmat_draws(spec: &GraphSpec) -> u64 {
 /// both directions of each sampled edge. Self-loops are skipped.
 pub fn rmat_chunk_edges(spec: &GraphSpec, chunk_idx: u64, stride: u64) -> Vec<(Vertex, Vertex)> {
     let GraphFamily::RMat { a, b, c } = spec.family else {
+        // bgl-lint: allow(r1, reason = "API contract: the builder dispatches on spec.family before calling the family-specific generator")
         panic!("rmat_chunk_edges requires an R-MAT spec");
     };
     let total = rmat_draws(spec);
@@ -288,6 +289,7 @@ pub const SW_STRIDE: u64 = 1 << 14;
 /// realized degree is marginally below `k` at high rewiring.
 pub fn small_world_chunk_edges(spec: &GraphSpec, chunk_idx: u64) -> Vec<(Vertex, Vertex)> {
     let GraphFamily::SmallWorld { rewire } = spec.family else {
+        // bgl-lint: allow(r1, reason = "API contract: the builder dispatches on spec.family before calling the family-specific generator")
         panic!("small_world_chunk_edges requires a SmallWorld spec");
     };
     let n = spec.n;

@@ -75,7 +75,8 @@ pub fn degrees(graph: &DistGraph) -> Vec<u32> {
     let mut deg = vec![0u32; n];
     for rg in &graph.ranks {
         for (col, list) in rg.edges.iter_cols() {
-            deg[col as usize] += list.len() as u32;
+            let partial = u32::try_from(list.len()).unwrap_or(u32::MAX);
+            deg[col as usize] = deg[col as usize].saturating_add(partial);
         }
     }
     deg
@@ -93,7 +94,7 @@ pub fn connected_components(adj: &[Vec<Vertex>]) -> (Vec<u32>, Vec<u64>) {
         if comp[start] != u32::MAX {
             continue;
         }
-        let id = sizes.len() as u32;
+        let id = u32::try_from(sizes.len()).unwrap_or(u32::MAX - 1);
         let mut size = 0u64;
         comp[start] = id;
         queue.push_back(start as Vertex);

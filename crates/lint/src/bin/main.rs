@@ -1,0 +1,63 @@
+//! `bgl-lint` — the workspace determinism & robustness lint binary.
+//!
+//! ```text
+//! bgl-lint                 report findings, exit 0 (report-only mode)
+//! bgl-lint --check         exit 1 on any finding (the CI gate)
+//! bgl-lint --root <dir>    lint a different tree (default .)
+//! bgl-lint --out <path>    where to write the JSON report
+//!                          (default <root>/LINT_report.json)
+//! ```
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: bgl-lint [--check] [--root DIR] [--out PATH]";
+
+fn main() -> ExitCode {
+    let mut check = false;
+    let mut root = PathBuf::from(".");
+    let mut out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => check = true,
+            "--root" => match args.next() {
+                Some(v) => root = PathBuf::from(v),
+                None => return usage_error("--root needs a directory"),
+            },
+            "--out" => match args.next() {
+                Some(v) => out = Some(PathBuf::from(v)),
+                None => return usage_error("--out needs a path"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown argument {other:?}")),
+        }
+    }
+    let report = match bgl_lint::lint_root(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("bgl-lint: error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let out = out.unwrap_or_else(|| root.join("LINT_report.json"));
+    if let Err(e) = std::fs::write(&out, report.to_json()) {
+        eprintln!("bgl-lint: error: cannot write {}: {e}", out.display());
+        return ExitCode::from(2);
+    }
+    print!("{}", report.render_text());
+    println!("{}", report.render_summary());
+    if check && !report.is_clean() {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("bgl-lint: error: {msg}\n{USAGE}");
+    ExitCode::from(2)
+}

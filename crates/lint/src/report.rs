@@ -1,0 +1,163 @@
+//! The machine-readable `LINT_report.json` and the human diagnostics.
+//!
+//! The JSON writer is hand-rolled (the workspace vendors no serde_json;
+//! same approach as `bgl-trace`'s exporters) and emits keys and entries
+//! in a fixed sorted order, so a clean tree always produces the same
+//! report bytes.
+
+use crate::rules::{AllowRecord, Finding, RULES};
+use std::fmt::Write as _;
+
+/// Everything one lint run produced.
+#[derive(Debug, Default)]
+pub struct LintReport {
+    /// Files scanned (after skip rules).
+    pub files_scanned: usize,
+    /// Surviving findings, sorted by (file, line, rule).
+    pub findings: Vec<Finding>,
+    /// Pragmas that suppressed at least one finding.
+    pub allows: Vec<AllowRecord>,
+    /// Findings suppressed by pragmas.
+    pub suppressed: usize,
+}
+
+impl LintReport {
+    /// True when the tree is clean.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// `file:line: [rule] message` diagnostics, one per line.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        for f in &self.findings {
+            let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.rule, f.message);
+        }
+        out
+    }
+
+    /// One-line summary for the happy path.
+    pub fn render_summary(&self) -> String {
+        format!(
+            "bgl-lint: {} files, {} findings, {} suppressed by {} allow pragmas",
+            self.files_scanned,
+            self.findings.len(),
+            self.suppressed,
+            self.allows.len()
+        )
+    }
+
+    /// The machine-readable report document.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"version\": 1,");
+        let _ = writeln!(out, "  \"files_scanned\": {},", self.files_scanned);
+        let _ = writeln!(out, "  \"suppressed\": {},", self.suppressed);
+        out.push_str("  \"rules\": [\n");
+        for (i, r) in RULES.iter().enumerate() {
+            out.push_str("    {\"id\": ");
+            push_str_lit(&mut out, r.id);
+            out.push_str(", \"name\": ");
+            push_str_lit(&mut out, r.name);
+            out.push_str(", \"summary\": ");
+            push_str_lit(&mut out, r.summary);
+            out.push('}');
+            out.push_str(if i + 1 < RULES.len() { ",\n" } else { "\n" });
+        }
+        out.push_str("  ],\n  \"findings\": [\n");
+        for (i, f) in self.findings.iter().enumerate() {
+            out.push_str("    {\"file\": ");
+            push_str_lit(&mut out, &f.file);
+            let _ = write!(out, ", \"line\": {}, \"rule\": ", f.line);
+            push_str_lit(&mut out, f.rule);
+            out.push_str(", \"message\": ");
+            push_str_lit(&mut out, &f.message);
+            out.push('}');
+            out.push_str(if i + 1 < self.findings.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ],\n  \"allows\": [\n");
+        for (i, a) in self.allows.iter().enumerate() {
+            out.push_str("    {\"file\": ");
+            push_str_lit(&mut out, &a.file);
+            let _ = write!(out, ", \"line\": {}, \"rule\": ", a.line);
+            push_str_lit(&mut out, &a.rule);
+            out.push_str(", \"reason\": ");
+            push_str_lit(&mut out, &a.reason);
+            out.push('}');
+            out.push_str(if i + 1 < self.allows.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Append a JSON string literal with escaping.
+fn push_str_lit(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_report_is_stable_and_parseable() {
+        let mut rep = LintReport {
+            files_scanned: 2,
+            suppressed: 1,
+            ..LintReport::default()
+        };
+        rep.findings.push(Finding {
+            file: "crates/x/src/lib.rs".into(),
+            line: 3,
+            rule: "r1",
+            message: "a \"quoted\" message".into(),
+        });
+        rep.allows.push(AllowRecord {
+            file: "crates/x/src/lib.rs".into(),
+            line: 9,
+            rule: "d1".into(),
+            reason: "lookup only".into(),
+        });
+        let j1 = rep.to_json();
+        let j2 = rep.to_json();
+        assert_eq!(j1, j2);
+        let v = bgl_trace::json::parse(&j1).expect("report JSON parses");
+        assert_eq!(v.get("files_scanned").and_then(|x| x.as_f64()), Some(2.0));
+        let findings = v
+            .get("findings")
+            .and_then(|x| x.as_arr())
+            .expect("findings");
+        assert_eq!(findings.len(), 1);
+        assert_eq!(
+            findings[0].get("message").and_then(|m| m.as_str()),
+            Some("a \"quoted\" message")
+        );
+        let rules = v.get("rules").and_then(|x| x.as_arr()).expect("rules");
+        assert_eq!(rules.len(), RULES.len());
+        assert!(rep.render_text().contains("crates/x/src/lib.rs:3: [r1]"));
+        assert!(rep.render_summary().contains("2 files"));
+    }
+}

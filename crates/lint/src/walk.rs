@@ -1,0 +1,179 @@
+//! Deterministic workspace file discovery.
+//!
+//! Two modes:
+//!
+//! * **Workspace mode** (root has both `crates/` and `src/`): scan the
+//!   facade crate's `src/` and every `crates/<name>/src/` tree. Only
+//!   shipped source is linted — `vendor/`, `target/`, integration
+//!   `tests/`, `examples/` and `benches/` are never walked (test code
+//!   inside `src/` is excluded later via `#[cfg(test)]` regions).
+//! * **Flat mode** (anything else, e.g. a fixture directory): scan all
+//!   `.rs` files under the root, crate name `fixtures`.
+//!
+//! Directory entries are sorted so findings and reports are themselves
+//! byte-stable — the lint practices what it preaches.
+
+use std::path::{Path, PathBuf};
+
+/// Whether a file belongs to a library target or a binary target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FileScope {
+    /// Library code: every rule applies.
+    Lib,
+    /// Binary code (any path with a `bin` directory component): exempt
+    /// from `d2`/`r1`/`r2` — front ends parse flags and measure
+    /// wall-clock legitimately.
+    Bin,
+}
+
+/// One discovered source file.
+#[derive(Debug, Clone)]
+pub struct SourceFile {
+    /// Workspace-relative path with `/` separators (report key).
+    pub rel: String,
+    /// Absolute (or root-joined) path for reading.
+    pub abs: PathBuf,
+    /// Owning crate's directory name (`core`, `comm`, … or `bgl-bfs`
+    /// for the facade, `fixtures` in flat mode).
+    pub crate_name: String,
+    /// Library or binary target.
+    pub scope: FileScope,
+}
+
+/// Why discovery or reading failed.
+#[derive(Debug)]
+pub enum LintError {
+    /// An I/O operation failed on a path.
+    Io(PathBuf, std::io::Error),
+}
+
+impl std::fmt::Display for LintError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LintError::Io(p, e) => write!(f, "{}: {e}", p.display()),
+        }
+    }
+}
+
+impl std::error::Error for LintError {}
+
+/// Discover every lintable `.rs` file under `root`.
+pub fn discover(root: &Path) -> Result<Vec<SourceFile>, LintError> {
+    let mut out = Vec::new();
+    if root.join("crates").is_dir() && root.join("src").is_dir() {
+        add_tree(root, Path::new("src"), "bgl-bfs", &mut out)?;
+        let mut crates = list_dir(&root.join("crates"))?;
+        crates.retain(|p| p.is_dir());
+        for dir in crates {
+            let name = file_name_of(&dir);
+            let src = dir.join("src");
+            if src.is_dir() {
+                let rel = PathBuf::from("crates").join(&name).join("src");
+                add_tree(root, &rel, &name, &mut out)?;
+            }
+        }
+    } else {
+        add_tree(root, Path::new(""), "fixtures", &mut out)?;
+    }
+    Ok(out)
+}
+
+fn file_name_of(p: &Path) -> String {
+    p.file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_default()
+}
+
+fn list_dir(dir: &Path) -> Result<Vec<PathBuf>, LintError> {
+    let rd = std::fs::read_dir(dir).map_err(|e| LintError::Io(dir.to_path_buf(), e))?;
+    let mut entries = Vec::new();
+    for entry in rd {
+        let entry = entry.map_err(|e| LintError::Io(dir.to_path_buf(), e))?;
+        entries.push(entry.path());
+    }
+    entries.sort();
+    Ok(entries)
+}
+
+const SKIP_DIRS: &[&str] = &["vendor", "target", "tests", "examples", "benches", ".git"];
+
+fn add_tree(
+    root: &Path,
+    rel: &Path,
+    crate_name: &str,
+    out: &mut Vec<SourceFile>,
+) -> Result<(), LintError> {
+    let abs = if rel.as_os_str().is_empty() {
+        root.to_path_buf()
+    } else {
+        root.join(rel)
+    };
+    for path in list_dir(&abs)? {
+        let name = file_name_of(&path);
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) {
+                continue;
+            }
+            add_tree(root, &rel.join(&name), crate_name, out)?;
+        } else if name.ends_with(".rs") {
+            let rel_file = rel.join(&name);
+            let rel_str = rel_file
+                .components()
+                .map(|c| c.as_os_str().to_string_lossy())
+                .collect::<Vec<_>>()
+                .join("/");
+            let scope = if rel_file.components().any(|c| c.as_os_str() == "bin") {
+                FileScope::Bin
+            } else {
+                FileScope::Lib
+            };
+            out.push(SourceFile {
+                rel: rel_str,
+                abs: path,
+                crate_name: crate_name.to_string(),
+                scope,
+            });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_mode_finds_this_crate_and_skips_vendor() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = discover(&root).expect("workspace discover");
+        assert!(files.iter().any(|f| f.rel == "crates/lint/src/walk.rs"));
+        assert!(files.iter().any(|f| f.rel == "src/lib.rs"));
+        assert!(!files.iter().any(|f| f.rel.starts_with("vendor/")));
+        assert!(!files.iter().any(|f| f.rel.contains("/tests/")));
+        let cli = files
+            .iter()
+            .find(|f| f.rel == "src/bin/cli.rs")
+            .expect("cli discovered");
+        assert_eq!(cli.scope, FileScope::Bin);
+        assert_eq!(cli.crate_name, "bgl-bfs");
+        let lint = files
+            .iter()
+            .find(|f| f.rel == "crates/lint/src/lib.rs")
+            .expect("lint lib discovered");
+        assert_eq!(lint.scope, FileScope::Lib);
+        assert_eq!(lint.crate_name, "lint");
+        // Deterministic ordering.
+        let again = discover(&root).expect("second discover");
+        let a: Vec<_> = files.iter().map(|f| &f.rel).collect();
+        let b: Vec<_> = again.iter().map(|f| &f.rel).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn flat_mode_scans_everything_as_fixtures() {
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+        let files = discover(&root).expect("fixture discover");
+        assert!(!files.is_empty());
+        assert!(files.iter().all(|f| f.crate_name == "fixtures"));
+    }
+}

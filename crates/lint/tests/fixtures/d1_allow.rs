@@ -1,0 +1,7 @@
+//! d1 suppressed: a justified lookup-only table.
+use std::collections::HashMap; // bgl-lint: allow(d1, reason = "lookup-only table; never iterated or exported")
+
+pub struct Allowed {
+    // bgl-lint: allow(d1, reason = "lookup-only table; never iterated or exported")
+    lookup: HashMap<u64, u32>,
+}

@@ -1,0 +1,8 @@
+//! d1 positive: std hash collections in non-test code.
+use std::collections::HashMap;
+use std::collections::HashSet;
+
+pub struct Offender {
+    per_link: HashMap<(u32, u32), u64>,
+    seen: HashSet<u64>,
+}

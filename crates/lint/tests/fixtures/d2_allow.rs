@@ -1,0 +1,8 @@
+//! d2 suppressed: a threaded-exchange deadline is allowed to read the
+//! host clock, because it bounds real blocking, not simulated time.
+use std::time::Instant;
+
+pub fn exchange_deadline() -> Instant {
+    // bgl-lint: allow(d2, reason = "threaded exchange deadline bounds real blocking; never feeds the sim clock")
+    Instant::now() + std::time::Duration::from_secs(5)
+}

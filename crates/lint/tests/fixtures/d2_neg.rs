@@ -1,0 +1,10 @@
+//! d2 negative: explicit clocks and seeds only. Mentioning the type
+//! `Instant` (for a deadline parameter) is fine; constructing one from
+//! the host clock is not.
+use std::time::Instant;
+
+pub fn good_clock(sim_time: f64, seed: u64, deadline: Instant) -> f64 {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let _ = deadline;
+    sim_time + 1.0
+}

@@ -1,0 +1,10 @@
+//! d2 positive: wall-clock and host entropy in library code.
+use std::time::{Instant, SystemTime};
+
+pub fn bad_clock() -> f64 {
+    let t0 = Instant::now();
+    let wall = SystemTime::now();
+    let mut rng = rand::thread_rng();
+    let seeded = ChaCha8Rng::from_entropy();
+    0.0
+}

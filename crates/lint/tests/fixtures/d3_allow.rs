@@ -1,0 +1,7 @@
+//! d3 suppressed: a tolerance-checked diagnostic aggregate.
+use rayon::prelude::*;
+
+pub fn allowed_sum(costs: &[f64]) -> f64 {
+    // bgl-lint: allow(d3, reason = "diagnostic aggregate compared under tolerance; never feeds the sim clock")
+    costs.par_iter().map(|c| c * 2.0).sum::<f64>()
+}

@@ -1,0 +1,16 @@
+//! d3 negative: integer reductions parallelize associatively, and
+//! float sums over *serial* iterators have a fixed order.
+use rayon::prelude::*;
+
+pub fn int_sum(counts: &[u64]) -> u64 {
+    counts.par_iter().sum::<u64>()
+}
+
+pub fn serial_float_sum(costs: &[f64]) -> f64 {
+    costs.iter().sum::<f64>()
+}
+
+pub fn par_then_sequential(costs: &[f64]) -> f64 {
+    let per_item: Vec<f64> = costs.par_iter().map(|c| c * 2.0).collect();
+    per_item.iter().sum::<f64>()
+}

@@ -1,0 +1,13 @@
+//! d3 positive: float reduction over a parallel iterator.
+use rayon::prelude::*;
+
+pub fn bad_sum(costs: &[f64]) -> f64 {
+    costs.par_iter().map(|c| c * 2.0).sum::<f64>()
+}
+
+pub fn bad_reduce(costs: &[f64]) -> f64 {
+    costs
+        .par_iter()
+        .copied()
+        .reduce(|| 0.0f64, |a, b| a + b)
+}

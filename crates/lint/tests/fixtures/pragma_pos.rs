@@ -1,0 +1,10 @@
+//! p0/p1 positives: a reason-less pragma and a stale allow.
+
+pub fn broken(o: Option<u32>) -> u32 {
+    o.unwrap() // bgl-lint: allow(r1)
+}
+
+// bgl-lint: allow(d1, reason = "nothing on the next line uses a hash map")
+pub fn stale() -> u32 {
+    7
+}

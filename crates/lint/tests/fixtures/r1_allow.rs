@@ -1,0 +1,9 @@
+//! r1 suppressed: a provably-infallible unwrap with its proof attached.
+
+pub fn allowed(xs: &[u32]) -> u32 {
+    if xs.is_empty() {
+        return 0;
+    }
+    // bgl-lint: allow(r1, reason = "guarded by the is_empty early return above")
+    *xs.iter().max().unwrap()
+}

@@ -1,0 +1,10 @@
+//! r1 positive: panicky calls in library code.
+
+pub fn bad(levels: &[u32], target: Option<usize>) -> u32 {
+    let t = target.unwrap();
+    let l = levels.get(t).expect("target in range");
+    if *l == u32::MAX {
+        panic!("unreached target");
+    }
+    *l
+}

@@ -1,0 +1,6 @@
+//! r2 suppressed: a bounded counter with its bound stated.
+
+pub fn allowed(lanes: &[u64]) -> u32 {
+    // bgl-lint: allow(r2, reason = "lane count is capped at MAX_LANES = 64 by the batcher")
+    lanes.len() as u32
+}

@@ -1,0 +1,7 @@
+//! r2 negative: widening casts and checked conversions.
+
+pub fn good(frontier: &[u64]) -> u64 {
+    let lanes = frontier.len() as u64;
+    let also = u32::try_from(frontier.len()).unwrap_or(u32::MAX);
+    lanes + u64::from(also)
+}

@@ -1,0 +1,7 @@
+//! r2 positive: counters truncated by narrowing casts.
+
+pub fn bad(frontier: &[u64]) -> u32 {
+    let lanes = frontier.len() as u32;
+    let evens = frontier.iter().filter(|v| *v % 2 == 0).count() as u16;
+    lanes + evens as u32
+}

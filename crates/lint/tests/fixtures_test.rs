@@ -1,0 +1,81 @@
+//! Golden-output tests for the rule catalog: every rule has at least
+//! one positive, one negative, and one pragma-suppressed fixture under
+//! `tests/fixtures/`, and the exact findings are pinned in
+//! `expected_findings.txt`.
+
+use std::path::Path;
+
+fn fixtures_dir() -> std::path::PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+#[test]
+fn fixtures_match_golden_findings() {
+    let rep = bgl_lint::lint_root(&fixtures_dir()).expect("lint fixtures");
+    let want = include_str!("fixtures/expected_findings.txt");
+    assert_eq!(
+        rep.render_text(),
+        want,
+        "fixture findings drifted from the golden file; if the change is \
+         intentional, regenerate expected_findings.txt"
+    );
+}
+
+#[test]
+fn every_rule_has_positive_negative_and_suppressed_cases() {
+    let rep = bgl_lint::lint_root(&fixtures_dir()).expect("lint fixtures");
+    for rule in ["d1", "d2", "d3", "r1", "r2", "p0", "p1"] {
+        assert!(
+            rep.findings.iter().any(|f| f.rule == rule),
+            "rule {rule} has no positive fixture finding"
+        );
+    }
+    // Negative fixtures stay clean.
+    assert!(
+        rep.findings.iter().all(|f| !f.file.ends_with("_neg.rs")),
+        "a *_neg.rs fixture produced findings:\n{}",
+        rep.render_text()
+    );
+    // One suppressed case per enforced rule (d1 carries two pragmas).
+    assert_eq!(rep.allows.len(), 6, "allows: {:?}", rep.allows);
+    assert_eq!(rep.suppressed, 6);
+    assert!(rep.allows.iter().all(|a| !a.reason.trim().is_empty()));
+    for rule in ["d1", "d2", "d3", "r1", "r2"] {
+        assert!(
+            rep.allows.iter().any(|a| a.rule == rule),
+            "rule {rule} has no pragma-suppressed fixture"
+        );
+    }
+}
+
+#[test]
+fn check_mode_exits_nonzero_on_fixtures_with_file_line_diagnostics() {
+    let out_json = std::env::temp_dir().join("bgl_lint_fixture_report.json");
+    let out = std::process::Command::new(env!("CARGO_BIN_EXE_bgl-lint"))
+        .arg("--check")
+        .arg("--root")
+        .arg(fixtures_dir())
+        .arg("--out")
+        .arg(&out_json)
+        .output()
+        .expect("run bgl-lint");
+    assert!(
+        !out.status.success(),
+        "--check must exit nonzero on the fixtures"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for needle in [
+        "r1_pos.rs:4: [r1]",
+        "d1_pos.rs:2: [d1]",
+        "r2_pos.rs:4: [r2]",
+        "pragma_pos.rs:4: [p0]",
+    ] {
+        assert!(stdout.contains(needle), "missing {needle:?} in:\n{stdout}");
+    }
+    let report = std::fs::read_to_string(&out_json).expect("report written");
+    let v = bgl_trace::json::parse(&report).expect("report parses as JSON");
+    assert!(v
+        .get("findings")
+        .and_then(|f| f.as_arr())
+        .is_some_and(|f| !f.is_empty()));
+}

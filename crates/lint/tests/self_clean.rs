@@ -1,0 +1,26 @@
+//! The shipped workspace must be lint-clean, and every allow pragma in
+//! it must carry a reason (the parser already rejects reason-less
+//! pragmas as malformed; this pins both properties as a test).
+
+use std::path::Path;
+
+#[test]
+fn shipped_workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    let rep = bgl_lint::lint_root(&root).expect("lint the workspace");
+    assert!(
+        rep.is_clean(),
+        "the shipped workspace has lint findings:\n{}",
+        rep.render_text()
+    );
+    assert!(
+        rep.files_scanned > 50,
+        "only {} files scanned",
+        rep.files_scanned
+    );
+    assert!(
+        rep.allows.iter().all(|a| !a.reason.trim().is_empty()),
+        "an allow pragma with an empty reason survived: {:?}",
+        rep.allows
+    );
+}

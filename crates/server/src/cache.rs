@@ -98,6 +98,7 @@ impl ResultCache {
         match self.entries.iter().position(|e| e.key == key) {
             Some(i) => {
                 self.hits += 1;
+                // bgl-lint: allow(r1, reason = "i came from position() on the same deque, so remove(i) is in bounds")
                 let mut entry = self.entries.remove(i).unwrap();
                 entry.priority = self.clock + entry.cost / footprint(&entry.levels);
                 let levels = entry.levels.clone();
@@ -142,6 +143,7 @@ impl ResultCache {
                 victim = i;
             }
         }
+        // bgl-lint: allow(r1, reason = "evict is only called with a non-empty deque and victim indexes it")
         let gone = self.entries.remove(victim).unwrap();
         self.clock = self.clock.max(gone.priority);
         self.evictions += 1;

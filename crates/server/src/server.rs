@@ -271,14 +271,14 @@ impl BglServer {
         self.world.trace_mut().world_event(
             EventKind::Batch {
                 batch,
-                lanes: sources.len() as u32,
+                lanes: u32::try_from(sources.len()).unwrap_or(u32::MAX),
             },
             t0,
             t1,
         );
         if self.config.validate_batches {
             multi::validate_lanes(&self.graph.spec, &result)
-                .unwrap_or_else(|e| panic!("batch {batch} failed Graph500 validation: {e:?}"));
+                .unwrap_or_else(|e| panic!("batch {batch} failed Graph500 validation: {e:?}")); // bgl-lint: allow(r1, reason = "opt-in validate_batches exists to abort loudly on a correctness violation")
             self.stats.validated_batches += 1;
         }
         let batch_sim = t1 - t0;

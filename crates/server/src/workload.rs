@@ -128,7 +128,7 @@ impl WorkloadSpec {
 /// server tick. All variants are open-loop: arrivals do not react to
 /// queue depth, so backpressure and deadline misses are properties of
 /// the schedule, not of the measurement.
-#[derive(Debug, Clone, Copy, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum ArrivalProcess {
     /// Exactly `per_tick` queries every tick (the closed-loop chunking
     /// the serve mode shipped with).
@@ -152,6 +152,16 @@ pub enum ArrivalProcess {
         /// Burst factor (≥ 1; 1 degenerates to `Poisson`).
         burst: f64,
     },
+    /// Replay a previously recorded tick schedule verbatim (workload
+    /// replay: re-run an interesting Poisson or bursty trace without
+    /// re-rolling the dice). The seed is ignored. If the recording
+    /// delivers fewer than `total` queries, the remainder arrives in
+    /// one final tick; if it delivers more, later ticks are clamped.
+    Replay {
+        /// Recorded arrivals per tick, as written by
+        /// [`ArrivalProcess::schedule_to_text`].
+        ticks: Vec<usize>,
+    },
 }
 
 impl ArrivalProcess {
@@ -160,6 +170,25 @@ impl ArrivalProcess {
     /// last tick is clamped so the schedule never over- or
     /// under-delivers.
     pub fn schedule(&self, total: usize, seed: u64) -> Vec<usize> {
+        if let ArrivalProcess::Replay { ticks: recorded } = self {
+            let mut ticks = Vec::with_capacity(recorded.len());
+            let mut remaining = total;
+            for &drawn in recorded {
+                if remaining == 0 {
+                    break;
+                }
+                let take = drawn.min(remaining);
+                ticks.push(take);
+                remaining -= take;
+            }
+            if remaining > 0 {
+                ticks.push(remaining);
+            }
+            if ticks.is_empty() {
+                ticks.push(0);
+            }
+            return ticks;
+        }
         let mut rng = ChaCha8Rng::seed_from_u64(seed);
         let mut ticks = Vec::new();
         let mut remaining = total;
@@ -175,6 +204,7 @@ impl ArrivalProcess {
                         0
                     }
                 }
+                ArrivalProcess::Replay { .. } => unreachable!("handled above"),
             };
             let take = drawn.min(remaining);
             ticks.push(take);
@@ -184,6 +214,39 @@ impl ArrivalProcess {
             ticks.push(0);
         }
         ticks
+    }
+
+    /// Serialize a schedule for later replay: one arrivals-per-tick
+    /// count per line, `#`-prefixed header comment, trailing newline.
+    pub fn schedule_to_text(schedule: &[usize]) -> String {
+        let mut out =
+            String::from("# bgl-bfs arrival schedule: one arrivals-per-tick count per line\n");
+        for count in schedule {
+            out.push_str(&count.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parse a recorded schedule ([`ArrivalProcess::schedule_to_text`]
+    /// format: one count per line; blank lines and `#` comments are
+    /// skipped) into a [`ArrivalProcess::Replay`].
+    pub fn replay_from_text(text: &str) -> Result<ArrivalProcess, String> {
+        let mut ticks = Vec::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let count: usize = line
+                .parse()
+                .map_err(|e| format!("schedule line {}: {e} in {line:?}", i + 1))?;
+            ticks.push(count);
+        }
+        if ticks.is_empty() {
+            return Err("schedule file has no tick counts".to_string());
+        }
+        Ok(ArrivalProcess::Replay { ticks })
     }
 }
 
@@ -288,6 +351,38 @@ mod tests {
         );
         let idle = |v: &[usize]| v.iter().filter(|&&c| c == 0).count() as f64 / v.len() as f64;
         assert!(idle(&bursty) > idle(&smooth));
+    }
+
+    #[test]
+    fn replay_reproduces_a_recorded_schedule_exactly() {
+        let recorded = ArrivalProcess::Poisson { mean: 2.5 }.schedule(200, 17);
+        let text = ArrivalProcess::schedule_to_text(&recorded);
+        let replay = ArrivalProcess::replay_from_text(&text).expect("parses");
+        // Seed is ignored by Replay: any seed reproduces the recording.
+        assert_eq!(replay.schedule(200, 0), recorded);
+        assert_eq!(replay.schedule(200, 999), recorded);
+    }
+
+    #[test]
+    fn replay_clamps_and_tops_up() {
+        let replay = ArrivalProcess::Replay {
+            ticks: vec![3, 0, 5],
+        };
+        // Fewer queries than recorded: later ticks clamp.
+        assert_eq!(replay.schedule(4, 0), vec![3, 0, 1]);
+        // More queries than recorded: remainder lands in one final tick.
+        assert_eq!(replay.schedule(12, 0), vec![3, 0, 5, 4]);
+        // Zero queries: a single empty tick, like the generators.
+        assert_eq!(replay.schedule(0, 0), vec![0]);
+    }
+
+    #[test]
+    fn replay_text_rejects_garbage_and_skips_comments() {
+        assert!(ArrivalProcess::replay_from_text("").is_err());
+        assert!(ArrivalProcess::replay_from_text("# only a comment\n").is_err());
+        assert!(ArrivalProcess::replay_from_text("3\nx\n").is_err());
+        let p = ArrivalProcess::replay_from_text("# hdr\n\n2\n 1 \n").expect("parses");
+        assert_eq!(p, ArrivalProcess::Replay { ticks: vec![2, 1] });
     }
 
     #[test]

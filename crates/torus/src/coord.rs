@@ -40,6 +40,7 @@ impl TorusDims {
             0 => self.x,
             1 => self.y,
             2 => self.z,
+            // bgl-lint: allow(r1, reason = "API contract: dimension indices are the literals 0..3 at every call site")
             _ => panic!("torus dimension index {d} out of range (0..3)"),
         }
     }
@@ -118,6 +119,7 @@ impl Coord3 {
             0 => self.x,
             1 => self.y,
             2 => self.z,
+            // bgl-lint: allow(r1, reason = "API contract: dimension indices are the literals 0..3 at every call site")
             _ => panic!("coordinate dimension index {d} out of range (0..3)"),
         }
     }
@@ -128,6 +130,7 @@ impl Coord3 {
             0 => self.x = v,
             1 => self.y = v,
             2 => self.z = v,
+            // bgl-lint: allow(r1, reason = "API contract: dimension indices are the literals 0..3 at every call site")
             _ => panic!("coordinate dimension index {d} out of range (0..3)"),
         }
         self
@@ -141,6 +144,7 @@ impl Coord3 {
         let next = match dir {
             1 => (cur + 1) % extent,
             -1 => (cur + extent - 1) % extent,
+            // bgl-lint: allow(r1, reason = "API contract: routing only ever passes axis_step's ±1 outputs")
             _ => panic!("step direction must be +1 or -1, got {dir}"),
         };
         self.with_component(d, next)

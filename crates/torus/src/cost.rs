@@ -21,7 +21,7 @@
 use crate::coord::Coord3;
 use crate::machine::{MachineConfig, MachineKind};
 use crate::routing::{hop_distance, route_dimension_ordered};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The result of costing a single transfer.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -146,9 +146,13 @@ impl CostModel {
 /// nearest neighbours. Traffic is attributed along dimension-ordered
 /// routes; on a flat network every transfer uses a synthetic dedicated
 /// link, so congestion reduces to per-endpoint serialization.
+///
+/// The map is ordered by link coordinates so [`Self::rows`] (and every
+/// export built on it) emits links in sorted-key order — byte-stable
+/// across runs, unlike `HashMap`'s process-random iteration.
 #[derive(Debug, Default, Clone)]
 pub struct LinkTraffic {
-    per_link: HashMap<(Coord3, Coord3), u64>,
+    per_link: BTreeMap<(Coord3, Coord3), u64>,
     total_bytes: u64,
     transfers: u64,
 }
@@ -208,6 +212,11 @@ impl LinkTraffic {
     /// Number of distinct directed links that carried any traffic.
     pub fn links_used(&self) -> usize {
         self.per_link.len()
+    }
+
+    /// Every link row in sorted-key order: `(from, to, bytes)`.
+    pub fn rows(&self) -> impl Iterator<Item = (Coord3, Coord3, u64)> + '_ {
+        self.per_link.iter().map(|(&(a, b), &bytes)| (a, b, bytes))
     }
 
     /// Total bytes summed over every directed link — i.e. Σ bytes × hops

@@ -643,6 +643,7 @@ pub fn route_with_faults(
     let mut steps = Vec::new();
     let mut ci = goal;
     while ci != start {
+        // bgl-lint: allow(r1, reason = "seen[goal] above proves BFS reached goal, so every node on the chain has a recorded parent")
         let (pi, dim, dir) = prev[ci].expect("BFS parent chain broken");
         steps.push(RouteStep {
             from: dims.delinearize(pi),

@@ -12,12 +12,19 @@
 
 use crate::event::{EventKind, TraceEvent};
 use bgl_torus::{route_dimension_ordered, Coord3, MachineConfig, MachineKind, TaskMapping};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
 
 /// Bytes accumulated per directed physical link.
+///
+/// The map is ordered by link coordinates so every export — the
+/// hotspot table, [`Self::to_json`], the rows behind the Chrome trace
+/// companion file — emits links in sorted-key order and is therefore
+/// byte-stable across runs (`HashMap` iteration order would leak the
+/// process-random hasher state into the artifacts).
 #[derive(Debug, Clone, Default)]
 pub struct LinkHeatmap {
-    per_link: HashMap<(Coord3, Coord3), u64>,
+    per_link: BTreeMap<(Coord3, Coord3), u64>,
     total_bytes: u64,
     sends: u64,
 }
@@ -81,21 +88,42 @@ impl LinkHeatmap {
         self.per_link.values().copied().max().unwrap_or(0)
     }
 
+    /// Every link row in sorted-key order: `((from, to), bytes)`.
+    pub fn rows(&self) -> impl Iterator<Item = (Coord3, Coord3, u64)> + '_ {
+        self.per_link.iter().map(|(&(a, b), &bytes)| (a, b, bytes))
+    }
+
     /// The `k` hottest links, by bytes descending (ties broken by link
     /// coordinates for determinism).
     pub fn top_k(&self, k: usize) -> Vec<(Coord3, Coord3, u64)> {
-        let mut links: Vec<(Coord3, Coord3, u64)> = self
-            .per_link
-            .iter()
-            .map(|(&(a, b), &bytes)| (a, b, bytes))
-            .collect();
-        links.sort_by(|l, r| {
-            r.2.cmp(&l.2)
-                .then_with(|| key(l.0).cmp(&key(r.0)))
-                .then_with(|| key(l.1).cmp(&key(r.1)))
-        });
+        let mut links: Vec<(Coord3, Coord3, u64)> = self.rows().collect();
+        links.sort_by(|l, r| r.2.cmp(&l.2).then_with(|| (l.0, l.1).cmp(&(r.0, r.1))));
         links.truncate(k);
         links
+    }
+
+    /// The heatmap as a JSON document with links in sorted-key order —
+    /// byte-stable across runs for identical traces (pinned by a golden
+    /// test and written as `TRACE_heatmap.json`).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{");
+        let _ = write!(
+            out,
+            "\"sends\":{},\"total_bytes\":{},\"links\":[",
+            self.sends, self.total_bytes
+        );
+        for (i, (a, b, bytes)) in self.rows().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(
+                out,
+                "{{\"from\":[{},{},{}],\"to\":[{},{},{}],\"bytes\":{}}}",
+                a.x, a.y, a.z, b.x, b.y, b.z, bytes
+            );
+        }
+        out.push_str("]}");
+        out
     }
 
     /// Render the top-`k` hotspot table as aligned text.
@@ -114,10 +142,6 @@ impl LinkHeatmap {
         }
         out
     }
-}
-
-fn key(c: Coord3) -> (usize, usize, usize) {
-    (c.x, c.y, c.z)
 }
 
 #[cfg(test)]

@@ -182,6 +182,7 @@ fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
             Some(_) => {
                 // Consume one UTF-8 scalar (input came from a &str).
                 let rest = std::str::from_utf8(&b[*pos..]).map_err(|_| "bad utf-8")?;
+                // bgl-lint: allow(r1, reason = "the Some(_) arm guarantees the slice is non-empty and from_utf8 just validated it")
                 let c = rest.chars().next().unwrap();
                 out.push(c);
                 *pos += c.len_utf8();

@@ -28,14 +28,18 @@ pub struct TraceReport {
     pub chrome_path: PathBuf,
     /// Where the summary JSON was written.
     pub summary_path: PathBuf,
+    /// Where the link heatmap JSON was written.
+    pub heatmap_path: PathBuf,
     /// Events overwritten by full rings (0 means the trace is complete).
     pub dropped_events: u64,
 }
 
-/// Analyze `buf` and write `TRACE_chrome.json` + `TRACE_summary.json`
-/// into `dir` (created if missing). The summary document carries the
-/// critical path plus a `"wire"` object with logical/wire byte totals,
-/// compression ratio and codec time replayed from the recorded events.
+/// Analyze `buf` and write `TRACE_chrome.json`, `TRACE_summary.json`
+/// and `TRACE_heatmap.json` into `dir` (created if missing). The
+/// summary document carries the critical path plus a `"wire"` object
+/// with logical/wire byte totals, compression ratio and codec time
+/// replayed from the recorded events; the heatmap lists per-link bytes
+/// in sorted-key order so the file is byte-stable across runs.
 pub fn write_artifacts(
     buf: &TraceBuffer,
     mapping: &TaskMapping,
@@ -55,12 +59,15 @@ pub fn write_artifacts(
     summary.insert_str(1, &format!("\"wire\":{},", wire.to_json()));
     std::fs::write(&summary_path, summary)?;
     let heatmap = LinkHeatmap::from_events(all_events.iter(), mapping, machine);
+    let heatmap_path = dir.join("TRACE_heatmap.json");
+    std::fs::write(&heatmap_path, heatmap.to_json())?;
     Ok(TraceReport {
         critical,
         heatmap,
         wire,
         chrome_path,
         summary_path,
+        heatmap_path,
         dropped_events: buf.dropped(),
     })
 }

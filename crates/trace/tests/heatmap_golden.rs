@@ -1,0 +1,99 @@
+//! Golden-output regression: heatmap JSON is byte-stable.
+//!
+//! `LinkHeatmap` keys its per-link table with a `BTreeMap`, so the
+//! exported rows come out in sorted-key order regardless of insertion
+//! order or the process's hash seed. This test pins the exact bytes of
+//! `to_json()` for a fixed event set — if the export ever regresses to
+//! hash-ordered iteration the comparison fails on the first run whose
+//! hasher state differs.
+
+use bgl_torus::{MachineConfig, TaskMapping, TaskMappingKind};
+use bgl_trace::event::{EventKind, TraceEvent};
+use bgl_trace::LinkHeatmap;
+
+fn send(from: u32, to: u32, bytes: u64) -> TraceEvent {
+    TraceEvent {
+        kind: EventKind::Send {
+            from,
+            to,
+            bytes,
+            hops: 0,
+        },
+        t0: 0.0,
+        t1: 0.0,
+    }
+}
+
+fn heatmap_from(events: &[TraceEvent]) -> LinkHeatmap {
+    let machine = MachineConfig::bluegene_l_partition(MachineConfig::fit_partition(8));
+    let mapping = TaskMapping::new(
+        TaskMappingKind::FoldedPlanes,
+        bgl_torus::LogicalArray::new(2, 4),
+        machine.dims,
+    );
+    LinkHeatmap::from_events(events.iter(), &mapping, &machine)
+}
+
+#[test]
+fn heatmap_json_is_byte_stable_golden() {
+    let events = vec![
+        send(0, 5, 100),
+        send(3, 1, 64),
+        send(7, 2, 8),
+        send(5, 0, 100),
+    ];
+    let hm = heatmap_from(&events);
+    let golden = "{\"sends\":4,\"total_bytes\":272,\"links\":[\
+{\"from\":[0,0,0],\"to\":[1,0,0],\"bytes\":100},\
+{\"from\":[0,1,0],\"to\":[0,0,0],\"bytes\":100},\
+{\"from\":[0,1,1],\"to\":[0,0,1],\"bytes\":8},\
+{\"from\":[1,0,0],\"to\":[1,1,0],\"bytes\":100},\
+{\"from\":[1,0,1],\"to\":[1,0,0],\"bytes\":64},\
+{\"from\":[1,1,0],\"to\":[0,1,0],\"bytes\":100},\
+{\"from\":[1,1,1],\"to\":[0,1,1],\"bytes\":8}]}";
+    assert_eq!(hm.to_json(), golden);
+}
+
+#[test]
+fn heatmap_json_independent_of_insertion_order() {
+    let fwd = vec![send(0, 5, 100), send(3, 1, 64), send(7, 2, 8)];
+    let mut rev = fwd.clone();
+    rev.reverse();
+    assert_eq!(heatmap_from(&fwd).to_json(), heatmap_from(&rev).to_json());
+}
+
+#[test]
+fn link_traffic_rows_sorted_and_match_heatmap_attribution() {
+    use bgl_torus::LinkTraffic;
+    let machine = MachineConfig::bluegene_l_partition(MachineConfig::fit_partition(8));
+    let mapping = TaskMapping::new(
+        TaskMappingKind::FoldedPlanes,
+        bgl_torus::LogicalArray::new(2, 4),
+        machine.dims,
+    );
+    let events = vec![send(0, 5, 100), send(3, 1, 64), send(7, 2, 8)];
+    let mut lt = LinkTraffic::new();
+    for ev in &events {
+        let EventKind::Send {
+            from, to, bytes, ..
+        } = ev.kind
+        else {
+            unreachable!()
+        };
+        lt.record(
+            &machine,
+            mapping.coord_of(from as usize),
+            mapping.coord_of(to as usize),
+            bytes,
+        );
+    }
+    let hm_rows: Vec<_> = heatmap_from(&events).rows().collect();
+    let lt_rows: Vec<_> = lt.rows().collect();
+    assert_eq!(hm_rows, lt_rows, "cost-model and trace attribution diverge");
+    assert!(
+        lt_rows
+            .windows(2)
+            .all(|w| (w[0].0, w[0].1) < (w[1].0, w[1].1)),
+        "rows not in strictly increasing key order"
+    );
+}

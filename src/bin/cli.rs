@@ -25,7 +25,7 @@ use bgl_bfs::{
     BfsConfig, BglServer, DirectionMode, DirectionPolicy, DistGraph, FaultPlan, GraphSpec,
     ProcessorGrid, ResilientConfig, ServerConfig, SimWorld, TraceDetail, WorkloadSpec,
 };
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::path::Path;
 
 const HELP: &str = "\
@@ -64,6 +64,9 @@ COMMANDS
            arrivals: [--arrivals PER_TICK] [--arrival-process fixed|poisson|bursty]
            [--burst F] [--arrival-seed S] — seeded open-loop streams for queue-depth
            and deadline-miss sweeps
+           replay: [--arrival-record PATH] writes the tick schedule this run used;
+           [--arrival-replay PATH] replays a recorded schedule verbatim (exactly
+           reproduces the original run's SERVER_summary.json)
            output: [--summary-out SERVER_summary.json] — QPS, latency, batch
            occupancy, path-walk, and per-class cache stats from the simulated clock
   theory   print the §3.1 message-length analysis (--n --p [--kmax])
@@ -72,11 +75,11 @@ COMMANDS
   help     this text
 ";
 
-struct Flags(HashMap<String, String>);
+struct Flags(BTreeMap<String, String>);
 
 impl Flags {
     fn parse(args: &[String]) -> Self {
-        let mut map = HashMap::new();
+        let mut map = BTreeMap::new();
         let mut i = 0;
         while i < args.len() {
             if let Some(key) = args[i].strip_prefix("--") {
@@ -175,6 +178,8 @@ fn allowed_flags(cmd: &str) -> Option<Vec<&'static str>> {
                 "arrival-process",
                 "burst",
                 "arrival-seed",
+                "arrival-replay",
+                "arrival-record",
                 "summary-out",
             ],
         ]
@@ -218,6 +223,12 @@ fn flag_error(cmd: &str, flags: &Flags) -> Option<String> {
         if flags.has("burst") && process != Some("bursty") {
             return Some(
                 "--burst shapes the bursty arrival process; add --arrival-process bursty"
+                    .to_string(),
+            );
+        }
+        if flags.has("arrival-replay") && process.is_some() {
+            return Some(
+                "--arrival-replay replays a recorded schedule verbatim; it contradicts --arrival-process — pick one"
                     .to_string(),
             );
         }
@@ -663,14 +674,23 @@ fn cmd_serve(flags: &Flags) {
     };
     let per_tick = flags.u64("arrivals", 4).max(1) as usize;
     let mean = flags.f64("arrivals", per_tick as f64);
-    let process = match flags.0.get("arrival-process").map(String::as_str) {
-        None | Some("fixed") => ArrivalProcess::Fixed { per_tick },
-        Some("poisson") => ArrivalProcess::Poisson { mean },
-        Some("bursty") => ArrivalProcess::Bursty {
-            mean,
-            burst: flags.f64("burst", 8.0),
-        },
-        Some(other) => panic!("--arrival-process: {other:?} (expected fixed, poisson, or bursty)"),
+    let process = if let Some(path) = flags.0.get("arrival-replay") {
+        let text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| panic!("--arrival-replay {path:?}: {e}"));
+        ArrivalProcess::replay_from_text(&text)
+            .unwrap_or_else(|e| panic!("--arrival-replay {path:?}: {e}"))
+    } else {
+        match flags.0.get("arrival-process").map(String::as_str) {
+            None | Some("fixed") => ArrivalProcess::Fixed { per_tick },
+            Some("poisson") => ArrivalProcess::Poisson { mean },
+            Some("bursty") => ArrivalProcess::Bursty {
+                mean,
+                burst: flags.f64("burst", 8.0),
+            },
+            Some(other) => {
+                panic!("--arrival-process: {other:?} (expected fixed, poisson, or bursty)")
+            }
+        }
     };
     println!(
         "G(n={}, k={}) on {}x{} — serving {} Zipf(θ={}) queries, batch width {}, \
@@ -686,6 +706,11 @@ fn cmd_serve(flags: &Flags) {
     );
     let workload = wspec.generate(spec.n);
     let schedule = process.schedule(workload.len(), flags.u64("arrival-seed", 7));
+    if let Some(path) = flags.0.get("arrival-record") {
+        std::fs::write(path, ArrivalProcess::schedule_to_text(&schedule))
+            .unwrap_or_else(|e| panic!("--arrival-record {path:?}: {e}"));
+        println!("recorded arrival schedule to {path}");
+    }
     let graph = DistGraph::build(spec, grid);
     let world = SimWorld::bluegene(grid).with_wire_policy(wire_policy_from(flags));
     let mut srv = BglServer::new(graph, world, config);
@@ -1025,5 +1050,18 @@ mod tests {
             flag_error("serve", &flags("--burst 10 --arrival-process bursty")),
             None
         );
+        // Replaying a recorded schedule contradicts picking a generator.
+        let e = flag_error(
+            "serve",
+            &flags("--arrival-replay sched.txt --arrival-process poisson"),
+        )
+        .expect("serve");
+        assert!(e.contains("--arrival-replay"), "{e}");
+        for line in [
+            "--arrival-replay sched.txt",
+            "--arrival-record sched.txt --arrival-process poisson",
+        ] {
+            assert_eq!(flag_error("serve", &flags(line)), None, "{line}");
+        }
     }
 }
